@@ -1,0 +1,226 @@
+// Package repro's root benchmarks regenerate every experiment in DESIGN.md's
+// per-experiment index (E1–E12): run
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkE* wraps the corresponding experiments.E* harness (the same
+// code cmd/dmbench prints tables from), so `-bench` measures the cost of
+// regenerating each table. The Ablation* benchmarks cover the design choices
+// DESIGN.md calls out: hash vs nested-loop join, LSH vs exhaustive column
+// matching, and Monte-Carlo Shapley sample counts.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/market"
+	"repro/internal/profile"
+	"repro/internal/relation"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func BenchmarkE1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1EndToEnd(300, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2SimDesigns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2SimDesigns(30, 42)
+	}
+}
+
+func BenchmarkE3Coalitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E3Coalitions(30, 42)
+	}
+}
+
+func BenchmarkE4MechanismScaling(b *testing.B) {
+	// The E4 table embeds its own timing loops; the bench exercises the
+	// mechanisms directly per size instead.
+	for _, n := range []int{10, 100, 1000, 10000} {
+		bids := make([]market.Bid, n)
+		for i := range bids {
+			bids[i] = market.Bid{Buyer: fmt.Sprintf("b%d", i), Offer: float64(50 + i%100)}
+		}
+		for _, mech := range []market.Mechanism{market.PostedPrice{P: 100}, market.SecondPrice{}, market.RSOP{Seed: 1}} {
+			b.Run(fmt.Sprintf("%s/n=%d", mech.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mech.Run(bids, market.SupplyUnlimited)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkE5Shapley(b *testing.B) {
+	mkGame := func(n int) ([]string, market.ValueFunc) {
+		players := make([]string, n)
+		for i := range players {
+			players[i] = fmt.Sprintf("d%02d", i)
+		}
+		v := func(s map[string]bool) float64 {
+			return float64(len(s)) + 0.1*float64(len(s)*len(s))
+		}
+		return players, v
+	}
+	for _, n := range []int{8, 12, 16} {
+		players, v := mkGame(n)
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				market.ShapleyExact{}.Allocate(players, v)
+			}
+		})
+	}
+	for _, n := range []int{8, 16, 64, 256} {
+		players, v := mkGame(n)
+		b.Run(fmt.Sprintf("mc200/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				market.ShapleyMonteCarlo{Samples: 200, Seed: 1}.Allocate(players, v)
+			}
+		})
+	}
+}
+
+func BenchmarkE6MashupBuilder(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		tables := workload.LakeTables(n, 100, 42)
+		profs := make([]*profile.DatasetProfile, len(tables))
+		for i, r := range tables {
+			profs[i] = profile.Profile(r.Name, r)
+		}
+		b.Run(fmt.Sprintf("profile/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				profile.Profile(tables[i%len(tables)].Name, tables[i%len(tables)])
+			}
+		})
+		b.Run(fmt.Sprintf("index/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				index.Build(index.DefaultConfig(), profs)
+			}
+		})
+	}
+}
+
+func BenchmarkE7PrivacyValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7PrivacyValue(42)
+	}
+}
+
+func BenchmarkE8ThinMarket(b *testing.B) {
+	cfg := sim.ThinConfig{
+		Universe: 24, Sellers: 14, AttrsPerSeller: 8,
+		Buyers: 200, AttrsPerBuyer: 6, Seed: 42,
+	}
+	for i := 0; i < b.N; i++ {
+		sim.ThinSweep(cfg, []int{1, 2, 3, 4})
+	}
+}
+
+func BenchmarkE9Arbitrage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9Arbitrage(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10Negotiation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10Negotiation(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md "design choices called out") -------------
+
+func mkJoinInputs(n int) (*relation.Relation, *relation.Relation) {
+	l := relation.New("l", relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col("x", relation.KindFloat)))
+	r := relation.New("r", relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col("y", relation.KindFloat)))
+	for i := 0; i < n; i++ {
+		l.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)))
+		r.MustAppend(relation.Int(int64(i%n)), relation.Float(float64(-i)))
+	}
+	return l, r
+}
+
+func BenchmarkAblationHashJoin(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		l, r := mkJoinInputs(n)
+		b.Run(fmt.Sprintf("hash/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relation.HashJoin(l, r, relation.JoinPair{Left: "k", Right: "k"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if n <= 1000 {
+			b.Run(fmt.Sprintf("nestedloop/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := relation.NestedLoopJoin(l, r, relation.JoinPair{Left: "k", Right: "k"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAblationLSH(b *testing.B) {
+	tables := workload.LakeTables(100, 100, 42)
+	profs := make([]*profile.DatasetProfile, len(tables))
+	for i, r := range tables {
+		profs[i] = profile.Profile(r.Name, r)
+	}
+	b.Run("lsh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			index.Build(index.DefaultConfig(), profs)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		cfg := index.DefaultConfig()
+		cfg.Exhaustive = true
+		for i := 0; i < b.N; i++ {
+			index.Build(cfg, profs)
+		}
+	})
+}
+
+func BenchmarkAblationShapleySamples(b *testing.B) {
+	players := make([]string, 12)
+	for i := range players {
+		players[i] = fmt.Sprintf("d%02d", i)
+	}
+	v := func(s map[string]bool) float64 { return float64(len(s)) }
+	for _, samples := range []int{50, 200, 1000} {
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				market.ShapleyMonteCarlo{Samples: samples, Seed: 1}.Allocate(players, v)
+			}
+		})
+	}
+}
+
+func BenchmarkE11ExPostAudits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E11ExPostAudits(30, 42)
+	}
+}
+
+func BenchmarkE12DynamicArrival(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E12DynamicArrival(42)
+	}
+}

@@ -1,0 +1,41 @@
+// Command dmmsd serves a Data Market Management System over HTTP: the
+// arbiter management platform as a network service (paper Fig. 2). Sellers
+// and buyers interact through the JSON API in internal/dmms; cmd/mashup and
+// the dmms.Client are ready-made clients.
+//
+// Usage:
+//
+//	dmmsd -addr :8080 -design external-vickrey
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dmms"
+	"repro/internal/market"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	design := flag.String("design", "external-vickrey", "market design label (see -list)")
+	list := flag.Bool("list", false, "list available market designs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, l := range market.StandardDesigns().Labels() {
+			log.Println(l)
+		}
+		return
+	}
+	p, err := core.NewPlatform(core.Options{Design: *design})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dmmsd: serving design %q on %s", p.Design.Label, *addr)
+	if err := http.ListenAndServe(*addr, dmms.NewServer(p)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Command marketsim runs the market simulator (paper §6.1, Fig. 1 step 3):
+// it stresses a market design against configurable populations of truthful,
+// strategic, adversarial, ignorant, risk-loving and faulty players before
+// the design is deployed on a DMMS.
+//
+// Usage:
+//
+//	marketsim -mechanism vickrey -rounds 500 -buyers 50 \
+//	          -mix truthful=0.5,strategic=0.3,adversarial=0.2
+//
+// func main is at the bottom.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/market"
+	"repro/internal/sim"
+)
+
+func parseMix(s string) (map[sim.Behavior]float64, error) {
+	out := map[sim.Behavior]float64{}
+	if s == "" {
+		out[sim.Truthful] = 1
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix term %q (want behavior=frac)", part)
+		}
+		f, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		b := sim.Behavior(kv[0])
+		valid := false
+		for _, known := range sim.AllBehaviors() {
+			if b == known {
+				valid = true
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("unknown behavior %q (have %v)", kv[0], sim.AllBehaviors())
+		}
+		out[b] = f
+	}
+	return out, nil
+}
+
+func pickMechanism(name string, posted, reserve float64, seed int64) (market.Mechanism, error) {
+	switch name {
+	case "posted":
+		return market.PostedPrice{P: posted}, nil
+	case "vickrey":
+		return market.SecondPrice{Reserve: reserve}, nil
+	case "gsp":
+		return market.GSP{}, nil
+	case "rsop":
+		return market.RSOP{Seed: seed}, nil
+	case "expost":
+		return market.ExPost{Deposit: 3 * posted, AuditProb: 0.3, Penalty: 4}, nil
+	default:
+		return nil, fmt.Errorf("unknown mechanism %q (posted|vickrey|gsp|rsop|expost)", name)
+	}
+}
+
+func main() {
+	mech := flag.String("mechanism", "vickrey", "posted|vickrey|gsp|rsop|expost")
+	rounds := flag.Int("rounds", 200, "simulation rounds")
+	buyers := flag.Int("buyers", 30, "buyers per round")
+	supply := flag.Int("supply", 1, "units per round (-1 = unlimited)")
+	mixFlag := flag.String("mix", "truthful=1", "behavior mix, e.g. truthful=0.6,adversarial=0.4")
+	posted := flag.Float64("posted", 100, "posted price / expost deposit basis")
+	reserve := flag.Float64("reserve", 0, "vickrey reserve")
+	mean := flag.Float64("mean", 100, "valuation mean")
+	std := flag.Float64("std", 30, "valuation std")
+	seed := flag.Int64("seed", 42, "seed")
+	sweep := flag.Bool("coalition-sweep", false, "sweep adversarial coalition fraction 0..50%")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := pickMechanism(*mech, *posted, *reserve, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.Config{
+		Rounds: *rounds, NumBuyers: *buyers, Supply: *supply,
+		Mix: mix, ValueMean: *mean, ValueStd: *std, Seed: *seed,
+	}
+	if *sweep {
+		for _, res := range sim.CoalitionSweep(cfg, m, []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+			fmt.Println(res)
+		}
+		return
+	}
+	res := sim.Run(cfg, m)
+	fmt.Println(res)
+	fmt.Println("per-behavior mean utility:")
+	for _, b := range sim.AllBehaviors() {
+		if u, ok := res.UtilityByBehavior[b]; ok {
+			fmt.Printf("  %-12s %+.2f\n", b, u)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package arbiter implements the Arbiter Management Platform (paper §4.1,
+// Fig. 2), "the most complex of all DMMS's components: it builds mashups to
+// match supply and demand, and it implements the five market design
+// components". The pipeline per matching round:
+//
+//	Mashup Builder -> WTP-Evaluator -> Pricing Engine -> Transaction
+//	Support -> Revenue Allocation Engine
+//
+// plus the arbiter services around it: demand signals for opportunistic
+// sellers, dataset recommendations, and negotiation rounds that ask sellers
+// for the information automatic integration lacks (§4.1, §5.4).
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/discovery"
+	"repro/internal/dod"
+	"repro/internal/index"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/market"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// ArbiterAccount is the ledger account collecting the arbiter's fees.
+const ArbiterAccount = "arbiter"
+
+// Request is one buyer's open data need: a target schema plus the
+// WTP-function that prices satisfaction.
+type Request struct {
+	ID    string
+	Want  dod.Want
+	WTP   *wtp.Function
+	Open  bool
+	Round int
+}
+
+// Transaction records one completed sale — the transparency artifact buyers
+// and sellers audit (paper §4.4).
+type Transaction struct {
+	ID           string
+	Buyer        string
+	Mashup       *relation.Relation
+	Datasets     []string
+	Plan         []string
+	Satisfaction float64
+	Price        float64
+	ArbiterCut   float64
+	SellerCuts   map[string]float64
+	ExPost       bool
+}
+
+// Arbiter wires the catalog, metadata engine, index builder, DoD engine,
+// market design, ledger and license manager into one platform.
+type Arbiter struct {
+	mu sync.Mutex
+
+	Design   *market.Design
+	Catalog  *catalog.Catalog
+	Ledger   *ledger.Ledger
+	Licenses *license.Manager
+	// Policy, when set, gates every dataset→buyer flow through a
+	// contextual-integrity check (internal/policy, paper §4.4). A nil
+	// engine allows everything.
+	Policy *policy.Engine
+
+	ix   *index.Index
+	disc *discovery.Engine
+	dod  *dod.Engine
+
+	metas    map[string]wtp.DatasetMeta
+	requests []*Request
+	history  []*Transaction
+	// unmet tracks wanted columns no mashup could supply — the demand
+	// signal opportunistic sellers mine (paper §7.1).
+	unmet map[string]int
+	// purchases feeds the recommendation service: buyer -> dataset -> count.
+	purchases map[string]map[string]int
+	// pendingExPost holds delivered-but-unpaid ex-post transactions.
+	pendingExPost map[string]*exPostState
+
+	nextID int
+	rng    uint64
+}
+
+type exPostState struct {
+	tx      *Transaction
+	deposit ledger.Currency
+	buyer   string
+	anno    *provenance.Annotated
+}
+
+// New creates an arbiter running the given market design.
+func New(design *market.Design) (*Arbiter, error) {
+	if err := design.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Arbiter{
+		Design:        design,
+		Catalog:       catalog.New(),
+		Ledger:        ledger.New(),
+		Licenses:      license.NewManager(),
+		ix:            index.Build(index.DefaultConfig(), nil),
+		metas:         map[string]wtp.DatasetMeta{},
+		unmet:         map[string]int{},
+		purchases:     map[string]map[string]int{},
+		pendingExPost: map[string]*exPostState{},
+		rng:           0x9e3779b97f4a7c15,
+	}
+	a.disc = discovery.New(a.ix)
+	a.dod = dod.New(a.Catalog, a.disc)
+	if err := a.Ledger.Open(ArbiterAccount, 0); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DoD exposes the dataset-on-demand engine (negotiation registers
+// transforms through it).
+func (a *Arbiter) DoD() *dod.Engine { return a.dod }
+
+// Discovery exposes the discovery engine.
+func (a *Arbiter) Discovery() *discovery.Engine { return a.disc }
+
+// RegisterParticipant opens a ledger account with initial funds.
+func (a *Arbiter) RegisterParticipant(name string, funds float64) error {
+	return a.Ledger.Open(name, ledger.FromFloat(funds))
+}
+
+// ShareDataset ingests a seller's dataset: catalog registration, profiling,
+// incremental indexing, metadata capture and license terms.
+func (a *Arbiter) ShareDataset(seller string, id catalog.DatasetID, rel *relation.Relation,
+	meta wtp.DatasetMeta, terms license.Terms) error {
+	if err := a.Catalog.Register(id, seller, rel); err != nil {
+		return err
+	}
+	if err := a.Licenses.SetTerms(string(id), terms); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	meta.Dataset = string(id)
+	a.metas[string(id)] = meta
+	a.ix.Add(profile.Profile(string(id), rel))
+	a.Ledger.Note(fmt.Sprintf("dataset %s shared by %s (%d rows, license %s)", id, seller, rel.NumRows(), terms.Kind))
+	return nil
+}
+
+// UpdateDataset records a new version and re-indexes.
+func (a *Arbiter) UpdateDataset(id catalog.DatasetID, rel *relation.Relation, comment string) error {
+	if _, err := a.Catalog.Update(id, rel, comment); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ix.Add(profile.Profile(string(id), rel))
+	if m, ok := a.metas[string(id)]; ok {
+		m.UpdatedAt = time.Now()
+		a.metas[string(id)] = m
+	}
+	return nil
+}
+
+// SubmitRequest files a buyer's data need. The returned ID tracks it through
+// matching rounds.
+func (a *Arbiter) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) {
+	if err := f.Validate(); err != nil {
+		return "", err
+	}
+	if len(want.Columns) == 0 {
+		return "", fmt.Errorf("arbiter: request has no wanted columns")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextID++
+	id := fmt.Sprintf("req-%04d", a.nextID)
+	a.requests = append(a.requests, &Request{ID: id, Want: want, WTP: f, Open: true})
+	return id, nil
+}
+
+// wantKey normalizes a Want so buyers with the same need share an auction.
+func wantKey(w dod.Want) string {
+	cols := append([]string(nil), w.Columns...)
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}
+
+// MatchResult summarizes one matching round.
+type MatchResult struct {
+	Transactions []*Transaction
+	Unsatisfied  []string // request IDs with no acceptable mashup
+}
+
+// MatchRound runs the full Fig. 2 pipeline over all open requests.
+func (a *Arbiter) MatchRound() (*MatchResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	res := &MatchResult{}
+
+	groups := map[string][]*Request{}
+	var order []string
+	for _, r := range a.requests {
+		if !r.Open {
+			continue
+		}
+		k := wantKey(r.Want)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+
+	for _, k := range order {
+		reqs := groups[k]
+		txs, unsat := a.matchGroup(reqs)
+		res.Transactions = append(res.Transactions, txs...)
+		res.Unsatisfied = append(res.Unsatisfied, unsat...)
+	}
+	return res, nil
+}
+
+// matchGroup auctions the best mashup for one group of identical wants.
+func (a *Arbiter) matchGroup(reqs []*Request) ([]*Transaction, []string) {
+	want := reqs[0].Want
+	cands, err := a.dod.Build(want)
+	if err != nil {
+		a.recordUnmet(want.Columns)
+		return nil, requestIDs(reqs)
+	}
+	best := a.pickCandidate(cands, reqs)
+	if best == nil {
+		a.recordUnmet(want.Columns)
+		return nil, requestIDs(reqs)
+	}
+	if best.Coverage < 1 {
+		a.recordUnmetMissing(want.Columns, best.Rel().Schema)
+	}
+
+	// WTP-Evaluator: each buyer's offer for the chosen mashup.
+	type offer struct {
+		req *Request
+		ev  wtp.Evaluation
+	}
+	var offers []offer
+	var bids []market.Bid
+	sources := a.sourceMetas(best.Datasets)
+	for _, r := range reqs {
+		if !a.flowsAllowed(best.Datasets, r.WTP.Buyer, r.WTP.Purpose) {
+			continue
+		}
+		ev := r.WTP.Evaluate(best.Rel(), sources)
+		if ev.Rejected || ev.Offer <= 0 {
+			continue
+		}
+		trueVal := ev.Offer
+		if len(r.WTP.TrueValue) > 0 {
+			trueVal = r.WTP.TrueValue.Price(ev.Satisfaction)
+		}
+		offers = append(offers, offer{req: r, ev: ev})
+		bids = append(bids, market.Bid{Buyer: r.WTP.Buyer, Offer: ev.Offer, True: trueVal})
+	}
+	if len(bids) == 0 {
+		return nil, requestIDs(reqs)
+	}
+
+	// Pricing Engine: supply from licenses; mechanism from the design.
+	supply := market.SupplyUnlimited
+	for _, ds := range best.Datasets {
+		if s := a.Licenses.TermsFor(ds).Supply(); s == 1 {
+			supply = 1
+		}
+	}
+	out := a.Design.Mechanism.Run(bids, supply)
+
+	// Transaction Support + Revenue Allocation Engine.
+	var txs []*Transaction
+	satisfied := map[string]bool{}
+	for _, sale := range out.Sales {
+		var o *offer
+		for i := range offers {
+			if offers[i].req.WTP.Buyer == sale.Buyer {
+				o = &offers[i]
+				break
+			}
+		}
+		if o == nil {
+			continue
+		}
+		tx, err := a.settle(o.req, best, sale, o.ev)
+		if err != nil {
+			continue // e.g. insufficient funds; buyer drops out
+		}
+		txs = append(txs, tx)
+		satisfied[o.req.ID] = true
+		o.req.Open = false
+	}
+	var unsat []string
+	for _, r := range reqs {
+		if !satisfied[r.ID] && r.Open {
+			unsat = append(unsat, r.ID)
+		}
+	}
+	return txs, unsat
+}
+
+// pickCandidate chooses the mashup maximizing total offered value across the
+// group (falls back to the DoD ranking when no offers arrive).
+func (a *Arbiter) pickCandidate(cands []dod.Candidate, reqs []*Request) *dod.Candidate {
+	bestIdx, bestVal := -1, -1.0
+	for i := range cands {
+		sources := a.sourceMetas(cands[i].Datasets)
+		var total float64
+		for _, r := range reqs {
+			ev := r.WTP.Evaluate(cands[i].Rel(), sources)
+			if !ev.Rejected {
+				total += ev.Offer
+			}
+		}
+		if total > bestVal {
+			bestVal, bestIdx = total, i
+		}
+	}
+	if bestIdx < 0 {
+		return &cands[0]
+	}
+	return &cands[bestIdx]
+}
+
+// flowsAllowed runs the contextual-integrity check for every dataset flowing
+// to the buyer; with no policy engine all flows pass.
+func (a *Arbiter) flowsAllowed(datasets []string, buyerName, purpose string) bool {
+	if a.Policy == nil {
+		return true
+	}
+	for _, ds := range datasets {
+		d := a.Policy.Check(policy.Flow{
+			Dataset:  ds,
+			Sender:   a.Catalog.Owner(catalog.DatasetID(ds)),
+			Receiver: buyerName,
+			Purpose:  policy.Purpose(purpose),
+		})
+		if !d.Allowed {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Arbiter) sourceMetas(datasets []string) []wtp.DatasetMeta {
+	out := make([]wtp.DatasetMeta, 0, len(datasets))
+	for _, ds := range datasets {
+		if m, ok := a.metas[ds]; ok {
+			out = append(out, m)
+		} else {
+			out = append(out, wtp.DatasetMeta{Dataset: ds})
+		}
+	}
+	return out
+}
+
+// settle executes payment, licensing and revenue sharing for one sale.
+func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev wtp.Evaluation) (*Transaction, error) {
+	a.nextID++
+	txID := fmt.Sprintf("tx-%04d", a.nextID)
+	price := ledger.FromFloat(sale.Price)
+
+	tx := &Transaction{
+		ID:           txID,
+		Buyer:        sale.Buyer,
+		Mashup:       cand.Rel(),
+		Datasets:     cand.Datasets,
+		Plan:         cand.Plan,
+		Satisfaction: ev.Satisfaction,
+		Price:        sale.Price,
+		SellerCuts:   map[string]float64{},
+	}
+
+	if a.Design.Elicitation == market.ElicitExPost {
+		// Deliver now against an escrowed deposit; settle on report.
+		mech, _ := a.Design.Mechanism.(market.ExPost)
+		dep := ledger.FromFloat(mech.Deposit)
+		if dep == 0 {
+			dep = price
+		}
+		if err := a.Ledger.Hold(txID, sale.Buyer, dep, "ex-post deposit"); err != nil {
+			return nil, err
+		}
+		tx.ExPost = true
+		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: sale.Buyer, anno: cand.Anno}
+		a.recordPurchase(sale.Buyer, cand.Datasets)
+		a.history = append(a.history, tx)
+		a.issueLicenses(cand.Datasets, sale.Buyer, sale.Price)
+		return tx, nil
+	}
+
+	if err := a.Ledger.Hold(txID, sale.Buyer, price, "purchase "+cand.Rel().Name); err != nil {
+		return nil, err
+	}
+	owners := a.ownersOf(cand.Datasets)
+	split := a.Design.ShareRevenue(sale.Price, cand.Anno, owners, nil)
+	if err := a.paySplit(txID, split); err != nil {
+		return nil, err
+	}
+	tx.ArbiterCut = split.ArbiterCut
+	tx.SellerCuts = split.SellerCut
+	a.issueLicenses(cand.Datasets, sale.Buyer, sale.Price)
+	a.recordPurchase(sale.Buyer, cand.Datasets)
+	a.history = append(a.history, tx)
+	a.Ledger.Note(fmt.Sprintf("%s: %s bought %s for %.2f (satisfaction %.2f)",
+		txID, sale.Buyer, cand.Rel().Name, sale.Price, ev.Satisfaction))
+	return tx, nil
+}
+
+// paySplit settles an escrow: the full escrow is released to the arbiter
+// account, which then fans the seller cuts out. The arbiter's fee is what
+// remains after the fan-out.
+func (a *Arbiter) paySplit(escrowID string, split market.RevenueSplit) error {
+	remaining := a.Ledger.Escrowed(escrowID)
+	if err := a.Ledger.Release(escrowID, ArbiterAccount, remaining, "settlement"); err != nil {
+		return err
+	}
+	for _, s := range market.SortedPlayers(split.SellerCut) {
+		amt := ledger.FromFloat(split.SellerCut[s])
+		if amt <= 0 {
+			continue
+		}
+		if err := a.Ledger.Transfer(ArbiterAccount, s, amt, "revenue share "+escrowID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Arbiter) ownersOf(datasets []string) map[string]string {
+	out := map[string]string{}
+	for _, ds := range datasets {
+		out[ds] = a.Catalog.Owner(catalog.DatasetID(ds))
+	}
+	return out
+}
+
+func (a *Arbiter) issueLicenses(datasets []string, buyer string, price float64) {
+	for _, ds := range datasets {
+		if g, err := a.Licenses.Issue(ds, buyer, price); err == nil {
+			_ = g
+		}
+	}
+}
+
+func (a *Arbiter) recordPurchase(buyer string, datasets []string) {
+	if a.purchases[buyer] == nil {
+		a.purchases[buyer] = map[string]int{}
+	}
+	for _, ds := range datasets {
+		a.purchases[buyer][ds]++
+	}
+}
+
+func (a *Arbiter) recordUnmet(cols []string) {
+	for _, c := range cols {
+		a.unmet[c]++
+	}
+}
+
+func (a *Arbiter) recordUnmetMissing(wanted []string, got relation.Schema) {
+	for _, c := range wanted {
+		if !got.Has(c) {
+			a.unmet[c]++
+		}
+	}
+}
+
+// ReportValue settles a pending ex-post transaction with the buyer's
+// reported value (paper §3.2.2.2). The arbiter audits with the mechanism's
+// probability (deterministic pseudo-randomness keyed by transaction);
+// audited under-reports pay the shortfall plus penalty.
+func (a *Arbiter) ReportValue(txID string, reported, trueValue float64) (float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.pendingExPost[txID]
+	if !ok {
+		return 0, fmt.Errorf("arbiter: no pending ex-post transaction %q", txID)
+	}
+	mech, _ := a.Design.Mechanism.(market.ExPost)
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	audited := float64(a.rng%10000)/10000 < mech.AuditProb
+	outs, _ := mech.RunAudited(
+		[]market.Bid{{Buyer: st.buyer, Offer: reported, True: trueValue}},
+		func(int) bool { return audited })
+	pay := ledger.FromFloat(outs[0].Sale.Price)
+	if pay > st.deposit {
+		pay = st.deposit
+	}
+	if err := a.Ledger.Release(txID, ArbiterAccount, pay, "ex-post settlement"); err != nil {
+		return 0, err
+	}
+	owners := a.ownersOf(st.tx.Datasets)
+	split := a.Design.ShareRevenue(pay.Float(), st.anno, owners, nil)
+	for _, s := range market.SortedPlayers(split.SellerCut) {
+		amt := ledger.FromFloat(split.SellerCut[s])
+		if amt <= 0 {
+			continue
+		}
+		if err := a.Ledger.Transfer(ArbiterAccount, s, amt, "ex-post share "+txID); err != nil {
+			return 0, err
+		}
+	}
+	st.tx.Price = pay.Float()
+	st.tx.ArbiterCut = split.ArbiterCut
+	st.tx.SellerCuts = split.SellerCut
+	delete(a.pendingExPost, txID)
+	return pay.Float(), nil
+}
+
+// History returns completed transactions.
+func (a *Arbiter) History() []*Transaction {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Transaction, len(a.history))
+	copy(out, a.history)
+	return out
+}
+
+// OpenRequests returns the IDs of unmatched requests.
+func (a *Arbiter) OpenRequests() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for _, r := range a.requests {
+		if r.Open {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+func requestIDs(reqs []*Request) []string {
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package arbiter
+
+import (
+	"time"
+
+	"repro/internal/license"
+	"repro/internal/wtp"
+)
+
+// metaNow builds a fresh DatasetMeta for a newly fetched dataset.
+func metaNow(dataset string) wtp.DatasetMeta {
+	return wtp.DatasetMeta{Dataset: dataset, UpdatedAt: time.Now(), HasProvenance: true}
+}
+
+// openTerms is the default open license.
+func openTerms() license.Terms { return license.Terms{Kind: license.Open} }

@@ -1,0 +1,59 @@
+package arbiter
+
+import (
+	"testing"
+
+	"repro/internal/dod"
+	"repro/internal/policy"
+	"repro/internal/wtp"
+)
+
+// TestPolicyGatesTransactions checks the contextual-integrity hook (§4.4):
+// the same request succeeds or fails purely on declared purpose.
+func TestPolicyGatesTransactions(t *testing.T) {
+	a := setupMarket(t, mkDesign())
+	eng := policy.NewEngine(policy.Deny)
+	for _, ds := range []string{"s1", "s2"} {
+		for _, n := range policy.HealthcareDefaults(ds) {
+			if err := eng.AddNorm(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a.Policy = eng
+
+	mkReq := func(buyerName, purpose string) *wtp.Function {
+		f := coverageWTP(buyerName, 100)
+		f.Purpose = purpose
+		return f
+	}
+	want := dod.Want{Columns: []string{"a", "b", "d"}}
+
+	// Marketing purpose: denied.
+	if _, err := a.SubmitRequest(want, mkReq("b1", string(policy.PurposeMarketing))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.MatchRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 0 {
+		t.Fatal("marketing flow must be denied by healthcare norms")
+	}
+
+	// Research purpose: allowed.
+	if _, err := a.SubmitRequest(want, mkReq("b2", string(policy.PurposeResearch))); err != nil {
+		t.Fatal(err)
+	}
+	res, err = a.MatchRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 1 {
+		t.Fatalf("research flow must pass: %v", res.Unsatisfied)
+	}
+	// Decisions were audited.
+	if len(eng.Decisions()) == 0 {
+		t.Error("policy decisions must be logged")
+	}
+}

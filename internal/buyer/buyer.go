@@ -1,0 +1,170 @@
+// Package buyer implements the Buyer Management Platform (paper §4.3):
+// helpers to define WTP-functions without hand-writing them (a builder over
+// tasks, price curves and intrinsic constraints), submission of data needs
+// to the arbiter, result delivery, and the ex-post reporting flow for buyers
+// who only learn their valuation after using the data (§3.2.2.2).
+package buyer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arbiter"
+	"repro/internal/dod"
+	"repro/internal/mltask"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// Platform is one buyer's view onto the market.
+type Platform struct {
+	Name    string
+	Arbiter *arbiter.Arbiter
+}
+
+// New creates a buyer platform.
+func New(name string, a *arbiter.Arbiter) *Platform {
+	return &Platform{Name: name, Arbiter: a}
+}
+
+// Builder assembles a WTP-function fluently. Zero-config defaults: coverage
+// task over the wanted columns, single-point price curve.
+type Builder struct {
+	platform *Platform
+	want     dod.Want
+	fn       wtp.Function
+	err      error
+}
+
+// Need starts a request for the given target columns.
+func (p *Platform) Need(columns ...string) *Builder {
+	b := &Builder{platform: p}
+	b.want.Columns = columns
+	b.fn.Buyer = p.Name
+	return b
+}
+
+// Alias accepts alternate source names for a wanted column.
+func (b *Builder) Alias(column string, alternates ...string) *Builder {
+	if b.want.Aliases == nil {
+		b.want.Aliases = map[string][]string{}
+	}
+	b.want.Aliases[column] = append(b.want.Aliases[column], alternates...)
+	return b
+}
+
+// ForClassifier sets the task: train the model on features predicting label;
+// satisfaction is held-out accuracy (the paper's running example).
+func (b *Builder) ForClassifier(model mltask.ModelKind, features []string, label string, seed int64) *Builder {
+	b.fn.Task = wtp.ClassifierTask{Spec: mltask.ClassifierTask{
+		Features: features, Label: label, Model: model, Seed: seed}}
+	return b
+}
+
+// ForCoverage sets a relational completeness task.
+func (b *Builder) ForCoverage(wantRows int) *Builder {
+	b.fn.Task = wtp.CoverageTask{Columns: b.want.Columns, WantRows: wantRows}
+	return b
+}
+
+// ForTask sets a custom task.
+func (b *Builder) ForTask(t wtp.Task) *Builder {
+	b.fn.Task = t
+	return b
+}
+
+// PayingAt adds a price-curve point: pay `price` once satisfaction reaches
+// `minSat` ("$100 at 80% accuracy, $150 beyond 90%").
+func (b *Builder) PayingAt(minSat, price float64) *Builder {
+	b.fn.Curve = append(b.fn.Curve, wtp.CurvePoint{MinSatisfaction: minSat, Price: price})
+	return b
+}
+
+// TrueValueAt records the buyer's private valuation (for simulation and
+// regret accounting); strategic buyers may bid below it.
+func (b *Builder) TrueValueAt(minSat, value float64) *Builder {
+	b.fn.TrueValue = append(b.fn.TrueValue, wtp.CurvePoint{MinSatisfaction: minSat, Price: value})
+	return b
+}
+
+// ForPurpose declares the intended use of the data; the arbiter's
+// contextual-integrity policy checks every dataset flow against it (§4.4).
+func (b *Builder) ForPurpose(purpose string) *Builder {
+	b.fn.Purpose = purpose
+	return b
+}
+
+// FreshWithin requires all contributing datasets updated within d.
+func (b *Builder) FreshWithin(d time.Duration) *Builder {
+	b.fn.Constraints.MaxAge = d
+	return b
+}
+
+// RequireProvenance demands lineage info from all sources.
+func (b *Builder) RequireProvenance() *Builder {
+	b.fn.Constraints.RequireProvenance = true
+	return b
+}
+
+// FromAuthors restricts dataset authorship.
+func (b *Builder) FromAuthors(authors ...string) *Builder {
+	b.fn.Constraints.AllowedAuthors = append(b.fn.Constraints.AllowedAuthors, authors...)
+	return b
+}
+
+// MinRows requires at least n mashup rows.
+func (b *Builder) MinRows(n int) *Builder {
+	b.fn.Constraints.MinRows = n
+	b.want.MinRows = n
+	return b
+}
+
+// Owning attaches data the buyer already has; it is blended into candidate
+// mashups before satisfaction is measured and is never paid for.
+func (b *Builder) Owning(r *relation.Relation) *Builder {
+	b.fn.Owned = r
+	return b
+}
+
+// Submit files the request with the arbiter and returns its ID.
+func (b *Builder) Submit() (string, error) {
+	if b.err != nil {
+		return "", b.err
+	}
+	if b.fn.Task == nil {
+		b.fn.Task = wtp.CoverageTask{Columns: b.want.Columns, WantRows: 1}
+	}
+	if len(b.fn.Curve) == 0 {
+		return "", fmt.Errorf("buyer %s: no price curve; call PayingAt", b.platform.Name)
+	}
+	return b.platform.Arbiter.SubmitRequest(b.want, &b.fn)
+}
+
+// Function exposes the built WTP-function (for tests and simulation).
+func (b *Builder) Function() *wtp.Function { return &b.fn }
+
+// Want exposes the built target schema.
+func (b *Builder) Want() dod.Want { return b.want }
+
+// Purchases returns the buyer's completed transactions.
+func (p *Platform) Purchases() []*arbiter.Transaction {
+	var out []*arbiter.Transaction
+	for _, tx := range p.Arbiter.History() {
+		if tx.Buyer == p.Name {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// Balance returns the buyer's remaining funds.
+func (p *Platform) Balance() float64 {
+	return p.Arbiter.Ledger.Balance(p.Name).Float()
+}
+
+// ReportValue settles an ex-post purchase: the buyer used the data,
+// discovered its value, and reports it. Truthful reporting passes
+// reported == trueValue; the arbiter's audits make that the best strategy.
+func (p *Platform) ReportValue(txID string, reported, trueValue float64) (float64, error) {
+	return p.Arbiter.ReportValue(txID, reported, trueValue)
+}

@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func rel(name string, n int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(relation.Col("k", relation.KindInt)))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Int(int64(i)))
+	}
+	return r
+}
+
+func TestRegisterGet(t *testing.T) {
+	c := New()
+	if err := c.Register("d1", "seller1", rel("orders", 3), "sales"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+	if c.Owner("d1") != "seller1" {
+		t.Errorf("owner = %q", c.Owner("d1"))
+	}
+	if err := c.Register("d1", "x", rel("dup", 1)); err == nil {
+		t.Error("duplicate ID must fail")
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("unknown ID must fail")
+	}
+}
+
+func TestRegisterValidates(t *testing.T) {
+	c := New()
+	bad := &relation.Relation{Name: "b", Schema: relation.NewSchema(
+		relation.Col("a", relation.KindInt), relation.Col("a", relation.KindInt))}
+	if err := c.Register("d", "s", bad); err == nil {
+		t.Error("invalid relation must be rejected")
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	c := New()
+	if err := c.Register("d1", "s", rel("r", 2)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Update("d1", rel("r", 5), "grew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("version = %d, want 2", v)
+	}
+	cur, _ := c.Get("d1")
+	if cur.NumRows() != 5 {
+		t.Errorf("current rows = %d", cur.NumRows())
+	}
+	old, err := c.GetVersion("d1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.NumRows() != 2 {
+		t.Errorf("v1 rows = %d", old.NumRows())
+	}
+	if _, err := c.GetVersion("d1", 99); err == nil {
+		t.Error("missing version must fail")
+	}
+	e, _ := c.Entry("d1")
+	if len(e.History()) != 2 {
+		t.Errorf("history len = %d", len(e.History()))
+	}
+	if _, err := c.Update("ghost", rel("r", 1), ""); err == nil {
+		t.Error("update of unregistered dataset must fail")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := New()
+	src := rel("r", 2)
+	if err := c.Register("d1", "s", src); err != nil {
+		t.Fatal(err)
+	}
+	src.MustAppend(relation.Int(99)) // mutate after registration
+	got, _ := c.Get("d1")
+	if got.NumRows() != 2 {
+		t.Error("catalog must snapshot (clone) relations on register")
+	}
+}
+
+func TestAccessQuota(t *testing.T) {
+	c := New()
+	if err := c.Register("d1", "s", rel("r", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetQuota("d1", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get("d1"); err != nil {
+			t.Fatalf("read %d failed: %v", i, err)
+		}
+	}
+	if _, err := c.Get("d1"); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Errorf("third read should exhaust quota, got %v", err)
+	}
+	c.ResetQuotas()
+	if _, err := c.Get("d1"); err != nil {
+		t.Errorf("after reset: %v", err)
+	}
+}
+
+func TestListing(t *testing.T) {
+	c := New()
+	_ = c.Register("b", "s2", rel("r", 1))
+	_ = c.Register("a", "s1", rel("r", 1))
+	_ = c.Register("c", "s1", rel("r", 1))
+	ids := c.IDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Errorf("IDs = %v", ids)
+	}
+	own := c.ByOwner("s1")
+	if len(own) != 2 || own[0] != "a" {
+		t.Errorf("ByOwner = %v", own)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}

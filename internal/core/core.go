@@ -1,0 +1,110 @@
+// Package core is the public façade of the data market platform. It wires
+// the full DMMS stack of the paper — catalog + metadata engine + index
+// builder + DoD engine (the Mashup Builder, Fig. 3), the arbiter pipeline
+// (Fig. 2) and a chosen market design (§3) — behind a single Platform type,
+// so examples and services express the paper's scenarios in a few lines:
+//
+//	p, _ := core.NewPlatform(core.Options{Design: "external-vickrey"})
+//	s := p.Seller("seller1")
+//	s.Share("s1", rel, license.Terms{Kind: license.Open})
+//	b := p.Buyer("b1", 1000)
+//	b.Need("a", "b", "d").ForClassifier(...).PayingAt(0.8, 100).Submit()
+//	res, _ := p.MatchRound()
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/buyer"
+	"repro/internal/market"
+	"repro/internal/seller"
+)
+
+// Options configures a platform instance.
+type Options struct {
+	// Design is a label from market.StandardDesigns, or use CustomDesign.
+	Design string
+	// CustomDesign overrides Design when non-nil.
+	CustomDesign *market.Design
+	// EpsilonCap bounds per-dataset privacy budget on seller platforms.
+	EpsilonCap float64
+	// Seed drives seller-side randomized mechanisms.
+	Seed int64
+}
+
+// Platform is a running DMMS instance.
+type Platform struct {
+	Arbiter *arbiter.Arbiter
+	Design  *market.Design
+	opts    Options
+	sellers map[string]*seller.Platform
+	buyers  map[string]*buyer.Platform
+}
+
+// NewPlatform builds the platform with the requested market design.
+func NewPlatform(opts Options) (*Platform, error) {
+	d := opts.CustomDesign
+	if d == nil {
+		if opts.Design == "" {
+			opts.Design = "external-vickrey"
+		}
+		reg := market.StandardDesigns()
+		var err error
+		d, err = reg.Get(opts.Design)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.EpsilonCap <= 0 {
+		opts.EpsilonCap = 4
+	}
+	a, err := arbiter.New(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{
+		Arbiter: a,
+		Design:  d,
+		opts:    opts,
+		sellers: map[string]*seller.Platform{},
+		buyers:  map[string]*buyer.Platform{},
+	}, nil
+}
+
+// Seller returns (creating on first use) the named seller's platform.
+func (p *Platform) Seller(name string) *seller.Platform {
+	if s, ok := p.sellers[name]; ok {
+		return s
+	}
+	// Sellers start with zero balance; they earn by selling.
+	_ = p.Arbiter.RegisterParticipant(name, 0)
+	s := seller.New(name, p.Arbiter, p.opts.EpsilonCap, p.opts.Seed+int64(len(p.sellers)))
+	p.sellers[name] = s
+	return s
+}
+
+// Buyer returns (creating on first use) the named buyer's platform, funding
+// the account on creation.
+func (p *Platform) Buyer(name string, funds float64) *buyer.Platform {
+	if b, ok := p.buyers[name]; ok {
+		return b
+	}
+	_ = p.Arbiter.RegisterParticipant(name, funds)
+	b := buyer.New(name, p.Arbiter)
+	p.buyers[name] = b
+	return b
+}
+
+// MatchRound runs one arbiter matching round.
+func (p *Platform) MatchRound() (*arbiter.MatchResult, error) {
+	return p.Arbiter.MatchRound()
+}
+
+// Summary renders the platform state for CLI display.
+func (p *Platform) Summary() string {
+	h := p.Arbiter.History()
+	return fmt.Sprintf("design=%s datasets=%d transactions=%d arbiter_fees=%.2f",
+		p.Design.Label, p.Arbiter.Catalog.Len(), len(h),
+		p.Arbiter.Ledger.Balance(arbiter.ArbiterAccount).Float())
+}

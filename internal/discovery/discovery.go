@@ -1,0 +1,132 @@
+// Package discovery is the data-discovery API of the Mashup Builder (the
+// Aurum role in the paper, §5): given the indexes built by internal/index it
+// answers the three questions DoD and human analysts ask — which columns
+// match a keyword, which columns are content-similar to a given column, and
+// which datasets are joinable with a given dataset.
+package discovery
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/profile"
+)
+
+// Engine wraps an index with search operations.
+type Engine struct {
+	ix *index.Index
+}
+
+// New creates a discovery engine over a built index.
+func New(ix *index.Index) *Engine { return &Engine{ix: ix} }
+
+// Hit is one search result with a relevance score in (0,1].
+type Hit struct {
+	Ref   index.ColRef
+	Score float64
+}
+
+// SearchColumns finds columns matching any of the keywords, scored by the
+// fraction of keywords hit (column-name token hits count double value hits).
+func (e *Engine) SearchColumns(keywords ...string) []Hit {
+	if len(keywords) == 0 {
+		return nil
+	}
+	scores := map[index.ColRef]float64{}
+	for _, kw := range keywords {
+		for _, tok := range index.Tokenize(kw) {
+			for _, ref := range e.ix.Lookup(tok) {
+				scores[ref] += 1.0 / float64(len(keywords))
+			}
+		}
+	}
+	out := make([]Hit, 0, len(scores))
+	for ref, s := range scores {
+		if s > 1 {
+			s = 1
+		}
+		out = append(out, Hit{Ref: ref, Score: s})
+	}
+	sortHits(out)
+	return out
+}
+
+// SimilarColumns returns columns whose content overlaps the given column,
+// ranked by estimated Jaccard.
+func (e *Engine) SimilarColumns(dataset, column string) []Hit {
+	var out []Hit
+	for _, edge := range e.ix.EdgesFor(dataset) {
+		var other index.ColRef
+		switch {
+		case edge.A.Dataset == dataset && edge.A.Column == column:
+			other = edge.B
+		case edge.B.Dataset == dataset && edge.B.Column == column:
+			other = edge.A
+		default:
+			continue
+		}
+		out = append(out, Hit{Ref: other, Score: edge.Jaccard})
+	}
+	sortHits(out)
+	return out
+}
+
+// JoinableDatasets returns datasets sharing at least one high-containment
+// join edge with the given dataset, with the best edge score.
+func (e *Engine) JoinableDatasets(dataset string) []Hit {
+	best := map[string]float64{}
+	bestCol := map[string]index.ColRef{}
+	for _, edge := range e.ix.EdgesFor(dataset) {
+		other := edge.B
+		if other.Dataset == dataset {
+			other = edge.A
+		}
+		if other.Dataset == dataset {
+			continue
+		}
+		if edge.Containment > best[other.Dataset] {
+			best[other.Dataset] = edge.Containment
+			bestCol[other.Dataset] = other
+		}
+	}
+	out := make([]Hit, 0, len(best))
+	for _, ref := range bestCol {
+		out = append(out, Hit{Ref: ref, Score: best[ref.Dataset]})
+	}
+	sortHits(out)
+	return out
+}
+
+// KeyColumns returns the key-like columns of a dataset (join anchors).
+func (e *Engine) KeyColumns(dataset string) []string {
+	dp := e.ix.Profile(dataset)
+	if dp == nil {
+		return nil
+	}
+	var out []string
+	for i := range dp.Columns {
+		if dp.Columns[i].IsKeyLike() {
+			out = append(out, dp.Columns[i].Column)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile exposes the stored dataset profile.
+func (e *Engine) Profile(dataset string) *profile.DatasetProfile { return e.ix.Profile(dataset) }
+
+// Index exposes the underlying index (the DoD engine needs the join graph).
+func (e *Engine) Index() *index.Index { return e.ix }
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Ref.Dataset != hits[j].Ref.Dataset {
+			return hits[i].Ref.Dataset < hits[j].Ref.Dataset
+		}
+		return hits[i].Ref.Column < hits[j].Ref.Column
+	})
+}

@@ -1,0 +1,183 @@
+// Package dispute implements dispute management (paper §4.4: "for
+// situations when the chain of trust is broken, dispute management systems
+// must be either embedded in or informed by the transactions that take place
+// in the DMMS so the appropriate entities can intervene"). A dispute
+// references a transaction in the hash-chained audit log; resolution first
+// verifies the log's integrity (a corrupted log is itself grounds for
+// upholding the complaint), then applies a remedy — refund, partial refund,
+// or rejection — settled through the market ledger.
+package dispute
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ledger"
+)
+
+// Kind classifies complaints.
+type Kind string
+
+// Dispute kinds.
+const (
+	// KindQuality: the delivered mashup did not match the promised
+	// satisfaction level.
+	KindQuality Kind = "quality"
+	// KindNonDelivery: paid but never received the data.
+	KindNonDelivery Kind = "non-delivery"
+	// KindLicenseBreach: a beneficiary resold no-resale data.
+	KindLicenseBreach Kind = "license-breach"
+	// KindTamper: the complainant believes the audit log was altered.
+	KindTamper Kind = "tamper"
+)
+
+// Status tracks a dispute's lifecycle.
+type Status string
+
+// Dispute statuses.
+const (
+	StatusOpen     Status = "open"
+	StatusUpheld   Status = "upheld"
+	StatusRejected Status = "rejected"
+)
+
+// Dispute is one filed complaint.
+type Dispute struct {
+	ID          string
+	Kind        Kind
+	TxID        string
+	Complainant string
+	Respondent  string
+	Amount      float64 // amount in question
+	Status      Status
+	Resolution  string
+	Refunded    float64
+}
+
+// Resolver adjudicates disputes against a ledger's audit log.
+type Resolver struct {
+	mu       sync.Mutex
+	ledger   *ledger.Ledger
+	disputes map[string]*Dispute
+	nextID   int
+}
+
+// NewResolver creates a resolver over the market ledger.
+func NewResolver(l *ledger.Ledger) *Resolver {
+	return &Resolver{ledger: l, disputes: map[string]*Dispute{}}
+}
+
+// File opens a dispute. The transaction must appear in the audit log (by
+// memo reference) unless the complaint is about tampering itself.
+func (r *Resolver) File(kind Kind, txID, complainant, respondent string, amount float64) (*Dispute, error) {
+	if amount < 0 {
+		return nil, fmt.Errorf("dispute: negative amount")
+	}
+	if kind != KindTamper && !r.txReferenced(txID) {
+		return nil, fmt.Errorf("dispute: transaction %q not found in audit log", txID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	d := &Dispute{
+		ID:   fmt.Sprintf("disp-%04d", r.nextID),
+		Kind: kind, TxID: txID,
+		Complainant: complainant, Respondent: respondent,
+		Amount: amount, Status: StatusOpen,
+	}
+	r.disputes[d.ID] = d
+	return d, nil
+}
+
+func (r *Resolver) txReferenced(txID string) bool {
+	for _, e := range r.ledger.Log() {
+		if e.From == txID || e.To == txID || containsToken(e.Memo, txID) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsToken(memo, tok string) bool {
+	if tok == "" {
+		return false
+	}
+	for i := 0; i+len(tok) <= len(memo); i++ {
+		if memo[i:i+len(tok)] == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is an adjudicator's finding.
+type Verdict struct {
+	Uphold     bool
+	RefundFrac float64 // fraction of the disputed amount refunded when upheld
+	Reason     string
+}
+
+// Resolve applies a verdict: first the audit log's integrity is checked —
+// if the log is corrupted, the dispute is upheld in full regardless of the
+// verdict (the arbiter cannot prove its side). Refunds transfer respondent →
+// complainant.
+func (r *Resolver) Resolve(disputeID string, v Verdict) (*Dispute, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.disputes[disputeID]
+	if !ok {
+		return nil, fmt.Errorf("dispute: no dispute %q", disputeID)
+	}
+	if d.Status != StatusOpen {
+		return nil, fmt.Errorf("dispute: %q already %s", disputeID, d.Status)
+	}
+	if corrupt := r.ledger.VerifyChain(); corrupt != -1 {
+		v = Verdict{Uphold: true, RefundFrac: 1, Reason: fmt.Sprintf("audit log corrupted at entry %d", corrupt)}
+	}
+	if !v.Uphold {
+		d.Status = StatusRejected
+		d.Resolution = v.Reason
+		return d, nil
+	}
+	frac := v.RefundFrac
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	refund := d.Amount * frac
+	if refund > 0 {
+		if err := r.ledger.Transfer(d.Respondent, d.Complainant, ledger.FromFloat(refund), "dispute refund "+d.ID); err != nil {
+			return nil, fmt.Errorf("dispute: refund failed: %w", err)
+		}
+	}
+	d.Status = StatusUpheld
+	d.Resolution = v.Reason
+	d.Refunded = refund
+	return d, nil
+}
+
+// Open lists open disputes.
+func (r *Resolver) Open() []*Dispute {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Dispute
+	for _, d := range r.disputes {
+		if d.Status == StatusOpen {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Get returns a dispute by ID.
+func (r *Resolver) Get(id string) (*Dispute, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.disputes[id]
+	if !ok {
+		return nil, fmt.Errorf("dispute: no dispute %q", id)
+	}
+	return d, nil
+}

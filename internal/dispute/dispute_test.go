@@ -1,0 +1,112 @@
+package dispute
+
+import (
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+func mkLedger(t *testing.T) *ledger.Ledger {
+	t.Helper()
+	l := ledger.New()
+	for _, a := range []string{"buyer", "arbiter"} {
+		if err := l.Open(a, ledger.FromFloat(500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A transaction referenced by memo, as the arbiter would record it.
+	if err := l.Transfer("buyer", "arbiter", ledger.FromFloat(100), "purchase tx-0007"); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFileRequiresAuditReference(t *testing.T) {
+	l := mkLedger(t)
+	r := NewResolver(l)
+	if _, err := r.File(KindQuality, "tx-0007", "buyer", "arbiter", 100); err != nil {
+		t.Fatalf("valid reference rejected: %v", err)
+	}
+	if _, err := r.File(KindQuality, "tx-9999", "buyer", "arbiter", 100); err == nil {
+		t.Error("unknown transaction must be rejected")
+	}
+	// Tamper complaints don't need a reference (the log itself is suspect).
+	if _, err := r.File(KindTamper, "", "buyer", "arbiter", 0); err != nil {
+		t.Errorf("tamper filing failed: %v", err)
+	}
+	if _, err := r.File(KindQuality, "tx-0007", "buyer", "arbiter", -5); err == nil {
+		t.Error("negative amount must fail")
+	}
+}
+
+func TestUpholdRefunds(t *testing.T) {
+	l := mkLedger(t)
+	r := NewResolver(l)
+	d, _ := r.File(KindQuality, "tx-0007", "buyer", "arbiter", 100)
+	out, err := r.Resolve(d.ID, Verdict{Uphold: true, RefundFrac: 0.5, Reason: "accuracy below promise"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != StatusUpheld || out.Refunded != 50 {
+		t.Errorf("resolution = %+v", out)
+	}
+	if l.Balance("buyer").Float() != 450 {
+		t.Errorf("buyer balance = %v", l.Balance("buyer"))
+	}
+	// Already resolved.
+	if _, err := r.Resolve(d.ID, Verdict{}); err == nil {
+		t.Error("double resolution must fail")
+	}
+}
+
+func TestRejectKeepsFunds(t *testing.T) {
+	l := mkLedger(t)
+	r := NewResolver(l)
+	d, _ := r.File(KindNonDelivery, "tx-0007", "buyer", "arbiter", 100)
+	out, err := r.Resolve(d.ID, Verdict{Uphold: false, Reason: "delivery receipt in log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != StatusRejected || out.Refunded != 0 {
+		t.Errorf("resolution = %+v", out)
+	}
+	if l.Balance("buyer").Float() != 400 {
+		t.Errorf("buyer balance moved on rejection: %v", l.Balance("buyer"))
+	}
+}
+
+func TestRefundFracClamped(t *testing.T) {
+	l := mkLedger(t)
+	r := NewResolver(l)
+	d, _ := r.File(KindQuality, "tx-0007", "buyer", "arbiter", 100)
+	out, err := r.Resolve(d.ID, Verdict{Uphold: true, RefundFrac: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Refunded != 100 {
+		t.Errorf("refund must clamp to the disputed amount: %v", out.Refunded)
+	}
+}
+
+func TestOpenAndGet(t *testing.T) {
+	l := mkLedger(t)
+	r := NewResolver(l)
+	d, _ := r.File(KindLicenseBreach, "tx-0007", "buyer", "arbiter", 10)
+	if len(r.Open()) != 1 {
+		t.Error("open list")
+	}
+	got, err := r.Get(d.ID)
+	if err != nil || got.Kind != KindLicenseBreach {
+		t.Errorf("get = %+v, %v", got, err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("unknown get must fail")
+	}
+	_, _ = r.Resolve(d.ID, Verdict{Uphold: false})
+	if len(r.Open()) != 0 {
+		t.Error("resolved disputes leave the open list")
+	}
+	if _, err := r.Resolve("nope", Verdict{}); err == nil {
+		t.Error("unknown resolve must fail")
+	}
+}

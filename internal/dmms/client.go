@@ -1,0 +1,120 @@
+package dmms
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/relation"
+)
+
+// Client is the Go client for a remote DMMS server — what a seller or buyer
+// management platform embeds when the arbiter runs elsewhere.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient targets a DMMS server.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("dmms: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("dmms: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Register opens a participant account.
+func (c *Client) Register(name string, funds float64) error {
+	return c.post("/participants", ParticipantReq{Name: name, Funds: funds}, nil)
+}
+
+// ShareDataset uploads a relation under the given license kind.
+func (c *Client) ShareDataset(seller, id string, rel *relation.Relation, licenseKind string) error {
+	return c.post("/datasets", DatasetReq{Seller: seller, ID: id, Relation: rel, License: licenseKind}, nil)
+}
+
+// SubmitRequest files a data need and returns the request ID.
+func (c *Client) SubmitRequest(req RequestReq) (string, error) {
+	var out map[string]string
+	if err := c.post("/requests", req, &out); err != nil {
+		return "", err
+	}
+	return out["request_id"], nil
+}
+
+// Match triggers a matching round.
+func (c *Client) Match() (*MatchResp, error) {
+	var out MatchResp
+	if err := c.post("/match", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report settles an ex-post purchase; returns the amount paid.
+func (c *Client) Report(txID string, reported, trueValue float64) (float64, error) {
+	var out map[string]float64
+	if err := c.post("/report", ReportReq{TxID: txID, Reported: reported, TrueValue: trueValue}, &out); err != nil {
+		return 0, err
+	}
+	return out["paid"], nil
+}
+
+// History fetches completed transactions (without mashup payloads).
+func (c *Client) History() ([]TxView, error) {
+	var out []TxView
+	if err := c.get("/history", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Balance fetches an account balance.
+func (c *Client) Balance(account string) (float64, error) {
+	var out map[string]float64
+	if err := c.get("/balance?account="+account, &out); err != nil {
+		return 0, err
+	}
+	return out["balance"], nil
+}

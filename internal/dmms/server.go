@@ -1,0 +1,283 @@
+// Package dmms exposes the data market platform over HTTP: the wire-level
+// Data Market Management System. Sellers and buyers run remote platforms
+// (SMP/BMP) that talk JSON to the arbiter (AMP) — the deployment shape of
+// paper Fig. 2. Only serializable WTP tasks travel over the wire (coverage
+// and classifier packages); arbitrary code packages stay in-process.
+package dmms
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/arbiter"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/license"
+	"repro/internal/mltask"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// Server wraps a core.Platform with an HTTP API.
+type Server struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// NewServer builds the HTTP front end.
+func NewServer(p *core.Platform) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /participants", s.handleParticipants)
+	s.mux.HandleFunc("POST /datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /requests", s.handleRequests)
+	s.mux.HandleFunc("POST /match", s.handleMatch)
+	s.mux.HandleFunc("POST /report", s.handleReport)
+	s.mux.HandleFunc("GET /history", s.handleHistory)
+	s.mux.HandleFunc("GET /demand", s.handleDemand)
+	s.mux.HandleFunc("GET /balance", s.handleBalance)
+	s.mux.HandleFunc("GET /designs", s.handleDesigns)
+	s.mux.HandleFunc("POST /save", s.handleSave)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ParticipantReq registers a buyer or seller account.
+type ParticipantReq struct {
+	Name  string  `json:"name"`
+	Funds float64 `json:"funds"`
+}
+
+func (s *Server) handleParticipants(w http.ResponseWriter, r *http.Request) {
+	var req ParticipantReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.platform.Arbiter.RegisterParticipant(req.Name, req.Funds); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+// DatasetReq shares a dataset with the arbiter.
+type DatasetReq struct {
+	Seller   string             `json:"seller"`
+	ID       string             `json:"id"`
+	Relation *relation.Relation `json:"relation"`
+	License  string             `json:"license"` // open|no-resale|exclusive|transfer
+	TaxRate  float64            `json:"tax_rate,omitempty"`
+	Author   string             `json:"author,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var req DatasetReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Relation == nil || req.ID == "" || req.Seller == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: seller, id and relation are required"))
+		return
+	}
+	kind := license.Kind(req.License)
+	if req.License == "" {
+		kind = license.Open
+	}
+	terms := license.Terms{Kind: kind, ExclusivityTaxRate: req.TaxRate}
+	meta := wtp.DatasetMeta{Dataset: req.ID, UpdatedAt: time.Now(), Author: req.Author, HasProvenance: true}
+	err := s.platform.Arbiter.ShareDataset(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+// TaskSpec is the serializable task package of a WTP-function.
+type TaskSpec struct {
+	Kind string `json:"kind"` // "coverage" | "classifier"
+	// Coverage.
+	WantRows int `json:"want_rows,omitempty"`
+	// Classifier.
+	Features []string `json:"features,omitempty"`
+	Label    string   `json:"label,omitempty"`
+	Model    string   `json:"model,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+}
+
+// CurvePointSpec is one WTP price point.
+type CurvePointSpec struct {
+	MinSatisfaction float64 `json:"min_satisfaction"`
+	Price           float64 `json:"price"`
+}
+
+// RequestReq files a buyer's data need.
+type RequestReq struct {
+	Buyer   string              `json:"buyer"`
+	Columns []string            `json:"columns"`
+	Aliases map[string][]string `json:"aliases,omitempty"`
+	Task    TaskSpec            `json:"task"`
+	Curve   []CurvePointSpec    `json:"curve"`
+	MinRows int                 `json:"min_rows,omitempty"`
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	var req RequestReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var task wtp.Task
+	switch req.Task.Kind {
+	case "classifier":
+		task = wtp.ClassifierTask{Spec: mltask.ClassifierTask{
+			Features: req.Task.Features, Label: req.Task.Label,
+			Model: mltask.ModelKind(req.Task.Model), Seed: req.Task.Seed}}
+	case "coverage", "":
+		task = wtp.CoverageTask{Columns: req.Columns, WantRows: req.Task.WantRows}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: unknown task kind %q", req.Task.Kind))
+		return
+	}
+	f := &wtp.Function{Buyer: req.Buyer, Task: task}
+	for _, p := range req.Curve {
+		f.Curve = append(f.Curve, wtp.CurvePoint{MinSatisfaction: p.MinSatisfaction, Price: p.Price})
+	}
+	f.Constraints.MinRows = req.MinRows
+	want := dod.Want{Columns: req.Columns, Aliases: req.Aliases, MinRows: req.MinRows}
+	id, err := s.platform.Arbiter.SubmitRequest(want, f)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"request_id": id})
+}
+
+// TxView is the wire form of a transaction.
+type TxView struct {
+	ID           string             `json:"id"`
+	Buyer        string             `json:"buyer"`
+	Price        float64            `json:"price"`
+	Satisfaction float64            `json:"satisfaction"`
+	Datasets     []string           `json:"datasets"`
+	SellerCuts   map[string]float64 `json:"seller_cuts"`
+	ExPost       bool               `json:"ex_post"`
+	Plan         []string           `json:"plan"`
+	Mashup       *relation.Relation `json:"mashup,omitempty"`
+}
+
+func txView(tx *arbiter.Transaction, includeData bool) TxView {
+	v := TxView{
+		ID: tx.ID, Buyer: tx.Buyer, Price: tx.Price, Satisfaction: tx.Satisfaction,
+		Datasets: tx.Datasets, SellerCuts: tx.SellerCuts, ExPost: tx.ExPost, Plan: tx.Plan,
+	}
+	if includeData {
+		v.Mashup = tx.Mashup
+	}
+	return v
+}
+
+// MatchResp reports one matching round.
+type MatchResp struct {
+	Transactions []TxView `json:"transactions"`
+	Unsatisfied  []string `json:"unsatisfied"`
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	res, err := s.platform.MatchRound()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := MatchResp{Unsatisfied: res.Unsatisfied}
+	for _, tx := range res.Transactions {
+		resp.Transactions = append(resp.Transactions, txView(tx, true))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReportReq settles an ex-post transaction.
+type ReportReq struct {
+	TxID      string  `json:"tx_id"`
+	Reported  float64 `json:"reported"`
+	TrueValue float64 `json:"true_value"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	paid, err := s.platform.Arbiter.ReportValue(req.TxID, req.Reported, req.TrueValue)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"paid": paid})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	var out []TxView
+	for _, tx := range s.platform.Arbiter.History() {
+		out = append(out, txView(tx, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.platform.Arbiter.DemandSignals())
+}
+
+func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
+	account := r.URL.Query().Get("account")
+	if account == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: account query parameter required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{
+		"balance": s.platform.Arbiter.Ledger.Balance(account).Float(),
+	})
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"design": s.platform.Design.Label})
+}
+
+// SaveReq asks the server to persist its catalog to a directory.
+type SaveReq struct {
+	Dir string `json:"dir"`
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req SaveReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Dir == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: dir is required"))
+		return
+	}
+	if err := s.platform.Arbiter.Catalog.SaveDir(req.Dir); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"saved": req.Dir})
+}

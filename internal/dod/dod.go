@@ -1,0 +1,565 @@
+// Package dod implements the Dataset-on-Demand engine of the Mashup Builder
+// (paper §5.3): it "takes WTP-functions as input and produces mashups that
+// fulfill the WTP-function requests as output", using the indexes built by
+// the index builder, query-by-example target schemas, and inferred
+// transformation functions.
+//
+// Given a Want (the buyer's target schema), the engine:
+//
+//  1. scores every catalogued dataset by which wanted columns it can provide
+//     — directly, via an alias, via a registered/inferred transform, or via
+//     fuzzy name match;
+//  2. runs a beam search over the join graph to assemble sets of datasets
+//     whose combination covers more of the target schema;
+//  3. materializes each candidate as a provenance-annotated relation: joins
+//     along the chosen edges, applies transforms (the inverse-f′ of the
+//     paper's f(d) example), renames to the buyer's vocabulary, and projects
+//     onto the target schema.
+package dod
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/discovery"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// Want is the buyer's query-by-example target schema (paper §3.2.2.1).
+type Want struct {
+	// Columns are the attribute names of the desired mashup.
+	Columns []string
+	// Aliases lists acceptable source column names per wanted column.
+	Aliases map[string][]string
+	// MaxDatasets caps the number of datasets combined in one mashup.
+	MaxDatasets int
+	// MaxCandidates caps the number of mashups returned.
+	MaxCandidates int
+	// MinJoinScore is the minimum containment score for following an edge.
+	MinJoinScore float64
+	// MinRows drops candidates with fewer materialized rows.
+	MinRows int
+}
+
+func (w *Want) withDefaults() Want {
+	out := *w
+	if out.MaxDatasets <= 0 {
+		out.MaxDatasets = 3
+	}
+	if out.MaxCandidates <= 0 {
+		out.MaxCandidates = 5
+	}
+	if out.MinJoinScore <= 0 {
+		out.MinJoinScore = 0.25
+	}
+	return out
+}
+
+// Candidate is one materialized mashup.
+type Candidate struct {
+	Anno     *provenance.Annotated
+	Coverage float64 // fraction of wanted columns present
+	// Quality weighs how each wanted column was satisfied: exact name
+	// matches score 1, aliases 0.95, transforms 0.9 and fuzzy name matches
+	// 0.6 — so a mashup supplying the true attribute b outranks one
+	// supplying the similar-but-conflicting b′ (paper §1).
+	Quality  float64
+	Datasets []string // contributing datasets, sorted
+	Plan     []string // human-readable build steps (transparency, §4.4)
+}
+
+// Rel is a shortcut to the materialized relation.
+func (c *Candidate) Rel() *relation.Relation { return c.Anno.Rel }
+
+// providerMode ranks how a dataset column satisfies a wanted column.
+type providerMode int
+
+const (
+	provideDirect providerMode = iota
+	provideAlias
+	provideTransform
+	provideFuzzy
+)
+
+type provider struct {
+	wanted    string
+	sourceCol string
+	mode      providerMode
+	transform *Transform
+}
+
+func (m providerMode) weight() float64 {
+	switch m {
+	case provideDirect:
+		return 1
+	case provideAlias:
+		return 0.95
+	case provideTransform:
+		return 0.9
+	default:
+		return 0.6
+	}
+}
+
+type transKey struct {
+	Dataset, Column, Target string
+}
+
+// Engine is the DoD engine.
+type Engine struct {
+	cat        *catalog.Catalog
+	disc       *discovery.Engine
+	transforms map[transKey]*Transform
+}
+
+// New creates an engine over a catalog and discovery engine.
+func New(cat *catalog.Catalog, disc *discovery.Engine) *Engine {
+	return &Engine{cat: cat, disc: disc, transforms: map[transKey]*Transform{}}
+}
+
+// RegisterTransform records that applying t to (dataset, column) yields the
+// target attribute. Negotiation rounds (paper §4.1) feed this: a seller who
+// explains how to obtain d from f(d) raises their dataset's usefulness.
+//
+// Beyond remembering the transform, the engine *materializes* the derived
+// attribute as a new catalog version of the dataset and re-indexes it. This
+// matters when the transformed values are what make a join possible at all
+// (e.g. a legacy code mapped into the vocabulary another dataset joins on):
+// content-based join discovery can only find edges on the materialized
+// values.
+func (e *Engine) RegisterTransform(dataset catalog.DatasetID, column, target string, t *Transform) {
+	e.transforms[transKey{string(dataset), column, target}] = t
+	rel, err := e.cat.Get(dataset)
+	if err != nil {
+		return // quota-limited or unknown; transform-only registration stands
+	}
+	if rel.Schema.Has(target) || !rel.Schema.Has(column) {
+		return
+	}
+	ci := rel.Schema.IndexOf(column)
+	derived := relation.AddColumn(rel, relation.Column{Name: target, Kind: t.Kind},
+		func(row []relation.Value, _ relation.Schema) relation.Value {
+			return t.Fn(row[ci])
+		})
+	derived.Name = rel.Name
+	if _, err := e.cat.Update(dataset, derived, "materialized transform "+t.Name); err != nil {
+		return
+	}
+	e.disc.Index().Add(profile.Profile(string(dataset), derived))
+}
+
+// Transforms returns the number of registered transforms.
+func (e *Engine) Transforms() int { return len(e.transforms) }
+
+// providersFor lists how dataset ds can supply each wanted column.
+func (e *Engine) providersFor(ds string, want Want) map[string]provider {
+	dp := e.disc.Profile(ds)
+	if dp == nil {
+		return nil
+	}
+	out := map[string]provider{}
+	consider := func(p provider) {
+		if cur, ok := out[p.wanted]; !ok || p.mode < cur.mode {
+			out[p.wanted] = p
+		}
+	}
+	for _, w := range want.Columns {
+		for i := range dp.Columns {
+			col := dp.Columns[i].Column
+			switch {
+			case col == w:
+				consider(provider{wanted: w, sourceCol: col, mode: provideDirect})
+			case containsName(want.Aliases[w], col):
+				consider(provider{wanted: w, sourceCol: col, mode: provideAlias})
+			case tokenSim(col, w) >= 0.5:
+				consider(provider{wanted: w, sourceCol: col, mode: provideFuzzy})
+			}
+			if t, ok := e.transforms[transKey{ds, col, w}]; ok {
+				consider(provider{wanted: w, sourceCol: col, mode: provideTransform, transform: t})
+			}
+		}
+	}
+	return out
+}
+
+func containsName(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenSim is the Jaccard similarity of name token sets.
+func tokenSim(a, b string) float64 {
+	ta, tb := index.Tokenize(a), index.Tokenize(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := map[string]bool{}
+	for _, t := range ta {
+		set[t] = true
+	}
+	inter := 0
+	seen := map[string]bool{}
+	for _, t := range tb {
+		if set[t] && !seen[t] {
+			inter++
+			seen[t] = true
+		}
+	}
+	union := len(set) + len(tb) - inter
+	// len(tb) may double-count duplicates; normalize via sets.
+	setB := map[string]bool{}
+	for _, t := range tb {
+		setB[t] = true
+	}
+	union = len(set) + len(setB) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// joinStep records one edge followed during assembly.
+type joinStep struct {
+	left  index.ColRef // column already in the state
+	right index.ColRef // column of the newly added dataset
+	score float64
+}
+
+// state is a beam-search node.
+type state struct {
+	datasets []string
+	joins    []joinStep
+	covered  map[string]provider // wanted column -> chosen provider
+}
+
+func (s *state) has(ds string) bool {
+	for _, d := range s.datasets {
+		if d == ds {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) coverage(want Want) float64 {
+	if len(want.Columns) == 0 {
+		return 1
+	}
+	return float64(len(s.covered)) / float64(len(want.Columns))
+}
+
+func (s *state) quality(want Want) float64 {
+	if len(want.Columns) == 0 {
+		return 1
+	}
+	var q float64
+	for _, pr := range s.covered {
+		q += pr.mode.weight()
+	}
+	return q / float64(len(want.Columns))
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		datasets: append([]string(nil), s.datasets...),
+		joins:    append([]joinStep(nil), s.joins...),
+		covered:  make(map[string]provider, len(s.covered)),
+	}
+	for k, v := range s.covered {
+		ns.covered[k] = v
+	}
+	return ns
+}
+
+func (s *state) key() string {
+	ds := append([]string(nil), s.datasets...)
+	sort.Strings(ds)
+	return strings.Join(ds, "|")
+}
+
+// Build runs discovery + integration and returns ranked candidate mashups.
+func (e *Engine) Build(wantIn Want) ([]Candidate, error) {
+	want := wantIn.withDefaults()
+	if len(want.Columns) == 0 {
+		return nil, fmt.Errorf("dod: want has no columns")
+	}
+	allDS := e.disc.Index().Datasets()
+	if len(allDS) == 0 {
+		return nil, fmt.Errorf("dod: no datasets indexed")
+	}
+
+	// Seed states: every dataset that provides at least one wanted column.
+	var beam []*state
+	providers := map[string]map[string]provider{}
+	for _, ds := range allDS {
+		p := e.providersFor(ds, want)
+		providers[ds] = p
+		if len(p) == 0 {
+			continue
+		}
+		st := &state{datasets: []string{ds}, covered: map[string]provider{}}
+		for w, pr := range p {
+			st.covered[w] = pr
+		}
+		beam = append(beam, st)
+	}
+	if len(beam) == 0 {
+		return nil, fmt.Errorf("dod: no dataset provides any of %v", want.Columns)
+	}
+	sortStates(beam, want)
+	const beamWidth = 8
+	if len(beam) > beamWidth {
+		beam = beam[:beamWidth]
+	}
+
+	finals := map[string]*state{}
+	for _, st := range beam {
+		finals[st.key()] = st
+	}
+	for depth := 1; depth < want.MaxDatasets; depth++ {
+		var next []*state
+		for _, st := range beam {
+			if st.quality(want) >= 1 {
+				continue // every column satisfied exactly; no reason to grow
+			}
+			for _, ds := range st.datasets {
+				for _, edge := range e.disc.Index().EdgesFor(ds) {
+					if edge.Containment < want.MinJoinScore {
+						continue
+					}
+					inSide, outSide := edge.A, edge.B
+					if outSide.Dataset == ds {
+						inSide, outSide = edge.B, edge.A
+					}
+					if inSide.Dataset != ds || st.has(outSide.Dataset) {
+						continue
+					}
+					newP := providers[outSide.Dataset]
+					adds := false
+					for w, pr := range newP {
+						if cur, ok := st.covered[w]; !ok || pr.mode < cur.mode {
+							adds = true
+							break
+						}
+					}
+					if !adds {
+						continue
+					}
+					ns := st.clone()
+					ns.datasets = append(ns.datasets, outSide.Dataset)
+					ns.joins = append(ns.joins, joinStep{left: inSide, right: outSide, score: edge.Containment})
+					for w, pr := range newP {
+						if cur, ok := ns.covered[w]; !ok || pr.mode < cur.mode {
+							ns.covered[w] = pr
+						}
+					}
+					next = append(next, ns)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sortStates(next, want)
+		dedup := next[:0]
+		seen := map[string]bool{}
+		for _, st := range next {
+			k := st.key()
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, st)
+			}
+		}
+		next = dedup
+		if len(next) > beamWidth {
+			next = next[:beamWidth]
+		}
+		for _, st := range next {
+			if _, ok := finals[st.key()]; !ok {
+				finals[st.key()] = st
+			}
+		}
+		beam = next
+	}
+
+	// Materialize final states.
+	var states []*state
+	for _, st := range finals {
+		states = append(states, st)
+	}
+	sortStates(states, want)
+	var out []Candidate
+	for _, st := range states {
+		if len(out) >= want.MaxCandidates {
+			break
+		}
+		cand, err := e.materialize(st, want)
+		if err != nil {
+			continue // a failed plan just drops out of the ranking
+		}
+		if cand.Rel().NumRows() < want.MinRows {
+			continue
+		}
+		out = append(out, *cand)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dod: no candidate mashup materialized for %v", want.Columns)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Coverage != out[j].Coverage {
+			return out[i].Coverage > out[j].Coverage
+		}
+		if out[i].Quality != out[j].Quality {
+			return out[i].Quality > out[j].Quality
+		}
+		if out[i].Rel().NumRows() != out[j].Rel().NumRows() {
+			return out[i].Rel().NumRows() > out[j].Rel().NumRows()
+		}
+		return len(out[i].Datasets) < len(out[j].Datasets)
+	})
+	return out, nil
+}
+
+func sortStates(states []*state, want Want) {
+	sort.SliceStable(states, func(i, j int) bool {
+		qi, qj := states[i].quality(want), states[j].quality(want)
+		if qi != qj {
+			return qi > qj
+		}
+		if len(states[i].datasets) != len(states[j].datasets) {
+			return len(states[i].datasets) < len(states[j].datasets)
+		}
+		return states[i].key() < states[j].key()
+	})
+}
+
+// materialize turns a beam state into a provenance-annotated relation.
+func (e *Engine) materialize(st *state, want Want) (*Candidate, error) {
+	plan := []string{fmt.Sprintf("load %s", st.datasets[0])}
+	base, err := e.cat.Get(catalog.DatasetID(st.datasets[0]))
+	if err != nil {
+		return nil, err
+	}
+	anno := provenance.FromSource(st.datasets[0], base)
+	// colMap tracks where each source column lives in the running relation.
+	colMap := map[index.ColRef]string{}
+	for _, c := range base.Schema {
+		colMap[index.ColRef{Dataset: st.datasets[0], Column: c.Name}] = c.Name
+	}
+
+	for _, js := range st.joins {
+		rrel, err := e.cat.Get(catalog.DatasetID(js.right.Dataset))
+		if err != nil {
+			return nil, err
+		}
+		rAnno := provenance.FromSource(js.right.Dataset, rrel)
+		leftName, ok := colMap[js.left]
+		if !ok {
+			return nil, fmt.Errorf("dod: lost track of join column %v", js.left)
+		}
+		joined, err := provenance.HashJoin(anno, rAnno, relation.JoinPair{Left: leftName, Right: js.right.Column})
+		if err != nil {
+			return nil, err
+		}
+		// Update colMap with the names the right columns received.
+		existing := map[string]bool{}
+		for _, c := range anno.Rel.Schema {
+			existing[c.Name] = true
+		}
+		for _, c := range rrel.Schema {
+			if c.Name == js.right.Column {
+				continue // dropped join column
+			}
+			name := c.Name
+			for existing[name] {
+				name += "_r"
+			}
+			existing[name] = true
+			colMap[index.ColRef{Dataset: js.right.Dataset, Column: c.Name}] = name
+		}
+		plan = append(plan, fmt.Sprintf("join %s on %s.%s = %s.%s (score %.2f)",
+			js.right.Dataset, js.left.Dataset, js.left.Column, js.right.Dataset, js.right.Column, js.score))
+		anno = joined
+	}
+
+	// Satisfy wanted columns: apply transforms and renames.
+	var present []string
+	var qualitySum float64
+	for _, w := range want.Columns {
+		if anno.Rel.Schema.Has(w) {
+			present = append(present, w)
+			qualitySum += provideDirect.weight()
+			continue
+		}
+		pr, ds, ok := e.bestProvider(st, w, want)
+		if !ok {
+			continue
+		}
+		cn, ok := colMap[index.ColRef{Dataset: ds, Column: pr.sourceCol}]
+		if !ok || !anno.Rel.Schema.Has(cn) {
+			continue
+		}
+		if pr.transform != nil {
+			anno, err = provenance.Map(anno, cn, pr.transform.Kind, pr.transform.Fn)
+			if err != nil {
+				return nil, err
+			}
+			plan = append(plan, fmt.Sprintf("apply transform %s to %s.%s", pr.transform.Name, ds, pr.sourceCol))
+		}
+		anno, err = provenance.Rename(anno, cn, w)
+		if err != nil {
+			return nil, err
+		}
+		if cn != w {
+			plan = append(plan, fmt.Sprintf("rename %s -> %s", cn, w))
+		}
+		present = append(present, w)
+		qualitySum += pr.mode.weight()
+	}
+	if len(present) == 0 {
+		return nil, fmt.Errorf("dod: state materialized no wanted columns")
+	}
+	proj, err := provenance.Project(anno, present...)
+	if err != nil {
+		return nil, err
+	}
+	proj.Rel.Name = "mashup(" + strings.Join(st.datasets, "+") + ")"
+	plan = append(plan, fmt.Sprintf("project %v", present))
+	ds := append([]string(nil), st.datasets...)
+	sort.Strings(ds)
+	return &Candidate{
+		Anno:     proj,
+		Coverage: float64(len(present)) / float64(len(want.Columns)),
+		Quality:  qualitySum / float64(len(want.Columns)),
+		Datasets: ds,
+		Plan:     plan,
+	}, nil
+}
+
+// bestProvider picks the best provider of wanted column w among the state's
+// datasets.
+func (e *Engine) bestProvider(st *state, w string, want Want) (provider, string, bool) {
+	var best provider
+	bestDS := ""
+	found := false
+	for _, ds := range st.datasets {
+		p := e.providersFor(ds, want)
+		pr, ok := p[w]
+		if !ok {
+			continue
+		}
+		if !found || pr.mode < best.mode {
+			best, bestDS, found = pr, ds, true
+		}
+	}
+	return best, bestDS, found
+}

@@ -1,0 +1,135 @@
+package dod
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/discovery"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/relation"
+)
+
+// TestTransformMaterialization verifies that registering a transform makes
+// the derived attribute joinable: two datasets whose only link is through a
+// mapped vocabulary become combinable after RegisterTransform.
+func TestTransformMaterialization(t *testing.T) {
+	left := relation.New("left", relation.NewSchema(
+		relation.Col("icd", relation.KindString),
+		relation.Col("metric", relation.KindFloat),
+	))
+	right := relation.New("right", relation.NewSchema(
+		relation.Col("legacy", relation.KindString),
+		relation.Col("rate", relation.KindFloat),
+	))
+	mapFrom := make([]relation.Value, 0, 40)
+	mapTo := make([]relation.Value, 0, 40)
+	for i := 0; i < 40; i++ {
+		icd := fmt.Sprintf("ICD%02d", i)
+		leg := fmt.Sprintf("LC-%02d", i)
+		left.MustAppend(relation.String_(icd), relation.Float(float64(i)))
+		right.MustAppend(relation.String_(leg), relation.Float(float64(i)/40))
+		mapFrom = append(mapFrom, relation.String_(leg))
+		mapTo = append(mapTo, relation.String_(icd))
+	}
+	cat := catalog.New()
+	if err := cat.Register("left", "a", left); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("right", "b", right); err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(index.DefaultConfig(), []*profile.DatasetProfile{
+		profile.Profile("left", left), profile.Profile("right", right),
+	})
+	eng := New(cat, discovery.New(ix))
+
+	want := Want{Columns: []string{"icd", "metric", "rate"}}
+	cands, err := eng.Build(want)
+	if err == nil && cands[0].Coverage == 1 {
+		t.Fatal("datasets must not be combinable before the transform")
+	}
+
+	tr, err := InferMapping("legacy->icd", mapFrom, mapTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RegisterTransform("right", "legacy", "icd", tr)
+
+	// The derived column must now exist in the catalog's current version...
+	cur, err := cat.Get("right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Schema.Has("icd") {
+		t.Fatal("transform must materialize the derived column")
+	}
+	// ...and the join must succeed with full coverage.
+	cands, err = eng.Build(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Coverage != 1 {
+		t.Fatalf("coverage = %v, plan = %v", cands[0].Coverage, cands[0].Plan)
+	}
+	if cands[0].Rel().NumRows() != 40 {
+		t.Errorf("joined rows = %d", cands[0].Rel().NumRows())
+	}
+}
+
+// TestRegisterTransformIdempotent: re-registering must not stack duplicate
+// derived columns or versions beyond one per distinct registration.
+func TestRegisterTransformIdempotent(t *testing.T) {
+	r := relation.New("d", relation.NewSchema(relation.Col("x", relation.KindFloat)))
+	for i := 0; i < 20; i++ {
+		r.MustAppend(relation.Float(float64(i)))
+	}
+	cat := catalog.New()
+	if err := cat.Register("d", "s", r); err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(index.DefaultConfig(), []*profile.DatasetProfile{profile.Profile("d", r)})
+	eng := New(cat, discovery.New(ix))
+	tr, _, err := InferAffine("double", []float64{0, 1, 2}, []float64{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RegisterTransform("d", "x", "y", tr)
+	eng.RegisterTransform("d", "x", "y", tr) // second no-op: y already exists
+	e, err := cat.Entry("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.History()) != 2 {
+		t.Errorf("versions = %d, want 2 (original + one materialization)", len(e.History()))
+	}
+	cur, _ := cat.Get("d")
+	n := 0
+	for _, c := range cur.Schema {
+		if c.Name == "y" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("derived column count = %d", n)
+	}
+}
+
+// TestMinRowsFilter: candidates below MinRows are dropped.
+func TestMinRowsFilter(t *testing.T) {
+	small := relation.New("small", relation.NewSchema(relation.Col("a", relation.KindInt)))
+	small.MustAppend(relation.Int(1))
+	cat := catalog.New()
+	if err := cat.Register("small", "s", small); err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(index.DefaultConfig(), []*profile.DatasetProfile{profile.Profile("small", small)})
+	eng := New(cat, discovery.New(ix))
+	if _, err := eng.Build(Want{Columns: []string{"a"}, MinRows: 100}); err == nil {
+		t.Error("undersized candidates must be rejected")
+	}
+	if cands, err := eng.Build(Want{Columns: []string{"a"}}); err != nil || len(cands) == 0 {
+		t.Error("without MinRows the candidate passes")
+	}
+}

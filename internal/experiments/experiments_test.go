@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1ProducesTransaction(t *testing.T) {
+	tbl, err := E1EndToEnd(300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tbl.Rows, "\n")
+	if !strings.Contains(joined, "round 2: mashup=") {
+		t.Errorf("E1 output missing transaction: %s", joined)
+	}
+	if !strings.Contains(joined, "audit chain intact=true") {
+		t.Errorf("E1 audit failed: %s", joined)
+	}
+}
+
+func TestE2CoversAllDesignsAndMixes(t *testing.T) {
+	tbl := E2SimDesigns(10, 42)
+	joined := strings.Join(tbl.Rows, "\n")
+	for _, mech := range []string{"posted", "vickrey", "gsp", "rsop", "expost"} {
+		if !strings.Contains(joined, mech) {
+			t.Errorf("E2 missing mechanism %s", mech)
+		}
+	}
+	for _, mix := range []string{"truthful:100%", "strategic:50%", "adversarial:50%", "faulty:30%"} {
+		if !strings.Contains(joined, mix) {
+			t.Errorf("E2 missing mix %s", mix)
+		}
+	}
+}
+
+func TestE3CoalitionHurtsVickrey(t *testing.T) {
+	tbl := E3Coalitions(60, 42)
+	// Extract vickrey revenues at 0% and 50%.
+	var rev0, rev50 float64
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row, "vickrey") {
+			continue
+		}
+		f := fields(row)
+		if f["coalition"] == "0%" {
+			rev0 = atof(t, f["revenue"])
+		}
+		if f["coalition"] == "50%" {
+			rev50 = atof(t, f["revenue"])
+		}
+	}
+	if rev0 == 0 || rev50 == 0 {
+		t.Fatalf("missing vickrey rows: %v", tbl.Rows)
+	}
+	if rev50 >= rev0 {
+		t.Errorf("coalition must suppress vickrey revenue: %v -> %v", rev0, rev50)
+	}
+}
+
+func fields(row string) map[string]string {
+	out := map[string]string{}
+	for _, tok := range strings.Fields(row) {
+		if i := strings.IndexByte(tok, '='); i > 0 {
+			out[tok[:i]] = tok[i+1:]
+		}
+	}
+	return out
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestE5MonteCarloErrorsSmall(t *testing.T) {
+	tbl := E5Shapley(42)
+	for _, row := range tbl.Rows {
+		f := fields(row)
+		if e, ok := f["l1err"]; ok && strings.Contains(row, "mc(") {
+			if atof(t, e) > 0.1 {
+				t.Errorf("mc error too large: %s", row)
+			}
+		}
+	}
+}
+
+func TestE7AccuracyDecreasesWithPrivacy(t *testing.T) {
+	tbl := E7PrivacyValue(42)
+	var accs []float64
+	for _, row := range tbl.Rows {
+		f := fields(row)
+		if a, ok := f["accuracy"]; ok {
+			accs = append(accs, atof(t, a))
+		}
+	}
+	if len(accs) < 5 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	first, last := accs[0], accs[len(accs)-1]
+	if last >= first-0.1 {
+		t.Errorf("strong privacy must cost accuracy: clean=%v strongest=%v", first, last)
+	}
+}
+
+func TestE8TradeRateMonotone(t *testing.T) {
+	tbl := E8ThinMarket(42)
+	var rates []float64
+	for _, row := range tbl.Rows {
+		f := fields(row)
+		rates = append(rates, atof(t, f["trade_rate"]))
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Errorf("trade rate must be monotone in combine limit: %v", rates)
+		}
+	}
+	if rates[len(rates)-1] <= rates[0] {
+		t.Errorf("mashups must raise trade: %v", rates)
+	}
+}
+
+func TestE9TransformBeatsCopy(t *testing.T) {
+	tbl, err := E9Arbitrage(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var copyMargin, derivMargin float64
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row, "margin on identical copy:") {
+			copyMargin = atof(t, strings.Fields(row)[4])
+		}
+		if strings.HasPrefix(row, "margin on derivative:") {
+			derivMargin = atof(t, strings.Fields(row)[3])
+		}
+	}
+	if derivMargin <= copyMargin {
+		t.Errorf("transformation must out-earn copying: %v vs %v", derivMargin, copyMargin)
+	}
+	if derivMargin <= 0 {
+		t.Errorf("derivative margin must be positive: %v", derivMargin)
+	}
+}
+
+func TestE10CooperationHelps(t *testing.T) {
+	tbl, err := E10Negotiation(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(row string) (float64, int) {
+		f := fields(row)
+		frac := strings.SplitN(f["completed"], "/", 2)
+		n, _ := strconv.Atoi(frac[0])
+		return atof(t, f["cooperation"]), n
+	}
+	_, atZero := parse(tbl.Rows[0])
+	_, atFull := parse(tbl.Rows[len(tbl.Rows)-1])
+	if atZero != 0 {
+		t.Errorf("no cooperation must complete nothing, got %d", atZero)
+	}
+	if atFull <= atZero {
+		t.Errorf("full cooperation must complete requests: %d vs %d", atFull, atZero)
+	}
+}
+
+func TestE4AndE6Render(t *testing.T) {
+	if rows := E4MechanismScaling(42).Rows; len(rows) < 12 {
+		t.Errorf("E4 rows = %d", len(rows))
+	}
+	if rows := E6MashupBuilder(42).Rows; len(rows) != 4 {
+		t.Errorf("E6 rows = %d", len(rows))
+	}
+}
+
+func TestE11AuditThreshold(t *testing.T) {
+	tbl := E11ExPostAudits(60, 42)
+	var premiums []float64
+	for _, row := range tbl.Rows {
+		f := fields(row)
+		premiums = append(premiums, atof(t, f["premium"]))
+	}
+	if len(premiums) != 5 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if premiums[0] >= 0 {
+		t.Errorf("no audits must reward cheating: premium=%v", premiums[0])
+	}
+	if premiums[len(premiums)-1] <= 0 {
+		t.Errorf("full audits must reward honesty: premium=%v", premiums[len(premiums)-1])
+	}
+	// Premium should increase with audit probability.
+	for i := 1; i < len(premiums); i++ {
+		if premiums[i] < premiums[i-1] {
+			t.Errorf("premium must rise with audits: %v", premiums)
+		}
+	}
+}
+
+func TestE12ServiceRateMonotone(t *testing.T) {
+	tbl := E12DynamicArrival(42)
+	var rates []float64
+	for _, row := range tbl.Rows {
+		f := fields(row)
+		rates = append(rates, atof(t, f["service_rate"]))
+	}
+	if rates[len(rates)-1] <= rates[0] {
+		t.Errorf("supply must raise service rate: %v", rates)
+	}
+}

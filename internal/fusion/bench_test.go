@@ -1,0 +1,40 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func BenchmarkAlign(b *testing.B) {
+	_, srcs := mkWeather(365, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align("day", []string{"temp"}, srcs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruthDiscoveryFit(b *testing.B) {
+	_, srcs := mkWeather(365, 2)
+	fused, err := Align("day", []string{"temp"}, srcs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		td := NewTruthDiscovery()
+		td.Fit(fused)
+	}
+}
+
+func BenchmarkResolveMajority(b *testing.B) {
+	_, srcs := mkWeather(365, 3)
+	fused, _ := Align("day", []string{"temp"}, srcs...)
+	kinds := map[string]relation.Kind{"temp": relation.KindFloat}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Resolve(fused, MajorityVote{}, kinds)
+	}
+}

@@ -1,0 +1,313 @@
+// Package fusion implements the data fusion operators of the Mashup Builder
+// (paper §1, §5.3): operators that "produce relations that break the first
+// normal form, that is, each cell value may be multi-valued, with each value
+// coming from a differing source". Buyers who want to contrast weather
+// signals from a city dataset, a sensor and a phone get an aligned multi-
+// valued relation; resolution strategies (keep-all, majority vote, and an
+// iterative source-accuracy-weighted truth discovery in the TruthFinder
+// family) collapse it back to 1NF when asked.
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Source pairs a source identifier with a relation contributing a signal.
+type Source struct {
+	Name string
+	Rel  *relation.Relation
+}
+
+// Align fuses the given sources on a shared key column: the output has one
+// row per key value observed anywhere, the key column, and one multi-valued
+// cell per value column collecting each source's observation tagged with the
+// source name. Sources missing a key contribute nothing for that row.
+func Align(key string, valueCols []string, sources ...Source) (*relation.Relation, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("fusion: no sources")
+	}
+	for _, s := range sources {
+		if !s.Rel.Schema.Has(key) {
+			return nil, fmt.Errorf("fusion: source %q lacks key column %q", s.Name, key)
+		}
+		for _, vc := range valueCols {
+			if !s.Rel.Schema.Has(vc) {
+				return nil, fmt.Errorf("fusion: source %q lacks value column %q", s.Name, vc)
+			}
+		}
+	}
+	keyKind := sources[0].Rel.Schema.KindOf(key)
+	schema := relation.Schema{relation.Col(key, keyKind)}
+	for _, vc := range valueCols {
+		schema = append(schema, relation.Col(vc, relation.KindMulti))
+	}
+	out := relation.New("fused", schema)
+
+	type cellSet map[string][]relation.Sourced // value column -> observations
+	rows := map[string]cellSet{}
+	keyVal := map[string]relation.Value{}
+	var order []string
+
+	for _, s := range sources {
+		ki := s.Rel.Schema.IndexOf(key)
+		vis := make([]int, len(valueCols))
+		for i, vc := range valueCols {
+			vis[i] = s.Rel.Schema.IndexOf(vc)
+		}
+		for _, row := range s.Rel.Rows {
+			kv := row[ki]
+			if kv.IsNull() {
+				continue
+			}
+			kk := kv.Key()
+			cs, ok := rows[kk]
+			if !ok {
+				cs = cellSet{}
+				rows[kk] = cs
+				keyVal[kk] = kv
+				order = append(order, kk)
+			}
+			for i, vc := range valueCols {
+				v := row[vis[i]]
+				if v.IsNull() {
+					continue
+				}
+				cs[vc] = append(cs[vc], relation.Sourced{Source: s.Name, Value: v})
+			}
+		}
+	}
+
+	for _, kk := range order {
+		row := make([]relation.Value, len(schema))
+		row[0] = keyVal[kk]
+		for i, vc := range valueCols {
+			row[i+1] = relation.Multi(rows[kk][vc]...)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Resolver collapses a multi-valued cell to a single value.
+type Resolver interface {
+	// Resolve picks a value from the observations (possibly none).
+	Resolve(obs []relation.Sourced) relation.Value
+	// Name identifies the strategy.
+	Name() string
+}
+
+// Resolve applies the resolver to every multi column of a fused relation,
+// returning a 1NF relation. Non-multi columns pass through.
+func Resolve(fused *relation.Relation, res Resolver, outKinds map[string]relation.Kind) *relation.Relation {
+	schema := fused.Schema.Clone()
+	for i := range schema {
+		if schema[i].Kind == relation.KindMulti {
+			k, ok := outKinds[schema[i].Name]
+			if !ok {
+				k = relation.KindFloat
+			}
+			schema[i].Kind = k
+		}
+	}
+	out := relation.New(fused.Name+"_"+res.Name(), schema)
+	for _, row := range fused.Rows {
+		nr := make([]relation.Value, len(row))
+		for i, v := range row {
+			if fused.Schema[i].Kind == relation.KindMulti {
+				nr[i] = res.Resolve(v.AsMulti())
+			} else {
+				nr[i] = v
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// MajorityVote resolves to the most frequent value (ties to smallest source).
+type MajorityVote struct{}
+
+// Resolve implements Resolver.
+func (MajorityVote) Resolve(obs []relation.Sourced) relation.Value {
+	return relation.Multi(obs...).FlattenMulti()
+}
+
+// Name implements Resolver.
+func (MajorityVote) Name() string { return "majority" }
+
+// MeanResolver averages numeric observations.
+type MeanResolver struct{}
+
+// Resolve implements Resolver.
+func (MeanResolver) Resolve(obs []relation.Sourced) relation.Value {
+	var sum float64
+	n := 0
+	for _, o := range obs {
+		if o.Value.IsNumeric() {
+			sum += o.Value.AsFloat()
+			n++
+		}
+	}
+	if n == 0 {
+		return relation.Null()
+	}
+	return relation.Float(sum / float64(n))
+}
+
+// Name implements Resolver.
+func (MeanResolver) Name() string { return "mean" }
+
+// PreferSource resolves to the named source's observation, falling back to
+// majority vote.
+type PreferSource struct{ Source string }
+
+// Resolve implements Resolver.
+func (p PreferSource) Resolve(obs []relation.Sourced) relation.Value {
+	for _, o := range obs {
+		if o.Source == p.Source {
+			return o.Value
+		}
+	}
+	return relation.Multi(obs...).FlattenMulti()
+}
+
+// Name implements Resolver.
+func (p PreferSource) Name() string { return "prefer_" + p.Source }
+
+// TruthDiscovery estimates per-source accuracy iteratively and resolves each
+// cell to the value with the highest summed source trust — the classic
+// truth-discovery fixpoint (paper §8.3 "Data Fusion and Truth Discovery").
+type TruthDiscovery struct {
+	Iterations int
+	// Trust holds the learned per-source weights after Fit.
+	Trust map[string]float64
+}
+
+// NewTruthDiscovery creates a resolver with default iteration count.
+func NewTruthDiscovery() *TruthDiscovery {
+	return &TruthDiscovery{Iterations: 10, Trust: map[string]float64{}}
+}
+
+// Fit learns source trust from a fused relation: sources agreeing with the
+// (trust-weighted) consensus gain weight. Must be called before Resolve.
+func (td *TruthDiscovery) Fit(fused *relation.Relation) {
+	// Initialize uniform trust.
+	td.Trust = map[string]float64{}
+	var cells [][]relation.Sourced
+	for _, row := range fused.Rows {
+		for i, v := range row {
+			if fused.Schema[i].Kind != relation.KindMulti {
+				continue
+			}
+			obs := v.AsMulti()
+			if len(obs) > 0 {
+				cells = append(cells, obs)
+			}
+			for _, o := range obs {
+				td.Trust[o.Source] = 1
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return
+	}
+	iters := td.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	for it := 0; it < iters; it++ {
+		// E-step: per cell, pick the trust-weighted winning value.
+		correct := map[string]float64{}
+		total := map[string]float64{}
+		for _, obs := range cells {
+			winner := td.weightedWinner(obs)
+			for _, o := range obs {
+				total[o.Source]++
+				if o.Value.Equal(winner) {
+					correct[o.Source]++
+				}
+			}
+		}
+		// M-step: trust = smoothed accuracy.
+		for s := range td.Trust {
+			if total[s] > 0 {
+				td.Trust[s] = (correct[s] + 0.5) / (total[s] + 1)
+			}
+		}
+	}
+}
+
+func (td *TruthDiscovery) weightedWinner(obs []relation.Sourced) relation.Value {
+	scores := map[string]float64{}
+	rep := map[string]relation.Value{}
+	for _, o := range obs {
+		w := td.Trust[o.Source]
+		if w == 0 {
+			w = 0.5
+		}
+		k := o.Value.Key()
+		scores[k] += w
+		if _, ok := rep[k]; !ok {
+			rep[k] = o.Value
+		}
+	}
+	bestK, bestS := "", math.Inf(-1)
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if scores[k] > bestS {
+			bestK, bestS = k, scores[k]
+		}
+	}
+	if bestK == "" {
+		return relation.Null()
+	}
+	return rep[bestK]
+}
+
+// Resolve implements Resolver using the learned trust.
+func (td *TruthDiscovery) Resolve(obs []relation.Sourced) relation.Value {
+	if len(obs) == 0 {
+		return relation.Null()
+	}
+	return td.weightedWinner(obs)
+}
+
+// Name implements Resolver.
+func (td *TruthDiscovery) Name() string { return "truthdiscovery" }
+
+// Disagreement scores a fused relation's conflict level: the fraction of
+// multi cells whose observations are not all equal. Buyers may inspect this
+// before deciding whether to buy contrasting signals.
+func Disagreement(fused *relation.Relation) float64 {
+	cells, conflicts := 0, 0
+	for _, row := range fused.Rows {
+		for i, v := range row {
+			if fused.Schema[i].Kind != relation.KindMulti {
+				continue
+			}
+			obs := v.AsMulti()
+			if len(obs) < 2 {
+				continue
+			}
+			cells++
+			for _, o := range obs[1:] {
+				if !o.Value.Equal(obs[0].Value) {
+					conflicts++
+					break
+				}
+			}
+		}
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(conflicts) / float64(cells)
+}

@@ -1,0 +1,179 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// mkWeather builds three weather sources over shared days: city (accurate),
+// sensor (accurate), phone (noisy/wrong often).
+func mkWeather(days int, seed int64) (truth []float64, sources []Source) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(name string) *relation.Relation {
+		return relation.New(name, relation.NewSchema(
+			relation.Col("day", relation.KindInt),
+			relation.Col("temp", relation.KindFloat),
+		))
+	}
+	city, sensor, phone := mk("city"), mk("sensor"), mk("phone")
+	for d := 0; d < days; d++ {
+		tv := float64(10 + d%15)
+		truth = append(truth, tv)
+		city.MustAppend(relation.Int(int64(d)), relation.Float(tv))
+		sensor.MustAppend(relation.Int(int64(d)), relation.Float(tv))
+		pv := tv
+		if rng.Float64() < 0.8 {
+			pv = tv + 5 // systematically wrong
+		}
+		phone.MustAppend(relation.Int(int64(d)), relation.Float(pv))
+	}
+	sources = []Source{{"city", city}, {"sensor", sensor}, {"phone", phone}}
+	return truth, sources
+}
+
+func TestAlignProducesMultiCells(t *testing.T) {
+	_, srcs := mkWeather(10, 1)
+	fused, err := Align("day", []string{"temp"}, srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.NumRows() != 10 {
+		t.Fatalf("rows = %d", fused.NumRows())
+	}
+	if fused.Schema.KindOf("temp") != relation.KindMulti {
+		t.Fatal("temp must be a multi column")
+	}
+	obs := fused.Rows[0][1].AsMulti()
+	if len(obs) != 3 {
+		t.Fatalf("observations = %d, want 3 sources", len(obs))
+	}
+	names := map[string]bool{}
+	for _, o := range obs {
+		names[o.Source] = true
+	}
+	if !names["city"] || !names["sensor"] || !names["phone"] {
+		t.Errorf("sources = %v", names)
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	if _, err := Align("day", nil); err == nil {
+		t.Error("no sources must fail")
+	}
+	r := relation.New("x", relation.NewSchema(relation.Col("a", relation.KindInt)))
+	if _, err := Align("day", []string{"temp"}, Source{"x", r}); err == nil {
+		t.Error("missing key column must fail")
+	}
+}
+
+func TestAlignPartialKeys(t *testing.T) {
+	a := relation.New("a", relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col("v", relation.KindFloat)))
+	a.MustAppend(relation.Int(1), relation.Float(10))
+	b := relation.New("b", relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col("v", relation.KindFloat)))
+	b.MustAppend(relation.Int(1), relation.Float(11))
+	b.MustAppend(relation.Int(2), relation.Float(22))
+	fused, err := Align("k", []string{"v"}, Source{"a", a}, Source{"b", b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.NumRows() != 2 {
+		t.Fatalf("rows = %d, want union of keys", fused.NumRows())
+	}
+	// Key 2 has only b's observation.
+	for _, row := range fused.Rows {
+		if row[0].AsInt() == 2 && len(row[1].AsMulti()) != 1 {
+			t.Errorf("key 2 observations = %d", len(row[1].AsMulti()))
+		}
+	}
+}
+
+func TestMajorityVoteResolver(t *testing.T) {
+	truth, srcs := mkWeather(30, 2)
+	fused, _ := Align("day", []string{"temp"}, srcs...)
+	resolved := Resolve(fused, MajorityVote{}, map[string]relation.Kind{"temp": relation.KindFloat})
+	// city+sensor outvote phone everywhere.
+	correct := 0
+	for i, row := range resolved.Rows {
+		if math.Abs(row[1].AsFloat()-truth[row[0].AsInt()]) < 1e-9 {
+			correct++
+		}
+		_ = i
+	}
+	if correct != 30 {
+		t.Errorf("majority correct = %d/30", correct)
+	}
+	if resolved.Schema.KindOf("temp") != relation.KindFloat {
+		t.Error("resolved column must be 1NF float")
+	}
+}
+
+func TestMeanAndPreferResolvers(t *testing.T) {
+	obs := []relation.Sourced{
+		{Source: "a", Value: relation.Float(10)},
+		{Source: "b", Value: relation.Float(20)},
+	}
+	if got := (MeanResolver{}).Resolve(obs); got.AsFloat() != 15 {
+		t.Errorf("mean = %v", got)
+	}
+	if !(MeanResolver{}).Resolve(nil).IsNull() {
+		t.Error("mean of nothing is NULL")
+	}
+	if got := (PreferSource{Source: "b"}).Resolve(obs); got.AsFloat() != 20 {
+		t.Errorf("prefer b = %v", got)
+	}
+	if got := (PreferSource{Source: "zz"}).Resolve(obs); got.IsNull() {
+		t.Error("missing preferred source falls back to majority")
+	}
+}
+
+func TestTruthDiscoveryDowngradesBadSource(t *testing.T) {
+	truth, srcs := mkWeather(60, 3)
+	fused, _ := Align("day", []string{"temp"}, srcs...)
+	td := NewTruthDiscovery()
+	td.Fit(fused)
+	if td.Trust["phone"] >= td.Trust["city"] {
+		t.Errorf("trust: phone=%v city=%v; phone must rank below", td.Trust["phone"], td.Trust["city"])
+	}
+	resolved := Resolve(fused, td, map[string]relation.Kind{"temp": relation.KindFloat})
+	correct := 0
+	for _, row := range resolved.Rows {
+		if math.Abs(row[1].AsFloat()-truth[row[0].AsInt()]) < 1e-9 {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Errorf("truth discovery correct = %d/60", correct)
+	}
+}
+
+func TestDisagreement(t *testing.T) {
+	_, srcs := mkWeather(50, 4)
+	fused, _ := Align("day", []string{"temp"}, srcs...)
+	d := Disagreement(fused)
+	// Phone is wrong ~80% of the time → ~80% of cells conflict.
+	if d < 0.6 || d > 0.95 {
+		t.Errorf("disagreement = %v, want ~0.8", d)
+	}
+	// Perfectly agreeing sources: 0.
+	a := relation.New("a", relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col("v", relation.KindFloat)))
+	a.MustAppend(relation.Int(1), relation.Float(5))
+	fusedSame, _ := Align("k", []string{"v"}, Source{"x", a}, Source{"y", a.Clone()})
+	if got := Disagreement(fusedSame); got != 0 {
+		t.Errorf("agreeing disagreement = %v", got)
+	}
+}
+
+func TestTruthDiscoveryEmpty(t *testing.T) {
+	td := NewTruthDiscovery()
+	empty := relation.New("e", relation.NewSchema(relation.Col("v", relation.KindMulti)))
+	td.Fit(empty)
+	if !td.Resolve(nil).IsNull() {
+		t.Error("resolving nothing is NULL")
+	}
+}

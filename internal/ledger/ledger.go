@@ -1,0 +1,272 @@
+// Package ledger implements the transaction-support substrate of the DMMS
+// (paper Fig. 2 "Transaction Support" and §4.4 accountability): double-entry
+// accounts for buyers, sellers and the arbiter; escrow for ex-post payment
+// mechanisms; and a hash-chained, tamper-evident audit log that gives all
+// participants a transparent record of what was traded, for how much, and
+// how revenue was shared.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Currency is an amount of market incentive: dollars in external markets,
+// bonus points in internal markets, barter credits in data-exchange markets
+// (paper §3.3). Stored as integer micro-units to avoid float drift.
+type Currency int64
+
+// FromFloat converts a float amount to Currency micro-units.
+func FromFloat(f float64) Currency { return Currency(f*1e6 + 0.5*signf(f)) }
+
+func signf(f float64) float64 {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Float converts back to a float amount.
+func (c Currency) Float() float64 { return float64(c) / 1e6 }
+
+// String renders the amount with two decimals.
+func (c Currency) String() string { return fmt.Sprintf("%.2f", c.Float()) }
+
+// EntryKind classifies audit log entries.
+type EntryKind string
+
+// Audit entry kinds.
+const (
+	KindOpen     EntryKind = "open"
+	KindDeposit  EntryKind = "deposit"
+	KindTransfer EntryKind = "transfer"
+	KindEscrow   EntryKind = "escrow"
+	KindRelease  EntryKind = "release"
+	KindRefund   EntryKind = "refund"
+	KindNote     EntryKind = "note"
+)
+
+// AuditEntry is one tamper-evident log record. Hash covers the previous
+// entry's hash plus this entry's fields, forming a chain.
+type AuditEntry struct {
+	Seq      int
+	Kind     EntryKind
+	From, To string
+	Amount   Currency
+	Memo     string
+	PrevHash string
+	Hash     string
+}
+
+func (e *AuditEntry) computeHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d|%s|%s", e.Seq, e.Kind, e.From, e.To, e.Amount, e.Memo, e.PrevHash)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Ledger is a concurrency-safe double-entry ledger with escrow accounts.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[string]Currency
+	escrow   map[string]Currency // escrow ID -> held amount
+	escrowBy map[string]string   // escrow ID -> funding account
+	log      []AuditEntry
+}
+
+// New creates an empty ledger.
+func New() *Ledger {
+	return &Ledger{
+		balances: map[string]Currency{},
+		escrow:   map[string]Currency{},
+		escrowBy: map[string]string{},
+	}
+}
+
+func (l *Ledger) append(kind EntryKind, from, to string, amount Currency, memo string) {
+	e := AuditEntry{Seq: len(l.log), Kind: kind, From: from, To: to, Amount: amount, Memo: memo}
+	if len(l.log) > 0 {
+		e.PrevHash = l.log[len(l.log)-1].Hash
+	}
+	e.Hash = e.computeHash()
+	l.log = append(l.log, e)
+}
+
+// Open creates an account with an initial balance. Opening an existing
+// account is an error.
+func (l *Ledger) Open(account string, initial Currency) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[account]; ok {
+		return fmt.Errorf("ledger: account %q already open", account)
+	}
+	l.balances[account] = initial
+	l.append(KindOpen, "", account, initial, "open")
+	return nil
+}
+
+// Balance returns the available (non-escrowed) balance.
+func (l *Ledger) Balance(account string) Currency {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[account]
+}
+
+// Deposit adds funds from outside the market.
+func (l *Ledger) Deposit(account string, amount Currency) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative deposit %s", amount)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[account]; !ok {
+		return fmt.Errorf("ledger: account %q not open", account)
+	}
+	l.balances[account] += amount
+	l.append(KindDeposit, "", account, amount, "deposit")
+	return nil
+}
+
+// Transfer moves funds between accounts, failing on insufficient balance.
+func (l *Ledger) Transfer(from, to string, amount Currency, memo string) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative transfer %s", amount)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[from]; !ok {
+		return fmt.Errorf("ledger: account %q not open", from)
+	}
+	if _, ok := l.balances[to]; !ok {
+		return fmt.Errorf("ledger: account %q not open", to)
+	}
+	if l.balances[from] < amount {
+		return fmt.Errorf("ledger: %q has %s, cannot transfer %s", from, l.balances[from], amount)
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	l.append(KindTransfer, from, to, amount, memo)
+	return nil
+}
+
+// Hold moves funds from an account into a named escrow. Ex-post mechanisms
+// (paper §3.2.2.2) hold a deposit while the buyer evaluates the data.
+func (l *Ledger) Hold(escrowID, from string, amount Currency, memo string) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative escrow %s", amount)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[from]; !ok {
+		return fmt.Errorf("ledger: account %q not open", from)
+	}
+	if _, ok := l.escrow[escrowID]; ok {
+		return fmt.Errorf("ledger: escrow %q already held", escrowID)
+	}
+	if l.balances[from] < amount {
+		return fmt.Errorf("ledger: %q has %s, cannot escrow %s", from, l.balances[from], amount)
+	}
+	l.balances[from] -= amount
+	l.escrow[escrowID] = amount
+	l.escrowBy[escrowID] = from
+	l.append(KindEscrow, from, escrowID, amount, memo)
+	return nil
+}
+
+// Release pays `amount` of the escrow to `to` and refunds the remainder to
+// the funding account, closing the escrow.
+func (l *Ledger) Release(escrowID, to string, amount Currency, memo string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	held, ok := l.escrow[escrowID]
+	if !ok {
+		return fmt.Errorf("ledger: escrow %q not held", escrowID)
+	}
+	if amount < 0 || amount > held {
+		return fmt.Errorf("ledger: escrow %q holds %s, cannot release %s", escrowID, held, amount)
+	}
+	if _, ok := l.balances[to]; !ok {
+		return fmt.Errorf("ledger: account %q not open", to)
+	}
+	funder := l.escrowBy[escrowID]
+	l.balances[to] += amount
+	refund := held - amount
+	l.balances[funder] += refund
+	delete(l.escrow, escrowID)
+	delete(l.escrowBy, escrowID)
+	l.append(KindRelease, escrowID, to, amount, memo)
+	if refund > 0 {
+		l.append(KindRefund, escrowID, funder, refund, "escrow refund")
+	}
+	return nil
+}
+
+// Escrowed returns the amount held in an escrow (0 when absent).
+func (l *Ledger) Escrowed(escrowID string) Currency {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.escrow[escrowID]
+}
+
+// Note appends a free-form audit record (e.g. "mashup m7 delivered to b1").
+func (l *Ledger) Note(memo string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.append(KindNote, "", "", 0, memo)
+}
+
+// Log returns a copy of the audit log.
+func (l *Ledger) Log() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEntry, len(l.log))
+	copy(out, l.log)
+	return out
+}
+
+// VerifyChain recomputes the hash chain, returning the index of the first
+// corrupted entry, or -1 when the log is intact. Buyers/sellers use this to
+// audit the arbiter (paper §4.4 Transparency).
+func (l *Ledger) VerifyChain() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := ""
+	for i := range l.log {
+		e := l.log[i]
+		if e.PrevHash != prev || e.computeHash() != e.Hash {
+			return i
+		}
+		prev = e.Hash
+	}
+	return -1
+}
+
+// TotalSupply sums all balances plus escrowed funds. Conservation of money —
+// the sum never changes except via Open/Deposit — is a market invariant the
+// simulator asserts.
+func (l *Ledger) TotalSupply() Currency {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total Currency
+	for _, b := range l.balances {
+		total += b
+	}
+	for _, e := range l.escrow {
+		total += e
+	}
+	return total
+}
+
+// Accounts returns all account names, sorted.
+func (l *Ledger) Accounts() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.balances))
+	for a := range l.balances {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

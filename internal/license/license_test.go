@@ -1,0 +1,105 @@
+package license
+
+import "testing"
+
+func TestTermsValidate(t *testing.T) {
+	ok := []Terms{
+		{Kind: Open},
+		{Kind: NoResale},
+		{Kind: Transfer},
+		{Kind: Exclusive, ExclusivityTaxRate: 0.1},
+		{Kind: Exclusive},
+	}
+	for _, terms := range ok {
+		if err := terms.Validate(); err != nil {
+			t.Errorf("valid terms %+v rejected: %v", terms, err)
+		}
+	}
+	bad := []Terms{
+		{Kind: Open, ExclusivityTaxRate: 0.1},
+		{Kind: Exclusive, ExclusivityTaxRate: -1},
+		{Kind: "bogus"},
+	}
+	for _, terms := range bad {
+		if err := terms.Validate(); err == nil {
+			t.Errorf("invalid terms %+v accepted", terms)
+		}
+	}
+}
+
+func TestSupply(t *testing.T) {
+	if (Terms{Kind: Open}).Supply() != -1 || (Terms{Kind: NoResale}).Supply() != -1 {
+		t.Error("replicable licenses have unlimited supply")
+	}
+	if (Terms{Kind: Exclusive}).Supply() != 1 || (Terms{Kind: Transfer}).Supply() != 1 {
+		t.Error("exclusive/transfer supply must be 1")
+	}
+}
+
+func TestExclusivityEnforced(t *testing.T) {
+	m := NewManager()
+	if err := m.SetTerms("d1", Terms{Kind: Exclusive, ExclusivityTaxRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := m.Issue("d1", "alice", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Issue("d1", "bob", 100); err == nil {
+		t.Error("second exclusive grant must fail")
+	}
+	// Tax accrues per period.
+	if g1.TaxDue() != 10 {
+		t.Errorf("tax = %v", g1.TaxDue())
+	}
+	taxes := m.PeriodTaxes()
+	if taxes["alice"] != 10 {
+		t.Errorf("period taxes = %v", taxes)
+	}
+	// Revocation reopens supply.
+	m.Revoke(g1)
+	if _, err := m.Issue("d1", "bob", 100); err != nil {
+		t.Errorf("after revoke: %v", err)
+	}
+	if g1.TaxDue() != 0 {
+		t.Error("revoked grant owes no tax")
+	}
+}
+
+func TestResaleRights(t *testing.T) {
+	m := NewManager()
+	_ = m.SetTerms("open", Terms{Kind: Open})
+	_ = m.SetTerms("locked", Terms{Kind: NoResale})
+	if _, err := m.Issue("open", "arb", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Issue("locked", "arb", 10); err != nil {
+		t.Fatal(err)
+	}
+	if !m.MayResell("open", "arb") {
+		t.Error("open license permits resale")
+	}
+	if m.MayResell("locked", "arb") {
+		t.Error("no-resale license forbids resale")
+	}
+	if m.MayResell("open", "stranger") {
+		t.Error("non-beneficiary cannot resell")
+	}
+}
+
+func TestDefaultTermsOpen(t *testing.T) {
+	m := NewManager()
+	if m.TermsFor("unknown").Kind != Open {
+		t.Error("default terms must be open")
+	}
+	// Issuing against unknown dataset uses open terms, unlimited supply.
+	if _, err := m.Issue("unknown", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Issue("unknown", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.GrantsFor("unknown")); got != 2 {
+		t.Errorf("grants = %d", got)
+	}
+}

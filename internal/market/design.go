@@ -1,0 +1,235 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// Goal is what the market design optimizes (paper §3.1: "maximize revenue,
+// optimize social surplus, and others").
+type Goal string
+
+// Market goals.
+const (
+	GoalRevenue Goal = "revenue"
+	GoalWelfare Goal = "welfare"
+	GoalVolume  Goal = "volume"
+)
+
+// Type is the market environment (paper §3.3).
+type Type string
+
+// Market types.
+const (
+	TypeExternal Type = "external" // across organizations, money
+	TypeInternal Type = "internal" // within an organization, bonus points
+	TypeBarter   Type = "barter"   // data/services as the incentive
+)
+
+// Elicitation selects the protocol buyers use to communicate value
+// (paper §3.2.2): up-front WTP-functions or ex-post reporting.
+type Elicitation string
+
+// Elicitation protocols.
+const (
+	ElicitUpfront Elicitation = "upfront"
+	ElicitExPost  Elicitation = "expost"
+)
+
+// Design bundles the five components of a market design (paper §3.1) with
+// its goal and type. Designs are plug'n'play: the arbiter accepts any Design
+// and the simulator can stress any Design before deployment (paper Fig. 1).
+type Design struct {
+	Label       string
+	Goal        Goal
+	Type        Type
+	Elicitation Elicitation
+	// Mechanism couples allocation + payment.
+	Mechanism Mechanism
+	// Revenue allocation across contributing datasets.
+	Allocator Allocator
+	// ArbiterFee is the fraction of revenue the arbiter retains to fund
+	// operations (and the data-insurance pool, paper §3.4).
+	ArbiterFee float64
+}
+
+// Validate checks the design is complete and coherent.
+func (d *Design) Validate() error {
+	if d.Label == "" {
+		return fmt.Errorf("market: design has no label")
+	}
+	if d.Mechanism == nil {
+		return fmt.Errorf("market: design %q has no mechanism", d.Label)
+	}
+	if d.Allocator == nil {
+		return fmt.Errorf("market: design %q has no revenue allocator", d.Label)
+	}
+	if d.ArbiterFee < 0 || d.ArbiterFee >= 1 {
+		return fmt.Errorf("market: design %q arbiter fee %v out of [0,1)", d.Label, d.ArbiterFee)
+	}
+	if d.Elicitation == ElicitExPost {
+		if _, ok := d.Mechanism.(ExPost); !ok {
+			return fmt.Errorf("market: design %q declares ex-post elicitation but mechanism %s", d.Label, d.Mechanism.Name())
+		}
+	}
+	return nil
+}
+
+// RevenueSplit is the final division of one sale's revenue.
+type RevenueSplit struct {
+	ArbiterCut float64
+	SellerCut  map[string]float64 // seller -> amount
+}
+
+// ShareRevenue implements the revenue-sharing component (paper §3.2.3): the
+// revenue of a sold mashup is allocated to datasets by the design's
+// Allocator (with the provenance-derived value function when vf is nil) and
+// then forwarded to each dataset's owner.
+func (d *Design) ShareRevenue(total float64, anno *provenance.Annotated, owners map[string]string, vf ValueFunc) RevenueSplit {
+	split := RevenueSplit{SellerCut: map[string]float64{}}
+	if total <= 0 {
+		return split
+	}
+	split.ArbiterCut = total * d.ArbiterFee
+	pool := total - split.ArbiterCut
+	players := anno.Datasets()
+	if len(players) == 0 {
+		split.ArbiterCut = total
+		return split
+	}
+	if vf == nil {
+		vf = RowCountValue(anno)
+	}
+	weights := d.Allocator.Allocate(players, vf)
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	if wsum == 0 {
+		// Nothing had marginal value; split uniformly so sellers are still
+		// compensated for participation.
+		u := Uniform{}.Allocate(players, vf)
+		weights = u
+		wsum = 1
+	}
+	for _, ds := range players {
+		owner := owners[ds]
+		if owner == "" {
+			owner = ds
+		}
+		split.SellerCut[owner] += pool * weights[ds] / wsum
+	}
+	return split
+}
+
+// RowCountValue builds a characteristic function from provenance: v(S) is
+// the fraction of mashup rows constructible from the datasets in S alone.
+// This is the "reverse engineering of f()" for relational plans: lineage
+// tells exactly which rows survive without a coalition's data.
+func RowCountValue(anno *provenance.Annotated) ValueFunc {
+	totalRows := anno.Rel.NumRows()
+	return func(coalition map[string]bool) float64 {
+		if totalRows == 0 || len(coalition) == 0 {
+			return 0
+		}
+		kept := anno.RestrictToDatasets(coalition)
+		return float64(kept.Rel.NumRows()) / float64(totalRows)
+	}
+}
+
+// SatisfactionValue builds a characteristic function that re-evaluates a
+// buyer-supplied scorer on the coalition-restricted mashup — the exact
+// Shapley game of the data-valuation literature the paper cites (§8.2).
+func SatisfactionValue(anno *provenance.Annotated, score func(rows int) float64) ValueFunc {
+	return func(coalition map[string]bool) float64 {
+		if len(coalition) == 0 {
+			return 0
+		}
+		kept := anno.RestrictToDatasets(coalition)
+		return score(kept.Rel.NumRows())
+	}
+}
+
+// Registry is the plug'n'play catalog of named designs a DMMS deployment
+// exposes (paper: "permit the declaration of a wide variety of market
+// designs ... and their deployment on the same software platform").
+type Registry struct {
+	designs map[string]*Design
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{designs: map[string]*Design{}} }
+
+// Register validates and stores a design under its label.
+func (r *Registry) Register(d *Design) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if _, ok := r.designs[d.Label]; ok {
+		return fmt.Errorf("market: design %q already registered", d.Label)
+	}
+	r.designs[d.Label] = d
+	return nil
+}
+
+// Get returns a design by label.
+func (r *Registry) Get(label string) (*Design, error) {
+	d, ok := r.designs[label]
+	if !ok {
+		return nil, fmt.Errorf("market: no design %q (have %v)", label, r.Labels())
+	}
+	return d, nil
+}
+
+// Labels lists registered designs, sorted.
+func (r *Registry) Labels() []string {
+	out := make([]string, 0, len(r.designs))
+	for l := range r.designs {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StandardDesigns returns the designs the paper's scenarios call for:
+// revenue-maximizing external markets, welfare-maximizing internal markets,
+// a barter market, the posted-price status quo, and the ex-post protocol.
+func StandardDesigns() *Registry {
+	r := NewRegistry()
+	must := func(d *Design) {
+		if err := r.Register(d); err != nil {
+			panic(err)
+		}
+	}
+	must(&Design{
+		Label: "external-rsop", Goal: GoalRevenue, Type: TypeExternal,
+		Elicitation: ElicitUpfront, Mechanism: RSOP{Seed: 7},
+		Allocator: ShapleyMonteCarlo{Samples: 200, Seed: 7}, ArbiterFee: 0.05,
+	})
+	must(&Design{
+		Label: "external-vickrey", Goal: GoalRevenue, Type: TypeExternal,
+		Elicitation: ElicitUpfront, Mechanism: SecondPrice{Reserve: 0},
+		Allocator: ShapleyExact{}, ArbiterFee: 0.05,
+	})
+	// Internal markets maximize allocation, not revenue: a low nominal
+	// point price keeps nearly every beneficial trade while still rewarding
+	// the sharing department with bonus points.
+	must(&Design{
+		Label: "internal-welfare", Goal: GoalWelfare, Type: TypeInternal,
+		Elicitation: ElicitUpfront, Mechanism: PostedPrice{P: 10},
+		Allocator: Uniform{}, ArbiterFee: 0,
+	})
+	must(&Design{
+		Label: "posted-baseline", Goal: GoalRevenue, Type: TypeExternal,
+		Elicitation: ElicitUpfront, Mechanism: PostedPrice{P: 100},
+		Allocator: LeaveOneOut{}, ArbiterFee: 0.05,
+	})
+	must(&Design{
+		Label: "expost-audited", Goal: GoalVolume, Type: TypeExternal,
+		Elicitation: ElicitExPost, Mechanism: ExPost{Deposit: 500, AuditProb: 0.3, Penalty: 4},
+		Allocator: ShapleyMonteCarlo{Samples: 100, Seed: 11}, ArbiterFee: 0.05,
+	})
+	return r
+}

@@ -1,0 +1,130 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+func TestDesignValidate(t *testing.T) {
+	ok := &Design{Label: "d", Mechanism: PostedPrice{P: 1}, Allocator: Uniform{}, ArbiterFee: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid design rejected: %v", err)
+	}
+	bad := []*Design{
+		{Mechanism: PostedPrice{}, Allocator: Uniform{}},
+		{Label: "x", Allocator: Uniform{}},
+		{Label: "x", Mechanism: PostedPrice{}},
+		{Label: "x", Mechanism: PostedPrice{}, Allocator: Uniform{}, ArbiterFee: 1.5},
+		{Label: "x", Mechanism: PostedPrice{}, Allocator: Uniform{}, Elicitation: ElicitExPost},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad design %d accepted", i)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	d := &Design{Label: "d1", Mechanism: PostedPrice{P: 1}, Allocator: Uniform{}}
+	if err := r.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(d); err == nil {
+		t.Error("duplicate label must fail")
+	}
+	got, err := r.Get("d1")
+	if err != nil || got != d {
+		t.Errorf("get = %v, %v", got, err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("unknown label must fail")
+	}
+}
+
+func TestStandardDesigns(t *testing.T) {
+	r := StandardDesigns()
+	labels := r.Labels()
+	if len(labels) < 5 {
+		t.Fatalf("labels = %v", labels)
+	}
+	for _, l := range labels {
+		d, err := r.Get(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("standard design %s invalid: %v", l, err)
+		}
+	}
+}
+
+func mkJoinedAnno(t *testing.T) *provenance.Annotated {
+	t.Helper()
+	l := relation.New("l", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	r := relation.New("r", relation.NewSchema(relation.Col("k", relation.KindInt), relation.Col("v", relation.KindInt)))
+	for i := 0; i < 4; i++ {
+		l.MustAppend(relation.Int(int64(i)))
+		r.MustAppend(relation.Int(int64(i)), relation.Int(int64(i*10)))
+	}
+	j, err := provenance.HashJoin(provenance.FromSource("ds1", l), provenance.FromSource("ds2", r),
+		relation.JoinPair{Left: "k", Right: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestShareRevenue(t *testing.T) {
+	anno := mkJoinedAnno(t)
+	d := &Design{Label: "d", Mechanism: PostedPrice{P: 1}, Allocator: ShapleyExact{}, ArbiterFee: 0.1}
+	owners := map[string]string{"ds1": "seller1", "ds2": "seller2"}
+	split := d.ShareRevenue(100, anno, owners, nil)
+	if math.Abs(split.ArbiterCut-10) > 1e-9 {
+		t.Errorf("arbiter cut = %v", split.ArbiterCut)
+	}
+	// Perfect complements: sellers split the 90 pool evenly.
+	if math.Abs(split.SellerCut["seller1"]-45) > 1e-6 || math.Abs(split.SellerCut["seller2"]-45) > 1e-6 {
+		t.Errorf("seller cuts = %v", split.SellerCut)
+	}
+	var total float64
+	for _, c := range split.SellerCut {
+		total += c
+	}
+	total += split.ArbiterCut
+	if math.Abs(total-100) > 1e-6 {
+		t.Errorf("split must conserve revenue: %v", total)
+	}
+}
+
+func TestShareRevenueZeroAndUnknownOwner(t *testing.T) {
+	anno := mkJoinedAnno(t)
+	d := &Design{Label: "d", Mechanism: PostedPrice{P: 1}, Allocator: Uniform{}}
+	if s := d.ShareRevenue(0, anno, nil, nil); len(s.SellerCut) != 0 {
+		t.Error("zero revenue shares nothing")
+	}
+	// Unknown owners default to the dataset ID.
+	s := d.ShareRevenue(10, anno, nil, nil)
+	if _, ok := s.SellerCut["ds1"]; !ok {
+		t.Errorf("cuts = %v", s.SellerCut)
+	}
+}
+
+func TestSatisfactionValue(t *testing.T) {
+	anno := mkJoinedAnno(t)
+	vf := SatisfactionValue(anno, func(rows int) float64 {
+		if rows >= 4 {
+			return 1
+		}
+		return 0
+	})
+	if vf(map[string]bool{"ds1": true, "ds2": true}) != 1 {
+		t.Error("grand coalition satisfies")
+	}
+	if vf(map[string]bool{"ds1": true}) != 0 {
+		t.Error("ds1 alone does not satisfy")
+	}
+}

@@ -1,0 +1,321 @@
+// Package market is the market design toolbox (paper §3): it models a
+// market design M as the five components that govern interactions between
+// sellers, buyers and arbiter — elicitation protocol, allocation function,
+// payment function, revenue allocation and revenue sharing — and provides
+// implementations engineered for the unique characteristics of data as an
+// asset: free replicability (infinite supply) and arbitrary combinability.
+//
+// Mechanisms implemented:
+//
+//   - posted price (the Dawex-style baseline the paper critiques);
+//   - Vickrey second-price and its K-unit generalization (GSP-flavoured);
+//   - random-sampling optimal price (Goldberg–Hartline digital-goods
+//     auction) for freely replicable data;
+//   - Myerson-style reserve pricing;
+//   - an ex-post reporting mechanism with escrowed deposits and audits
+//     (paper §3.2.2.2, for buyers who learn their value only after use).
+//
+// Revenue allocation (paper §3.2.3) ships as exact Shapley value,
+// Monte-Carlo Shapley, leave-one-out, and uniform allocators, plus a
+// core-stability check.
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bid is a buyer's reported willingness to pay for a particular mashup. The
+// True field is the buyer's private valuation; mechanisms never read it — it
+// exists so the simulator can measure regret and truthfulness.
+type Bid struct {
+	Buyer string
+	Offer float64
+	True  float64
+}
+
+// Sale records one allocation outcome: the buyer obtains the asset at Price.
+type Sale struct {
+	Buyer string
+	Price float64
+}
+
+// Outcome is the result of running a mechanism over a set of bids.
+type Outcome struct {
+	Sales   []Sale
+	Revenue float64
+}
+
+func outcome(sales []Sale) Outcome {
+	var rev float64
+	for _, s := range sales {
+		rev += s.Price
+	}
+	sort.Slice(sales, func(i, j int) bool { return sales[i].Buyer < sales[j].Buyer })
+	return Outcome{Sales: sales, Revenue: rev}
+}
+
+// Mechanism couples the allocation and payment functions of a market design.
+// Supply is the number of copies for sale: SupplyUnlimited for freely
+// replicable data, 1 for an exclusive license (paper §4.4).
+type Mechanism interface {
+	Name() string
+	Run(bids []Bid, supply int) Outcome
+}
+
+// SupplyUnlimited marks infinite supply (data is freely replicable).
+const SupplyUnlimited = -1
+
+// sortedByOffer returns bids sorted by descending offer (ties by buyer name
+// for determinism).
+func sortedByOffer(bids []Bid) []Bid {
+	out := make([]Bid, len(bids))
+	copy(out, bids)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Offer != out[j].Offer {
+			return out[i].Offer > out[j].Offer
+		}
+		return out[i].Buyer < out[j].Buyer
+	})
+	return out
+}
+
+// PostedPrice sells to every bidder offering at least P, at exactly P —
+// today's data marketplaces (Dawex, Snowflake Data Exchange) in one line.
+// Not incentive-compatible for the seller side (P is a guess) and leaves
+// buyer surplus unextracted; it is the baseline the designs below beat.
+type PostedPrice struct {
+	P float64
+}
+
+// Name implements Mechanism.
+func (m PostedPrice) Name() string { return fmt.Sprintf("posted(%.0f)", m.P) }
+
+// Run implements Mechanism.
+func (m PostedPrice) Run(bids []Bid, supply int) Outcome {
+	var sales []Sale
+	for _, b := range sortedByOffer(bids) {
+		if supply != SupplyUnlimited && len(sales) >= supply {
+			break
+		}
+		if b.Offer >= m.P {
+			sales = append(sales, Sale{Buyer: b.Buyer, Price: m.P})
+		}
+	}
+	return outcome(sales)
+}
+
+// SecondPrice is the K-unit Vickrey auction: the top-K bidders win and each
+// pays the (K+1)-th bid (or the reserve when there are no more bids).
+// Truthful for unit demand; the paper cites generalized second-price ad
+// auctions as the template (§3.2.1).
+type SecondPrice struct {
+	Reserve float64
+}
+
+// Name implements Mechanism.
+func (m SecondPrice) Name() string { return fmt.Sprintf("vickrey(r=%.0f)", m.Reserve) }
+
+// Run implements Mechanism.
+func (m SecondPrice) Run(bids []Bid, supply int) Outcome {
+	sorted := sortedByOffer(bids)
+	k := supply
+	if supply == SupplyUnlimited {
+		// With unlimited supply a Vickrey auction degenerates to the
+		// reserve: everyone above the reserve wins at the reserve.
+		var sales []Sale
+		for _, b := range sorted {
+			if b.Offer >= m.Reserve {
+				sales = append(sales, Sale{Buyer: b.Buyer, Price: m.Reserve})
+			}
+		}
+		return outcome(sales)
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	// Clearing price: the highest losing bid, floored at the reserve.
+	price := m.Reserve
+	if supply < len(sorted) && sorted[supply].Offer > price {
+		price = sorted[supply].Offer
+	}
+	var sales []Sale
+	for i := 0; i < k; i++ {
+		if sorted[i].Offer < m.Reserve {
+			break
+		}
+		sales = append(sales, Sale{Buyer: sorted[i].Buyer, Price: price})
+	}
+	return outcome(sales)
+}
+
+// GSP is the generalized second-price auction: the i-th highest bidder wins
+// slot i and pays the (i+1)-th bid. Not truthful in general (the paper notes
+// its use in real-time ad bidding).
+type GSP struct{}
+
+// Name implements Mechanism.
+func (GSP) Name() string { return "gsp" }
+
+// Run implements Mechanism.
+func (GSP) Run(bids []Bid, supply int) Outcome {
+	sorted := sortedByOffer(bids)
+	k := supply
+	if supply == SupplyUnlimited || k > len(sorted) {
+		k = len(sorted)
+	}
+	var sales []Sale
+	for i := 0; i < k; i++ {
+		price := 0.0
+		if i+1 < len(sorted) {
+			price = sorted[i+1].Offer
+		}
+		sales = append(sales, Sale{Buyer: sorted[i].Buyer, Price: price})
+	}
+	return outcome(sales)
+}
+
+// RSOP is the random-sampling optimal-price auction for digital goods
+// (Goldberg–Hartline): bidders are split into two halves by a deterministic
+// pseudo-random rule seeded by Seed; each half's revenue-optimal fixed price
+// is offered to the *other* half. Truthful in expectation and approximately
+// revenue-optimal for freely replicable assets — the paper's §3.2.1 cites
+// exactly this line of work for data's infinite supply.
+type RSOP struct {
+	Seed int64
+}
+
+// Name implements Mechanism.
+func (m RSOP) Name() string { return "rsop" }
+
+// Run implements Mechanism.
+func (m RSOP) Run(bids []Bid, supply int) Outcome {
+	if len(bids) == 0 {
+		return Outcome{}
+	}
+	if len(bids) == 1 {
+		// Degenerate: charge the lone bidder their own bid (no sample to
+		// learn from); equivalent to a take-it-or-leave at bid value.
+		return outcome([]Sale{{Buyer: bids[0].Buyer, Price: bids[0].Offer}})
+	}
+	sorted := sortedByOffer(bids)
+	// Deterministic split: xorshift of seed and index parity.
+	var a, b []Bid
+	x := uint64(m.Seed)*0x9e3779b97f4a7c15 + 0x1234567
+	for i, bid := range sorted {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if (x+uint64(i))%2 == 0 {
+			a = append(a, bid)
+		} else {
+			b = append(b, bid)
+		}
+	}
+	pa := optimalFixedPrice(a)
+	pb := optimalFixedPrice(b)
+	var sales []Sale
+	for _, bid := range a {
+		if bid.Offer >= pb && pb > 0 {
+			sales = append(sales, Sale{Buyer: bid.Buyer, Price: pb})
+		}
+	}
+	for _, bid := range b {
+		if bid.Offer >= pa && pa > 0 {
+			sales = append(sales, Sale{Buyer: bid.Buyer, Price: pa})
+		}
+	}
+	if supply != SupplyUnlimited && len(sales) > supply {
+		sort.Slice(sales, func(i, j int) bool { return sales[i].Price > sales[j].Price })
+		sales = sales[:supply]
+	}
+	return outcome(sales)
+}
+
+// optimalFixedPrice finds the fixed price maximizing revenue over the bids.
+func optimalFixedPrice(bids []Bid) float64 {
+	best, bestRev := 0.0, 0.0
+	for _, cand := range bids {
+		p := cand.Offer
+		if p <= 0 {
+			continue
+		}
+		var rev float64
+		for _, b := range bids {
+			if b.Offer >= p {
+				rev += p
+			}
+		}
+		if rev > bestRev || (rev == bestRev && p < best) {
+			best, bestRev = p, rev
+		}
+	}
+	return best
+}
+
+// ExPost implements the "buyers do not know how much to pay" protocol
+// (§3.2.2.2): every requester gets the data up front against an escrowed
+// deposit; after use they report their realized value and pay it. With audit
+// probability AuditProb the arbiter can verify the report (re-running the
+// WTP task); under-reporters pay Penalty times the shortfall. Reporting
+// honestly is optimal whenever AuditProb·Penalty ≥ 1.
+type ExPost struct {
+	Deposit   float64
+	AuditProb float64
+	Penalty   float64
+}
+
+// Name implements Mechanism.
+func (m ExPost) Name() string { return "expost" }
+
+// Run implements Mechanism: with Offer interpreted as the buyer's *report*
+// after use, each buyer pays min(report, deposit) — the escrow caps
+// exposure. Audit effects are applied by RunAudited when true values and an
+// audit schedule are available (the simulator exercises that path).
+func (m ExPost) Run(bids []Bid, supply int) Outcome {
+	var sales []Sale
+	for _, b := range sortedByOffer(bids) {
+		if supply != SupplyUnlimited && len(sales) >= supply {
+			break
+		}
+		pay := b.Offer
+		if m.Deposit > 0 && pay > m.Deposit {
+			pay = m.Deposit
+		}
+		if pay < 0 {
+			pay = 0
+		}
+		sales = append(sales, Sale{Buyer: b.Buyer, Price: pay})
+	}
+	return outcome(sales)
+}
+
+// AuditOutcome extends a sale with audit bookkeeping.
+type AuditOutcome struct {
+	Sale      Sale
+	Audited   bool
+	Shortfall float64 // true - reported when under-reported and audited
+	Penalty   float64
+}
+
+// RunAudited executes the ex-post mechanism with audits: audited(i) says
+// whether buyer i's report is verified. Under-reporting caught by an audit
+// pays the shortfall plus Penalty·shortfall.
+func (m ExPost) RunAudited(bids []Bid, audited func(i int) bool) ([]AuditOutcome, float64) {
+	var out []AuditOutcome
+	var revenue float64
+	for i, b := range bids {
+		ao := AuditOutcome{Sale: Sale{Buyer: b.Buyer, Price: b.Offer}}
+		if audited != nil && audited(i) {
+			ao.Audited = true
+			if b.True > b.Offer {
+				ao.Shortfall = b.True - b.Offer
+				ao.Penalty = m.Penalty * ao.Shortfall
+				ao.Sale.Price = b.True + ao.Penalty
+			}
+		}
+		revenue += ao.Sale.Price
+		out = append(out, ao)
+	}
+	return out, revenue
+}

@@ -1,0 +1,280 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func bids(vals ...float64) []Bid {
+	out := make([]Bid, len(vals))
+	for i, v := range vals {
+		out[i] = Bid{Buyer: string(rune('a' + i)), Offer: v, True: v}
+	}
+	return out
+}
+
+func findSale(o Outcome, buyer string) (Sale, bool) {
+	for _, s := range o.Sales {
+		if s.Buyer == buyer {
+			return s, true
+		}
+	}
+	return Sale{}, false
+}
+
+func TestPostedPrice(t *testing.T) {
+	m := PostedPrice{P: 50}
+	o := m.Run(bids(100, 60, 40), SupplyUnlimited)
+	if len(o.Sales) != 2 {
+		t.Fatalf("sales = %v", o.Sales)
+	}
+	for _, s := range o.Sales {
+		if s.Price != 50 {
+			t.Errorf("posted price must charge P, got %v", s.Price)
+		}
+	}
+	if o.Revenue != 100 {
+		t.Errorf("revenue = %v", o.Revenue)
+	}
+	// Limited supply: only the highest bidder wins.
+	o = m.Run(bids(100, 60, 40), 1)
+	if len(o.Sales) != 1 || o.Sales[0].Buyer != "a" {
+		t.Errorf("limited supply sales = %v", o.Sales)
+	}
+}
+
+func TestSecondPriceSingleUnit(t *testing.T) {
+	m := SecondPrice{}
+	o := m.Run(bids(100, 60, 40), 1)
+	if len(o.Sales) != 1 {
+		t.Fatalf("sales = %v", o.Sales)
+	}
+	if o.Sales[0].Buyer != "a" || o.Sales[0].Price != 60 {
+		t.Errorf("winner pays second price: %v", o.Sales[0])
+	}
+}
+
+func TestSecondPriceKUnits(t *testing.T) {
+	m := SecondPrice{}
+	o := m.Run(bids(100, 80, 60, 40), 2)
+	if len(o.Sales) != 2 {
+		t.Fatalf("sales = %v", o.Sales)
+	}
+	for _, s := range o.Sales {
+		if s.Price != 60 {
+			t.Errorf("k-unit clearing price must be (k+1)-th bid: %v", s)
+		}
+	}
+}
+
+func TestSecondPriceReserve(t *testing.T) {
+	m := SecondPrice{Reserve: 70}
+	o := m.Run(bids(100, 60, 40), 1)
+	if len(o.Sales) != 1 || o.Sales[0].Price != 70 {
+		t.Errorf("reserve binds: %v", o.Sales)
+	}
+	o = m.Run(bids(50, 40), 1)
+	if len(o.Sales) != 0 {
+		t.Errorf("all below reserve: %v", o.Sales)
+	}
+	// Unlimited supply degenerates to posted reserve: bids >= 70 win at 70.
+	o = m.Run(bids(100, 80, 60), SupplyUnlimited)
+	if len(o.Sales) != 2 {
+		t.Fatalf("unlimited: %v", o.Sales)
+	}
+	for _, s := range o.Sales {
+		if s.Price != 70 {
+			t.Errorf("unlimited supply price = reserve, got %v", s.Price)
+		}
+	}
+}
+
+// Truthfulness of Vickrey: bidding true value is (weakly) dominant. Check a
+// deviation cannot increase utility on a concrete profile sweep.
+func TestVickreyTruthfulness(t *testing.T) {
+	m := SecondPrice{}
+	others := bids(60, 40)
+	trueVal := 75.0
+	utility := func(offer float64) float64 {
+		all := append([]Bid{{Buyer: "z", Offer: offer, True: trueVal}}, others...)
+		o := m.Run(all, 1)
+		if s, ok := findSale(o, "z"); ok {
+			return trueVal - s.Price
+		}
+		return 0
+	}
+	truthful := utility(trueVal)
+	for _, dev := range []float64{10, 50, 59, 61, 74, 76, 100, 1000} {
+		if u := utility(dev); u > truthful+1e-9 {
+			t.Errorf("deviation to %v yields %v > truthful %v", dev, u, truthful)
+		}
+	}
+}
+
+func TestGSP(t *testing.T) {
+	o := GSP{}.Run(bids(100, 80, 60), 2)
+	if len(o.Sales) != 2 {
+		t.Fatalf("sales = %v", o.Sales)
+	}
+	sa, _ := findSale(o, "a")
+	sb, _ := findSale(o, "b")
+	if sa.Price != 80 || sb.Price != 60 {
+		t.Errorf("gsp prices a=%v b=%v", sa.Price, sb.Price)
+	}
+}
+
+func TestRSOP(t *testing.T) {
+	// Many identical bids: RSOP should find ~the common value as the price.
+	var bs []Bid
+	for i := 0; i < 40; i++ {
+		name := "b" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		bs = append(bs, Bid{Buyer: name, Offer: 100})
+	}
+	o := RSOP{Seed: 3}.Run(bs, SupplyUnlimited)
+	if len(o.Sales) != 40 {
+		t.Fatalf("sales = %d, want all 40", len(o.Sales))
+	}
+	for _, s := range o.Sales {
+		if s.Price != 100 {
+			t.Errorf("price = %v, want 100", s.Price)
+		}
+	}
+	// Never charges above bid.
+	for _, s := range o.Sales {
+		for _, b := range bs {
+			if b.Buyer == s.Buyer && s.Price > b.Offer {
+				t.Errorf("buyer %s charged %v above bid %v", s.Buyer, s.Price, b.Offer)
+			}
+		}
+	}
+	if got := (RSOP{}).Run(nil, SupplyUnlimited); len(got.Sales) != 0 {
+		t.Error("no bids, no sales")
+	}
+	one := RSOP{}.Run(bids(42), SupplyUnlimited)
+	if len(one.Sales) != 1 || one.Sales[0].Price != 42 {
+		t.Errorf("single bid: %v", one.Sales)
+	}
+}
+
+func TestRSOPRevenueCompetitive(t *testing.T) {
+	// Mixed bids: RSOP revenue should be within a constant factor of the
+	// optimal fixed-price revenue.
+	var bs []Bid
+	vals := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}
+	for i, v := range vals {
+		bs = append(bs, Bid{Buyer: string(rune('a' + i)), Offer: v})
+	}
+	opt := 0.0
+	for _, p := range vals {
+		rev := 0.0
+		for _, v := range vals {
+			if v >= p {
+				rev += p
+			}
+		}
+		if rev > opt {
+			opt = rev
+		}
+	}
+	o := RSOP{Seed: 5}.Run(bs, SupplyUnlimited)
+	if o.Revenue < opt/4 {
+		t.Errorf("rsop revenue %v < opt/4 (%v)", o.Revenue, opt/4)
+	}
+}
+
+func TestExPostRun(t *testing.T) {
+	m := ExPost{Deposit: 50}
+	o := m.Run([]Bid{{Buyer: "a", Offer: 30}, {Buyer: "b", Offer: 90}}, SupplyUnlimited)
+	sa, _ := findSale(o, "a")
+	sb, _ := findSale(o, "b")
+	if sa.Price != 30 {
+		t.Errorf("report below deposit pays report: %v", sa.Price)
+	}
+	if sb.Price != 50 {
+		t.Errorf("report above deposit capped at deposit: %v", sb.Price)
+	}
+}
+
+func TestExPostAuditMakesHonestyOptimal(t *testing.T) {
+	m := ExPost{AuditProb: 0.5, Penalty: 4}
+	trueVal := 100.0
+	// Expected payment reporting r < trueVal, audited with prob q:
+	// q·(true + penalty·(true-r)) + (1-q)·r. Honesty pays exactly true.
+	expected := func(report float64) float64 {
+		q := m.AuditProb
+		pay := q*(trueVal+m.Penalty*(trueVal-report)) + (1-q)*report
+		return pay
+	}
+	honest := expected(trueVal)
+	if honest != trueVal {
+		t.Fatalf("honest expected pay = %v", honest)
+	}
+	for _, r := range []float64{0, 20, 50, 99} {
+		if expected(r) <= honest {
+			t.Errorf("under-report %v pays %v <= honest %v; audit must deter", r, expected(r), honest)
+		}
+	}
+	// RunAudited mechanics.
+	outs, rev := m.RunAudited([]Bid{{Buyer: "a", Offer: 40, True: 100}}, func(int) bool { return true })
+	if len(outs) != 1 || !outs[0].Audited {
+		t.Fatal("audit must run")
+	}
+	if outs[0].Shortfall != 60 || outs[0].Penalty != 240 {
+		t.Errorf("shortfall/penalty = %v/%v", outs[0].Shortfall, outs[0].Penalty)
+	}
+	if rev != 100+240 {
+		t.Errorf("revenue = %v", rev)
+	}
+	// Honest report, audited: pays report.
+	outs, _ = m.RunAudited([]Bid{{Buyer: "a", Offer: 100, True: 100}}, func(int) bool { return true })
+	if outs[0].Sale.Price != 100 || outs[0].Penalty != 0 {
+		t.Errorf("honest audited: %+v", outs[0])
+	}
+}
+
+// Property: no mechanism ever charges a winner more than their offer
+// (individual rationality for upfront mechanisms).
+func TestIndividualRationalityProperty(t *testing.T) {
+	mechs := []Mechanism{PostedPrice{P: 50}, SecondPrice{Reserve: 10}, GSP{}, RSOP{Seed: 1}}
+	f := func(raw []uint8, supply uint8) bool {
+		var bs []Bid
+		for i, r := range raw {
+			if i >= 20 {
+				break
+			}
+			bs = append(bs, Bid{Buyer: string(rune('a' + i)), Offer: float64(r)})
+		}
+		sup := int(supply%5) + 1
+		for _, m := range mechs {
+			for _, s := range []int{sup, SupplyUnlimited} {
+				o := m.Run(bs, s)
+				for _, sale := range o.Sales {
+					for _, b := range bs {
+						if b.Buyer == sale.Buyer && sale.Price > b.Offer+1e-9 {
+							return false
+						}
+					}
+				}
+				if s != SupplyUnlimited && len(o.Sales) > s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeRevenueMatchesSales(t *testing.T) {
+	o := PostedPrice{P: 10}.Run(bids(10, 20, 30), SupplyUnlimited)
+	var sum float64
+	for _, s := range o.Sales {
+		sum += s.Price
+	}
+	if math.Abs(sum-o.Revenue) > 1e-9 {
+		t.Errorf("revenue %v != sum of sales %v", o.Revenue, sum)
+	}
+}

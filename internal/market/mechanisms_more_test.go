@@ -1,0 +1,131 @@
+package market
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGSPUnlimitedSupply(t *testing.T) {
+	o := GSP{}.Run(bids(100, 80, 60), SupplyUnlimited)
+	if len(o.Sales) != 3 {
+		t.Fatalf("sales = %v", o.Sales)
+	}
+	// Last winner pays 0 (no next bid).
+	sc, _ := findSale(o, "c")
+	if sc.Price != 0 {
+		t.Errorf("last gsp winner pays 0, got %v", sc.Price)
+	}
+}
+
+func TestPostedPriceNoBidsNoSales(t *testing.T) {
+	for _, m := range []Mechanism{PostedPrice{P: 10}, SecondPrice{}, GSP{}, ExPost{}} {
+		if o := m.Run(nil, 1); len(o.Sales) != 0 || o.Revenue != 0 {
+			t.Errorf("%s: empty bids must yield nothing, got %v", m.Name(), o)
+		}
+	}
+}
+
+func TestSecondPriceZeroSupply(t *testing.T) {
+	o := SecondPrice{}.Run(bids(10, 20), 0)
+	if len(o.Sales) != 0 {
+		t.Errorf("zero supply sells nothing: %v", o.Sales)
+	}
+}
+
+// Property: RSOP is deterministic per seed and never sells to a bidder below
+// the price charged.
+func TestRSOPProperties(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		var bs []Bid
+		for i, r := range raw {
+			if i >= 16 {
+				break
+			}
+			bs = append(bs, Bid{Buyer: fmt.Sprintf("b%02d", i), Offer: float64(r)})
+		}
+		m := RSOP{Seed: seed}
+		o1 := m.Run(bs, SupplyUnlimited)
+		o2 := m.Run(bs, SupplyUnlimited)
+		if o1.Revenue != o2.Revenue || len(o1.Sales) != len(o2.Sales) {
+			return false
+		}
+		for _, s := range o1.Sales {
+			for _, b := range bs {
+				if b.Buyer == s.Buyer && s.Price > b.Offer {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mechanisms never sell more units than supply and never create
+// negative prices, under random bid profiles.
+func TestMechanismInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mechs := []Mechanism{
+		PostedPrice{P: 50}, SecondPrice{Reserve: 20}, GSP{},
+		RSOP{Seed: 3}, ExPost{Deposit: 100},
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		bs := make([]Bid, n)
+		for i := range bs {
+			bs[i] = Bid{Buyer: fmt.Sprintf("b%02d", i), Offer: rng.Float64() * 200}
+		}
+		supply := rng.Intn(5) + 1
+		if rng.Intn(3) == 0 {
+			supply = SupplyUnlimited
+		}
+		for _, m := range mechs {
+			o := m.Run(bs, supply)
+			if supply != SupplyUnlimited && len(o.Sales) > supply {
+				t.Fatalf("%s oversold: %d > %d", m.Name(), len(o.Sales), supply)
+			}
+			for _, s := range o.Sales {
+				if s.Price < 0 {
+					t.Fatalf("%s negative price %v", m.Name(), s.Price)
+				}
+			}
+			// Each buyer wins at most once.
+			seen := map[string]bool{}
+			for _, s := range o.Sales {
+				if seen[s.Buyer] {
+					t.Fatalf("%s double-sold to %s", m.Name(), s.Buyer)
+				}
+				seen[s.Buyer] = true
+			}
+		}
+	}
+}
+
+// TestShapleyEfficiencyAxiom: weights times grand-coalition value
+// reconstruct each player's Shapley payout, i.e. the allocation is fully
+// distributed (efficiency axiom) for non-negative games.
+func TestShapleyEfficiencyAxiom(t *testing.T) {
+	players := []string{"a", "b", "c", "d"}
+	v := func(s map[string]bool) float64 {
+		sum := 0.0
+		for p := range s {
+			sum += float64(len(p)) // silly but deterministic positive weights
+		}
+		if s["a"] && s["c"] {
+			sum += 3 // synergy
+		}
+		return sum
+	}
+	w := ShapleyExact{}.Allocate(players, v)
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("normalized weights must sum to 1, got %v", total)
+	}
+}

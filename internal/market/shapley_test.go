@@ -1,0 +1,179 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/relation"
+)
+
+// additive game: v(S) = sum of per-player values.
+func additive(vals map[string]float64) ValueFunc {
+	return func(s map[string]bool) float64 {
+		var sum float64
+		for p := range s {
+			sum += vals[p]
+		}
+		return sum
+	}
+}
+
+func TestShapleyExactAdditive(t *testing.T) {
+	players := []string{"x", "y", "z"}
+	v := additive(map[string]float64{"x": 10, "y": 30, "z": 60})
+	w := ShapleyExact{}.Allocate(players, v)
+	if math.Abs(w["x"]-0.1) > 1e-9 || math.Abs(w["y"]-0.3) > 1e-9 || math.Abs(w["z"]-0.6) > 1e-9 {
+		t.Errorf("additive shapley = %v", w)
+	}
+}
+
+func TestShapleySymmetry(t *testing.T) {
+	// Glove game variant: any two players together earn 1, alone 0.
+	players := []string{"p", "q"}
+	v := func(s map[string]bool) float64 {
+		if len(s) == 2 {
+			return 1
+		}
+		return 0
+	}
+	w := ShapleyExact{}.Allocate(players, v)
+	if math.Abs(w["p"]-0.5) > 1e-9 || math.Abs(w["q"]-0.5) > 1e-9 {
+		t.Errorf("symmetric players must split equally: %v", w)
+	}
+}
+
+func TestShapleyNullPlayer(t *testing.T) {
+	players := []string{"a", "b", "null"}
+	v := func(s map[string]bool) float64 {
+		if s["a"] && s["b"] {
+			return 100
+		}
+		return 0
+	}
+	w := ShapleyExact{}.Allocate(players, v)
+	if w["null"] != 0 {
+		t.Errorf("null player must get 0, got %v", w["null"])
+	}
+	if math.Abs(w["a"]-w["b"]) > 1e-9 {
+		t.Errorf("a and b symmetric: %v", w)
+	}
+}
+
+func TestMonteCarloApproximatesExact(t *testing.T) {
+	players := []string{"a", "b", "c", "d"}
+	v := additive(map[string]float64{"a": 5, "b": 10, "c": 20, "d": 65})
+	exact := ShapleyExact{}.Allocate(players, v)
+	mc := ShapleyMonteCarlo{Samples: 3000, Seed: 1}.Allocate(players, v)
+	if err := ShapleyError(exact, mc); err > 0.05 {
+		t.Errorf("mc error = %v, want < 0.05", err)
+	}
+}
+
+func TestMonteCarloDeterministicSeed(t *testing.T) {
+	players := []string{"a", "b", "c"}
+	v := additive(map[string]float64{"a": 1, "b": 2, "c": 3})
+	w1 := ShapleyMonteCarlo{Samples: 100, Seed: 9}.Allocate(players, v)
+	w2 := ShapleyMonteCarlo{Samples: 100, Seed: 9}.Allocate(players, v)
+	for p := range w1 {
+		if w1[p] != w2[p] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestLeaveOneOutAndUniform(t *testing.T) {
+	players := []string{"a", "b"}
+	v := additive(map[string]float64{"a": 25, "b": 75})
+	loo := LeaveOneOut{}.Allocate(players, v)
+	if math.Abs(loo["a"]-0.25) > 1e-9 {
+		t.Errorf("loo = %v", loo)
+	}
+	u := Uniform{}.Allocate(players, v)
+	if u["a"] != 0.5 || u["b"] != 0.5 {
+		t.Errorf("uniform = %v", u)
+	}
+	if len(Uniform{}.Allocate(nil, v)) != 0 {
+		t.Error("no players, no weights")
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	players := []string{"a", "b", "c"}
+	v := func(s map[string]bool) float64 { return float64(len(s) * len(s)) } // superadditive
+	for _, alloc := range []Allocator{ShapleyExact{}, ShapleyMonteCarlo{Samples: 500, Seed: 2}, LeaveOneOut{}, Uniform{}} {
+		w := alloc.Allocate(players, v)
+		var sum float64
+		for _, x := range w {
+			if x < 0 {
+				t.Errorf("%s: negative weight %v", alloc.Name(), x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: weights sum to %v", alloc.Name(), sum)
+		}
+	}
+}
+
+func TestInCore(t *testing.T) {
+	players := []string{"a", "b"}
+	v := func(s map[string]bool) float64 {
+		if len(s) == 2 {
+			return 100
+		}
+		if s["a"] {
+			return 80
+		}
+		return 0
+	}
+	// a must get >= 80 of the 100 for core stability.
+	inCore := map[string]float64{"a": 0.9, "b": 0.1}
+	if !InCore(players, v, inCore, 100) {
+		t.Error("0.9/0.1 split should be in core")
+	}
+	notCore := map[string]float64{"a": 0.5, "b": 0.5}
+	if InCore(players, v, notCore, 100) {
+		t.Error("0.5/0.5 split violates a's claim of 80")
+	}
+}
+
+func TestRowCountValue(t *testing.T) {
+	l := relation.New("l", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	l.MustAppend(relation.Int(1))
+	l.MustAppend(relation.Int(2))
+	r := relation.New("r", relation.NewSchema(relation.Col("k", relation.KindInt), relation.Col("v", relation.KindInt)))
+	r.MustAppend(relation.Int(1), relation.Int(10))
+	al := provenance.FromSource("d1", l)
+	ar := provenance.FromSource("d2", r)
+	j, err := provenance.HashJoin(al, ar, relation.JoinPair{Left: "k", Right: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := RowCountValue(j)
+	if v(map[string]bool{"d1": true}) != 0 {
+		t.Error("d1 alone produces no joined rows")
+	}
+	if v(map[string]bool{"d1": true, "d2": true}) != 1 {
+		t.Error("grand coalition produces all rows")
+	}
+	if v(nil) != 0 {
+		t.Error("empty coalition is worthless")
+	}
+	// Shapley over this game: perfect complements split 50/50.
+	w := ShapleyExact{}.Allocate(j.Datasets(), v)
+	if math.Abs(w["d1"]-0.5) > 1e-9 {
+		t.Errorf("complements split = %v", w)
+	}
+}
+
+func TestShapleyErrorMetric(t *testing.T) {
+	a := map[string]float64{"x": 0.5, "y": 0.5}
+	b := map[string]float64{"x": 0.4, "y": 0.6}
+	if got := ShapleyError(a, b); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("error = %v", got)
+	}
+	if ShapleyError(a, a) != 0 {
+		t.Error("self distance is 0")
+	}
+}

@@ -1,0 +1,459 @@
+// Package mltask is the machine-learning substrate buyers' WTP packages run
+// on. A buyer who "wants to build a machine learning classifier and needs
+// features ⟨a,b,d,e⟩, and at least an accuracy of 80%" (paper §1) ships a
+// Task; the WTP-Evaluator trains it on each candidate mashup and measures
+// the degree of satisfaction. Implemented from scratch on the stdlib:
+// logistic regression (SGD), k-nearest neighbours, a decision stump, and a
+// majority-class baseline, plus deterministic train/test evaluation.
+package mltask
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Dataset is a design matrix with binary labels.
+type Dataset struct {
+	X      [][]float64
+	Y      []int // 0/1
+	Labels []string
+}
+
+// FromRelation extracts numeric feature columns and a binary label column
+// from a relation. Rows with NULL features or labels are skipped. The label
+// column may be bool, int (0/1) or string (two distinct values, sorted; the
+// larger maps to 1).
+func FromRelation(r *relation.Relation, features []string, label string) (*Dataset, error) {
+	fi := make([]int, len(features))
+	for i, f := range features {
+		fi[i] = r.Schema.IndexOf(f)
+		if fi[i] < 0 {
+			return nil, fmt.Errorf("mltask: relation %q has no feature column %q", r.Name, f)
+		}
+	}
+	li := r.Schema.IndexOf(label)
+	if li < 0 {
+		return nil, fmt.Errorf("mltask: relation %q has no label column %q", r.Name, label)
+	}
+	// Map string labels to {0,1}.
+	var classes []string
+	if r.Schema[li].Kind == relation.KindString {
+		set := map[string]bool{}
+		for _, row := range r.Rows {
+			if !row[li].IsNull() {
+				set[row[li].AsString()] = true
+			}
+		}
+		for s := range set {
+			classes = append(classes, s)
+		}
+		sort.Strings(classes)
+		if len(classes) > 2 {
+			return nil, fmt.Errorf("mltask: label %q has %d classes, want 2", label, len(classes))
+		}
+	}
+	ds := &Dataset{Labels: features}
+	for _, row := range r.Rows {
+		x := make([]float64, len(fi))
+		ok := true
+		for j, i := range fi {
+			v := row[i]
+			if v.IsNull() || !v.IsNumeric() {
+				ok = false
+				break
+			}
+			x[j] = v.AsFloat()
+		}
+		lv := row[li]
+		if !ok || lv.IsNull() {
+			continue
+		}
+		var y int
+		switch lv.Kind() {
+		case relation.KindBool:
+			if lv.AsBool() {
+				y = 1
+			}
+		case relation.KindInt, relation.KindFloat:
+			if lv.AsFloat() != 0 {
+				y = 1
+			}
+		case relation.KindString:
+			if len(classes) == 2 && lv.AsString() == classes[1] {
+				y = 1
+			}
+		default:
+			continue
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	if len(ds.X) == 0 {
+		return nil, fmt.Errorf("mltask: no usable rows (features %v, label %q)", features, label)
+	}
+	return ds, nil
+}
+
+// Split partitions the dataset deterministically into train/test using the
+// given test fraction and seed.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(d.X))
+	nTest := int(float64(len(d.X)) * testFrac)
+	if nTest < 1 && len(d.X) > 1 {
+		nTest = 1
+	}
+	train = &Dataset{Labels: d.Labels}
+	test = &Dataset{Labels: d.Labels}
+	for i, p := range perm {
+		if i < nTest {
+			test.X = append(test.X, d.X[p])
+			test.Y = append(test.Y, d.Y[p])
+		} else {
+			train.X = append(train.X, d.X[p])
+			train.Y = append(train.Y, d.Y[p])
+		}
+	}
+	return train, test
+}
+
+// Model is a trained binary classifier.
+type Model interface {
+	Predict(x []float64) int
+	Name() string
+}
+
+// Accuracy computes the fraction of correct predictions on test data.
+func Accuracy(m Model, test *Dataset) float64 {
+	if len(test.X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, x := range test.X {
+		if m.Predict(x) == test.Y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(test.X))
+}
+
+// --- logistic regression -----------------------------------------------
+
+// Logistic is an L2-regularized logistic-regression classifier trained by
+// SGD with feature standardization.
+type Logistic struct {
+	W     []float64
+	B     float64
+	mean  []float64
+	scale []float64
+}
+
+// LogisticConfig controls training.
+type LogisticConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	Seed   int64
+}
+
+// DefaultLogistic returns sane training defaults.
+func DefaultLogistic() LogisticConfig {
+	return LogisticConfig{Epochs: 60, LR: 0.1, L2: 1e-4, Seed: 1}
+}
+
+// TrainLogistic fits the model on the training set.
+func TrainLogistic(train *Dataset, cfg LogisticConfig) (*Logistic, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("mltask: empty training set")
+	}
+	d := len(train.X[0])
+	m := &Logistic{W: make([]float64, d), mean: make([]float64, d), scale: make([]float64, d)}
+	// Standardize.
+	n := float64(len(train.X))
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, x := range train.X {
+			sum += x[j]
+		}
+		m.mean[j] = sum / n
+		var sq float64
+		for _, x := range train.X {
+			dlt := x[j] - m.mean[j]
+			sq += dlt * dlt
+		}
+		m.scale[j] = math.Sqrt(sq / n)
+		if m.scale[j] == 0 {
+			m.scale[j] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(train.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	z := make([]float64, d)
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			for j := 0; j < d; j++ {
+				z[j] = (train.X[i][j] - m.mean[j]) / m.scale[j]
+			}
+			p := sigmoid(dot(m.W, z) + m.B)
+			g := p - float64(train.Y[i])
+			for j := 0; j < d; j++ {
+				m.W[j] -= cfg.LR * (g*z[j] + cfg.L2*m.W[j])
+			}
+			m.B -= cfg.LR * g
+		}
+	}
+	return m, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Predict returns the class for x.
+func (m *Logistic) Predict(x []float64) int {
+	var s float64
+	for j := range m.W {
+		s += m.W[j] * (x[j] - m.mean[j]) / m.scale[j]
+	}
+	if sigmoid(s+m.B) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Name identifies the model.
+func (m *Logistic) Name() string { return "logistic" }
+
+// --- k-nearest neighbours ------------------------------------------------
+
+// KNN is a k-nearest-neighbours classifier with Euclidean distance over
+// standardized features.
+type KNN struct {
+	K     int
+	X     [][]float64
+	Y     []int
+	mean  []float64
+	scale []float64
+}
+
+// TrainKNN memorizes the training set with standardization statistics.
+func TrainKNN(train *Dataset, k int) (*KNN, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("mltask: empty training set")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mltask: k must be >= 1, got %d", k)
+	}
+	d := len(train.X[0])
+	m := &KNN{K: k, X: train.X, Y: train.Y, mean: make([]float64, d), scale: make([]float64, d)}
+	n := float64(len(train.X))
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, x := range train.X {
+			sum += x[j]
+		}
+		m.mean[j] = sum / n
+		var sq float64
+		for _, x := range train.X {
+			dl := x[j] - m.mean[j]
+			sq += dl * dl
+		}
+		m.scale[j] = math.Sqrt(sq / n)
+		if m.scale[j] == 0 {
+			m.scale[j] = 1
+		}
+	}
+	return m, nil
+}
+
+// Predict votes among the k nearest training points.
+func (m *KNN) Predict(x []float64) int {
+	type nd struct {
+		d float64
+		y int
+	}
+	best := make([]nd, 0, m.K+1)
+	for i, t := range m.X {
+		var d2 float64
+		for j := range t {
+			dl := (t[j] - x[j]) / m.scale[j]
+			d2 += dl * dl
+		}
+		best = append(best, nd{d2, m.Y[i]})
+		sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+		if len(best) > m.K {
+			best = best[:m.K]
+		}
+	}
+	ones := 0
+	for _, b := range best {
+		ones += b.y
+	}
+	if 2*ones >= len(best) {
+		return 1
+	}
+	return 0
+}
+
+// Name identifies the model.
+func (m *KNN) Name() string { return fmt.Sprintf("knn%d", m.K) }
+
+// --- decision stump -------------------------------------------------------
+
+// Stump is a one-level decision tree: the single (feature, threshold) split
+// minimizing training error.
+type Stump struct {
+	Feature   int
+	Threshold float64
+	LeftClass int // class when x[Feature] <= Threshold
+}
+
+// TrainStump exhaustively searches thresholds at observed values.
+func TrainStump(train *Dataset) (*Stump, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("mltask: empty training set")
+	}
+	d := len(train.X[0])
+	best := &Stump{Feature: 0, Threshold: 0, LeftClass: 0}
+	bestErr := len(train.X) + 1
+	for j := 0; j < d; j++ {
+		vals := make([]float64, len(train.X))
+		for i, x := range train.X {
+			vals[i] = x[j]
+		}
+		sort.Float64s(vals)
+		for t := 0; t < len(vals); t++ {
+			if t > 0 && vals[t] == vals[t-1] {
+				continue
+			}
+			th := vals[t]
+			for _, lc := range []int{0, 1} {
+				errs := 0
+				for i, x := range train.X {
+					pred := 1 - lc
+					if x[j] <= th {
+						pred = lc
+					}
+					if pred != train.Y[i] {
+						errs++
+					}
+				}
+				if errs < bestErr {
+					bestErr = errs
+					best = &Stump{Feature: j, Threshold: th, LeftClass: lc}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// Predict applies the split.
+func (s *Stump) Predict(x []float64) int {
+	if x[s.Feature] <= s.Threshold {
+		return s.LeftClass
+	}
+	return 1 - s.LeftClass
+}
+
+// Name identifies the model.
+func (s *Stump) Name() string { return "stump" }
+
+// --- majority baseline -----------------------------------------------------
+
+// Majority always predicts the most frequent training class — the floor any
+// data-driven model must beat for a mashup to have value.
+type Majority struct{ Class int }
+
+// TrainMajority counts classes.
+func TrainMajority(train *Dataset) (*Majority, error) {
+	if len(train.X) == 0 {
+		return nil, fmt.Errorf("mltask: empty training set")
+	}
+	ones := 0
+	for _, y := range train.Y {
+		ones += y
+	}
+	m := &Majority{}
+	if 2*ones >= len(train.Y) {
+		m.Class = 1
+	}
+	return m, nil
+}
+
+// Predict ignores x.
+func (m *Majority) Predict([]float64) int { return m.Class }
+
+// Name identifies the model.
+func (m *Majority) Name() string { return "majority" }
+
+// --- task: what a WTP package ships ----------------------------------------
+
+// ModelKind selects the classifier a task trains.
+type ModelKind string
+
+// Supported model kinds.
+const (
+	ModelLogistic ModelKind = "logistic"
+	ModelKNN      ModelKind = "knn"
+	ModelStump    ModelKind = "stump"
+	ModelMajority ModelKind = "majority"
+)
+
+// ClassifierTask is the "package that includes the data task" of a
+// WTP-function (paper §3.2.2.1): feature columns, label column, model, and
+// the deterministic evaluation protocol. Satisfaction = held-out accuracy.
+type ClassifierTask struct {
+	Features []string
+	Label    string
+	Model    ModelKind
+	TestFrac float64
+	Seed     int64
+}
+
+// Evaluate trains the task's model on the relation and returns held-out
+// accuracy in [0,1]. Missing feature columns or unusable data yield an error
+// (degree of satisfaction 0).
+func (t ClassifierTask) Evaluate(r *relation.Relation) (float64, error) {
+	ds, err := FromRelation(r, t.Features, t.Label)
+	if err != nil {
+		return 0, err
+	}
+	frac := t.TestFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.3
+	}
+	train, test := ds.Split(frac, t.Seed)
+	if len(train.X) == 0 || len(test.X) == 0 {
+		return 0, fmt.Errorf("mltask: not enough rows to split (%d)", len(ds.X))
+	}
+	var m Model
+	switch t.Model {
+	case ModelKNN:
+		m, err = TrainKNN(train, 5)
+	case ModelStump:
+		m, err = TrainStump(train)
+	case ModelMajority:
+		m, err = TrainMajority(train)
+	default:
+		m, err = TrainLogistic(train, DefaultLogistic())
+	}
+	if err != nil {
+		return 0, err
+	}
+	return Accuracy(m, test), nil
+}

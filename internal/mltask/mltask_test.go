@@ -1,0 +1,186 @@
+package mltask
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// mkSeparable builds a linearly separable binary dataset in relation form:
+// label = (x1 + x2 > 0).
+func mkSeparable(n int, seed int64, noise float64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("train", relation.NewSchema(
+		relation.Col("x1", relation.KindFloat),
+		relation.Col("x2", relation.KindFloat),
+		relation.Col("y", relation.KindBool),
+	))
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.NormFloat64(), rng.NormFloat64()
+		y := x1+x2 > 0
+		if rng.Float64() < noise {
+			y = !y
+		}
+		r.MustAppend(relation.Float(x1), relation.Float(x2), relation.Bool(y))
+	}
+	return r
+}
+
+func TestFromRelation(t *testing.T) {
+	r := mkSeparable(50, 1, 0)
+	ds, err := FromRelation(r, []string{"x1", "x2"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.X) != 50 || len(ds.Y) != 50 {
+		t.Errorf("rows = %d/%d", len(ds.X), len(ds.Y))
+	}
+	if _, err := FromRelation(r, []string{"ghost"}, "y"); err == nil {
+		t.Error("missing feature must fail")
+	}
+	if _, err := FromRelation(r, []string{"x1"}, "ghost"); err == nil {
+		t.Error("missing label must fail")
+	}
+}
+
+func TestFromRelationSkipsNulls(t *testing.T) {
+	r := relation.New("t", relation.NewSchema(
+		relation.Col("x", relation.KindFloat), relation.Col("y", relation.KindInt)))
+	r.MustAppend(relation.Float(1), relation.Int(1))
+	r.MustAppend(relation.Null(), relation.Int(0))
+	r.MustAppend(relation.Float(2), relation.Null())
+	ds, err := FromRelation(r, []string{"x"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.X) != 1 {
+		t.Errorf("usable rows = %d, want 1", len(ds.X))
+	}
+}
+
+func TestFromRelationStringLabels(t *testing.T) {
+	r := relation.New("t", relation.NewSchema(
+		relation.Col("x", relation.KindFloat), relation.Col("cls", relation.KindString)))
+	r.MustAppend(relation.Float(1), relation.String_("spam"))
+	r.MustAppend(relation.Float(2), relation.String_("ham"))
+	ds, err := FromRelation(r, []string{"x"}, "cls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sorted: ham=0, spam=1
+	if ds.Y[0] != 1 || ds.Y[1] != 0 {
+		t.Errorf("labels = %v", ds.Y)
+	}
+	r.MustAppend(relation.Float(3), relation.String_("third"))
+	if _, err := FromRelation(r, []string{"x"}, "cls"); err == nil {
+		t.Error(">2 classes must fail")
+	}
+}
+
+func TestLogisticLearnsSeparable(t *testing.T) {
+	r := mkSeparable(400, 2, 0)
+	task := ClassifierTask{Features: []string{"x1", "x2"}, Label: "y", Model: ModelLogistic, Seed: 3}
+	acc, err := task.Evaluate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("logistic accuracy on separable data = %v, want >= 0.9", acc)
+	}
+}
+
+func TestKNNAndStump(t *testing.T) {
+	r := mkSeparable(300, 4, 0.05)
+	for _, mk := range []ModelKind{ModelKNN, ModelStump, ModelMajority} {
+		task := ClassifierTask{Features: []string{"x1", "x2"}, Label: "y", Model: mk, Seed: 5}
+		acc, err := task.Evaluate(r)
+		if err != nil {
+			t.Fatalf("%s: %v", mk, err)
+		}
+		if acc < 0.3 || acc > 1 {
+			t.Errorf("%s accuracy = %v out of range", mk, acc)
+		}
+		if mk == ModelKNN && acc < 0.85 {
+			t.Errorf("knn accuracy = %v, want >= 0.85", acc)
+		}
+	}
+}
+
+func TestModelsBeatsMajorityOnSignal(t *testing.T) {
+	r := mkSeparable(400, 6, 0.05)
+	base := ClassifierTask{Features: []string{"x1", "x2"}, Label: "y", Model: ModelMajority, Seed: 7}
+	lr := ClassifierTask{Features: []string{"x1", "x2"}, Label: "y", Model: ModelLogistic, Seed: 7}
+	accBase, _ := base.Evaluate(r)
+	accLR, _ := lr.Evaluate(r)
+	if accLR <= accBase {
+		t.Errorf("logistic (%v) must beat majority (%v) when features carry signal", accLR, accBase)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	r := mkSeparable(100, 8, 0)
+	ds, _ := FromRelation(r, []string{"x1", "x2"}, "y")
+	tr1, te1 := ds.Split(0.3, 42)
+	tr2, te2 := ds.Split(0.3, 42)
+	if len(tr1.X) != len(tr2.X) || len(te1.X) != len(te2.X) {
+		t.Fatal("same seed must give same split sizes")
+	}
+	for i := range te1.X {
+		if te1.X[i][0] != te2.X[i][0] {
+			t.Fatal("same seed must give identical splits")
+		}
+	}
+	if len(te1.X) != 30 {
+		t.Errorf("test size = %d, want 30", len(te1.X))
+	}
+}
+
+func TestStumpFindsThreshold(t *testing.T) {
+	// 1-D data split exactly at 5.
+	ds := &Dataset{}
+	for i := 0; i < 20; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		y := 0
+		if i > 5 {
+			y = 1
+		}
+		ds.Y = append(ds.Y, y)
+	}
+	s, err := TrainStump(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(s, ds); acc != 1 {
+		t.Errorf("stump training accuracy = %v, want 1 (threshold %v)", acc, s.Threshold)
+	}
+}
+
+func TestTrainErrorsOnEmpty(t *testing.T) {
+	empty := &Dataset{}
+	if _, err := TrainLogistic(empty, DefaultLogistic()); err == nil {
+		t.Error("logistic on empty must fail")
+	}
+	if _, err := TrainKNN(empty, 3); err == nil {
+		t.Error("knn on empty must fail")
+	}
+	if _, err := TrainStump(empty); err == nil {
+		t.Error("stump on empty must fail")
+	}
+	if _, err := TrainMajority(empty); err == nil {
+		t.Error("majority on empty must fail")
+	}
+	one := &Dataset{X: [][]float64{{1}}, Y: []int{1}}
+	if _, err := TrainKNN(one, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+func TestEvaluateErrorsPropagate(t *testing.T) {
+	r := relation.New("empty", relation.NewSchema(
+		relation.Col("x", relation.KindFloat), relation.Col("y", relation.KindBool)))
+	task := ClassifierTask{Features: []string{"x"}, Label: "y"}
+	if _, err := task.Evaluate(r); err == nil {
+		t.Error("empty relation must fail evaluation")
+	}
+}

@@ -1,0 +1,167 @@
+// Package policy implements a software rendering of contextual integrity
+// (paper §4.4: "we are exploring software implementations of contextual
+// integrity, which we believe may be an interesting vehicle to enable data
+// licensing"). Contextual integrity judges an information flow by its
+// context: sender, receiver, subject, information type, and transmission
+// principle. Here a dataset carries context norms; the arbiter checks every
+// prospective delivery (dataset -> buyer for a purpose) against them before
+// a transaction is allowed.
+package policy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Purpose is the declared use of the data.
+type Purpose string
+
+// Common purposes.
+const (
+	PurposeResearch    Purpose = "research"
+	PurposeMarketing   Purpose = "marketing"
+	PurposeOperations  Purpose = "operations"
+	PurposeHealthcare  Purpose = "healthcare"
+	PurposeResale      Purpose = "resale"
+	PurposeUnspecified Purpose = ""
+)
+
+// Flow describes one prospective information transfer.
+type Flow struct {
+	Dataset   string
+	Sender    string // data owner
+	Receiver  string // buyer
+	Purpose   Purpose
+	Recipient string // receiving organization class, e.g. "hospital"
+}
+
+// Effect is a norm's verdict.
+type Effect int
+
+// Norm effects.
+const (
+	Allow Effect = iota
+	Deny
+)
+
+// Norm is one contextual rule: it matches flows by any non-empty field and
+// applies its effect. More specific norms (more matched fields) take
+// priority; among equals, Deny wins (fail closed).
+type Norm struct {
+	Dataset   string
+	Receiver  string
+	Purpose   Purpose
+	Recipient string
+	Effect    Effect
+	Reason    string
+}
+
+func (n Norm) matches(f Flow) (bool, int) {
+	spec := 0
+	if n.Dataset != "" {
+		if n.Dataset != f.Dataset {
+			return false, 0
+		}
+		spec++
+	}
+	if n.Receiver != "" {
+		if n.Receiver != f.Receiver {
+			return false, 0
+		}
+		spec++
+	}
+	if n.Purpose != PurposeUnspecified {
+		if n.Purpose != f.Purpose {
+			return false, 0
+		}
+		spec++
+	}
+	if n.Recipient != "" {
+		if n.Recipient != f.Recipient {
+			return false, 0
+		}
+		spec++
+	}
+	return true, spec
+}
+
+// Engine evaluates flows against registered norms.
+type Engine struct {
+	mu    sync.RWMutex
+	norms []Norm
+	// DefaultEffect applies when no norm matches. Markets of sensitive data
+	// should fail closed (Deny); open markets default Allow.
+	DefaultEffect Effect
+	log           []Decision
+}
+
+// Decision is an audited policy verdict.
+type Decision struct {
+	Flow    Flow
+	Allowed bool
+	Reason  string
+}
+
+// NewEngine creates a policy engine with the given default.
+func NewEngine(def Effect) *Engine {
+	return &Engine{DefaultEffect: def}
+}
+
+// AddNorm registers a norm. Norms with no constrained field are rejected —
+// they would silently override the default.
+func (e *Engine) AddNorm(n Norm) error {
+	if n.Dataset == "" && n.Receiver == "" && n.Purpose == PurposeUnspecified && n.Recipient == "" {
+		return fmt.Errorf("policy: norm constrains nothing; set the engine default instead")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.norms = append(e.norms, n)
+	return nil
+}
+
+// Check evaluates a flow: the most specific matching norm decides; at equal
+// specificity Deny beats Allow; with no match the default applies. Every
+// decision is logged for transparency (§4.4).
+func (e *Engine) Check(f Flow) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bestSpec := -1
+	verdict := e.DefaultEffect
+	reason := "default"
+	for _, n := range e.norms {
+		ok, spec := n.matches(f)
+		if !ok {
+			continue
+		}
+		switch {
+		case spec > bestSpec:
+			bestSpec, verdict, reason = spec, n.Effect, n.Reason
+		case spec == bestSpec && n.Effect == Deny && verdict == Allow:
+			verdict, reason = Deny, n.Reason
+		}
+	}
+	d := Decision{Flow: f, Allowed: verdict == Allow, Reason: reason}
+	e.log = append(e.log, d)
+	return d
+}
+
+// Decisions returns the audit trail of policy checks.
+func (e *Engine) Decisions() []Decision {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Decision, len(e.log))
+	copy(out, e.log)
+	return out
+}
+
+// HealthcareDefaults returns norms resembling a hospital data-exchange
+// coalition (§3.3 barter markets): healthcare purposes flow, marketing and
+// resale never do.
+func HealthcareDefaults(dataset string) []Norm {
+	return []Norm{
+		{Dataset: dataset, Purpose: PurposeHealthcare, Effect: Allow, Reason: "care coordination"},
+		{Dataset: dataset, Purpose: PurposeResearch, Effect: Allow, Reason: "IRB research"},
+		{Dataset: dataset, Purpose: PurposeMarketing, Effect: Deny, Reason: "PHI cannot be marketed"},
+		{Dataset: dataset, Purpose: PurposeResale, Effect: Deny, Reason: "PHI cannot be resold"},
+	}
+}

@@ -1,0 +1,106 @@
+package policy
+
+import "testing"
+
+func TestDefaultEffect(t *testing.T) {
+	open := NewEngine(Allow)
+	if !open.Check(Flow{Dataset: "d", Receiver: "b"}).Allowed {
+		t.Error("open engine defaults allow")
+	}
+	closed := NewEngine(Deny)
+	if closed.Check(Flow{Dataset: "d", Receiver: "b"}).Allowed {
+		t.Error("closed engine defaults deny")
+	}
+}
+
+func TestSpecificityWins(t *testing.T) {
+	e := NewEngine(Deny)
+	// Broad allow for research, narrow deny for one receiver.
+	if err := e.AddNorm(Norm{Purpose: PurposeResearch, Effect: Allow, Reason: "research ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddNorm(Norm{Purpose: PurposeResearch, Receiver: "evilcorp", Effect: Deny, Reason: "banned"}); err != nil {
+		t.Fatal(err)
+	}
+	ok := e.Check(Flow{Dataset: "d", Receiver: "lab", Purpose: PurposeResearch})
+	if !ok.Allowed {
+		t.Errorf("research by lab must pass: %+v", ok)
+	}
+	banned := e.Check(Flow{Dataset: "d", Receiver: "evilcorp", Purpose: PurposeResearch})
+	if banned.Allowed {
+		t.Error("specific deny must override broad allow")
+	}
+	if banned.Reason != "banned" {
+		t.Errorf("reason = %q", banned.Reason)
+	}
+}
+
+func TestTieBreaksDeny(t *testing.T) {
+	e := NewEngine(Allow)
+	_ = e.AddNorm(Norm{Purpose: PurposeMarketing, Effect: Allow})
+	_ = e.AddNorm(Norm{Purpose: PurposeMarketing, Effect: Deny, Reason: "conflict"})
+	if e.Check(Flow{Purpose: PurposeMarketing}).Allowed {
+		t.Error("equal-specificity conflict must fail closed")
+	}
+}
+
+func TestEmptyNormRejected(t *testing.T) {
+	e := NewEngine(Allow)
+	if err := e.AddNorm(Norm{Effect: Deny}); err == nil {
+		t.Error("norm constraining nothing must be rejected")
+	}
+}
+
+func TestHealthcareDefaults(t *testing.T) {
+	e := NewEngine(Deny)
+	for _, n := range HealthcareDefaults("phi") {
+		if err := e.AddNorm(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		purpose Purpose
+		want    bool
+	}{
+		{PurposeHealthcare, true},
+		{PurposeResearch, true},
+		{PurposeMarketing, false},
+		{PurposeResale, false},
+		{PurposeOperations, false}, // no norm -> default deny
+	}
+	for _, c := range cases {
+		got := e.Check(Flow{Dataset: "phi", Receiver: "hospitalB", Purpose: c.purpose})
+		if got.Allowed != c.want {
+			t.Errorf("purpose %q allowed=%v, want %v", c.purpose, got.Allowed, c.want)
+		}
+	}
+	// Norms scoped to "phi" don't constrain other datasets.
+	if e.Check(Flow{Dataset: "weather", Purpose: PurposeMarketing}).Allowed {
+		t.Error("default deny applies to unscoped datasets")
+	}
+}
+
+func TestDecisionLog(t *testing.T) {
+	e := NewEngine(Allow)
+	_ = e.AddNorm(Norm{Dataset: "d", Effect: Deny, Reason: "embargo"})
+	e.Check(Flow{Dataset: "d"})
+	e.Check(Flow{Dataset: "other"})
+	log := e.Decisions()
+	if len(log) != 2 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	if log[0].Allowed || !log[1].Allowed {
+		t.Errorf("log verdicts = %v %v", log[0].Allowed, log[1].Allowed)
+	}
+}
+
+func TestRecipientClassMatch(t *testing.T) {
+	e := NewEngine(Deny)
+	_ = e.AddNorm(Norm{Recipient: "hospital", Effect: Allow, Reason: "peer exchange"})
+	if !e.Check(Flow{Dataset: "d", Recipient: "hospital"}).Allowed {
+		t.Error("hospital class must pass")
+	}
+	if e.Check(Flow{Dataset: "d", Recipient: "adtech"}).Allowed {
+		t.Error("other classes fall to default deny")
+	}
+}

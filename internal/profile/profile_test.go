@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func mkRel() *relation.Relation {
+	r := relation.New("t", relation.NewSchema(
+		relation.Col("id", relation.KindInt),
+		relation.Col("city", relation.KindString),
+		relation.Col("temp", relation.KindFloat),
+	))
+	cities := []string{"chi", "nyc", "chi", "sf", "chi"}
+	temps := []float64{10, 20, 12, 18, 0}
+	for i := 0; i < 5; i++ {
+		tv := relation.Float(temps[i])
+		if i == 4 {
+			tv = relation.Null()
+		}
+		r.MustAppend(relation.Int(int64(i)), relation.String_(cities[i]), tv)
+	}
+	return r
+}
+
+func TestProfileBasics(t *testing.T) {
+	dp := Profile("d1", mkRel())
+	if dp.RowCount != 5 {
+		t.Errorf("rows = %d", dp.RowCount)
+	}
+	id := dp.Column("id")
+	if id == nil {
+		t.Fatal("missing id profile")
+	}
+	if id.Distinct != 5 || !id.IsKeyLike() {
+		t.Errorf("id: distinct=%d keylike=%v", id.Distinct, id.IsKeyLike())
+	}
+	city := dp.Column("city")
+	if city.Distinct != 3 || city.IsKeyLike() {
+		t.Errorf("city: distinct=%d keylike=%v", city.Distinct, city.IsKeyLike())
+	}
+	temp := dp.Column("temp")
+	if temp.NullCount != 1 {
+		t.Errorf("temp nulls = %d", temp.NullCount)
+	}
+	if temp.Min != 10 || temp.Max != 20 {
+		t.Errorf("temp range [%v,%v]", temp.Min, temp.Max)
+	}
+	if math.Abs(temp.Mean-15) > 1e-9 {
+		t.Errorf("temp mean = %v", temp.Mean)
+	}
+	if temp.NullRatio() != 0.2 {
+		t.Errorf("null ratio = %v", temp.NullRatio())
+	}
+	if len(city.TopValues) == 0 || city.TopValues[0] != "chi" {
+		t.Errorf("top values = %v", city.TopValues)
+	}
+	if dp.Column("missing") != nil {
+		t.Error("unknown column must be nil")
+	}
+}
+
+func TestMinHashIdentical(t *testing.T) {
+	a, b := NewMinHash(), NewMinHash()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("v%d", i)
+		a.Add(k)
+		b.Add(k)
+	}
+	if j := a.Jaccard(b); j != 1 {
+		t.Errorf("identical sets jaccard = %v, want 1", j)
+	}
+}
+
+func TestMinHashDisjoint(t *testing.T) {
+	a, b := NewMinHash(), NewMinHash()
+	for i := 0; i < 100; i++ {
+		a.Add(fmt.Sprintf("a%d", i))
+		b.Add(fmt.Sprintf("b%d", i))
+	}
+	if j := a.Jaccard(b); j > 0.15 {
+		t.Errorf("disjoint sets jaccard = %v, want ~0", j)
+	}
+}
+
+func TestMinHashOverlapEstimate(t *testing.T) {
+	a, b := NewMinHash(), NewMinHash()
+	// 50% overlap: a = 0..199, b = 100..299 → jaccard = 100/300 ≈ 0.33
+	for i := 0; i < 200; i++ {
+		a.Add(fmt.Sprintf("v%d", i))
+	}
+	for i := 100; i < 300; i++ {
+		b.Add(fmt.Sprintf("v%d", i))
+	}
+	j := a.Jaccard(b)
+	if j < 0.15 || j > 0.55 {
+		t.Errorf("estimated jaccard = %v, want ~0.33", j)
+	}
+}
+
+func TestEmptyMinHash(t *testing.T) {
+	a, b := NewMinHash(), NewMinHash()
+	if a.Jaccard(b) != 0 {
+		t.Error("two empty sketches estimate 0")
+	}
+	b.Add("x")
+	if a.Jaccard(b) != 0 {
+		t.Error("empty vs non-empty estimates 0")
+	}
+}
+
+func TestContainmentEstimate(t *testing.T) {
+	// a ⊂ b: containment of a in b should be high.
+	sub := relation.New("sub", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	sup := relation.New("sup", relation.NewSchema(relation.Col("k", relation.KindInt)))
+	for i := 0; i < 50; i++ {
+		sub.MustAppend(relation.Int(int64(i)))
+	}
+	for i := 0; i < 200; i++ {
+		sup.MustAppend(relation.Int(int64(i)))
+	}
+	pa := Profile("a", sub).Column("k")
+	pb := Profile("b", sup).Column("k")
+	if c := ContainmentEstimate(pa, pb); c < 0.5 {
+		t.Errorf("containment of subset in superset = %v, want high", c)
+	}
+	if c := ContainmentEstimate(pb, pa); c > 0.6 {
+		t.Errorf("containment of superset in subset = %v, want ~0.25", c)
+	}
+}
+
+// Property: Jaccard is symmetric and within [0,1].
+func TestJaccardProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := NewMinHash(), NewMinHash()
+		for _, x := range xs {
+			a.Add(fmt.Sprint(x))
+		}
+		for _, y := range ys {
+			b.Add(fmt.Sprint(y))
+		}
+		j1, j2 := a.Jaccard(b), b.Jaccard(a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniquenessEmpty(t *testing.T) {
+	var p ColumnProfile
+	if p.Uniqueness() != 0 || p.NullRatio() != 0 {
+		t.Error("empty profile stats must be 0")
+	}
+	if p.IsKeyLike() {
+		t.Error("empty column is not key-like")
+	}
+}

@@ -1,0 +1,273 @@
+// Package provenance tracks why-provenance for mashups: every row of a
+// mashup carries the set of source rows (dataset, row index) that produced
+// it. The revenue sharing function (paper §3.2.3) "reverse engineers" the
+// arbiter's combination function f(); for relational plans this package makes
+// that reverse engineering exact by propagating lineage through every
+// operator, in the spirit of provenance semirings.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// RowRef identifies one source row.
+type RowRef struct {
+	Dataset string
+	Row     int
+}
+
+// Lineage is the set of source rows contributing to one output row.
+type Lineage []RowRef
+
+// merge unions two lineages (both sorted, deduplicated output).
+func merge(a, b Lineage) Lineage {
+	out := make(Lineage, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Row < out[j].Row
+	})
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || r != out[i-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// Annotated is a relation whose rows each carry lineage.
+type Annotated struct {
+	Rel     *relation.Relation
+	Lineage []Lineage // parallel to Rel.Rows
+}
+
+// FromSource wraps a source relation: row i's lineage is {(datasetID, i)}.
+func FromSource(datasetID string, r *relation.Relation) *Annotated {
+	a := &Annotated{Rel: r, Lineage: make([]Lineage, r.NumRows())}
+	for i := range a.Lineage {
+		a.Lineage[i] = Lineage{{Dataset: datasetID, Row: i}}
+	}
+	return a
+}
+
+// check panics if lineage and rows fell out of sync — an internal invariant.
+func (a *Annotated) check() {
+	if len(a.Lineage) != a.Rel.NumRows() {
+		panic(fmt.Sprintf("provenance: lineage len %d != rows %d", len(a.Lineage), a.Rel.NumRows()))
+	}
+}
+
+// Select filters rows, keeping their lineage.
+func Select(a *Annotated, pred relation.Predicate) *Annotated {
+	a.check()
+	out := &Annotated{Rel: relation.New(a.Rel.Name+"_sel", a.Rel.Schema)}
+	for i, row := range a.Rel.Rows {
+		if pred(row, a.Rel.Schema) {
+			out.Rel.Rows = append(out.Rel.Rows, row)
+			out.Lineage = append(out.Lineage, a.Lineage[i])
+		}
+	}
+	return out
+}
+
+// Project keeps the named columns; lineage is unchanged (why-provenance of a
+// projected row is the provenance of the original row).
+func Project(a *Annotated, names ...string) (*Annotated, error) {
+	a.check()
+	r, err := relation.Project(a.Rel, names...)
+	if err != nil {
+		return nil, err
+	}
+	return &Annotated{Rel: r, Lineage: a.Lineage}, nil
+}
+
+// Map applies a column transformation, keeping lineage.
+func Map(a *Annotated, col string, kind relation.Kind, fn func(relation.Value) relation.Value) (*Annotated, error) {
+	a.check()
+	r, err := relation.Map(a.Rel, col, kind, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &Annotated{Rel: r, Lineage: a.Lineage}, nil
+}
+
+// Rename renames a column, keeping lineage.
+func Rename(a *Annotated, old, new string) (*Annotated, error) {
+	a.check()
+	r, err := relation.Rename(a.Rel, old, new)
+	if err != nil {
+		return nil, err
+	}
+	return &Annotated{Rel: r, Lineage: a.Lineage}, nil
+}
+
+// HashJoin joins two annotated relations; each output row's lineage is the
+// union of the joined input rows' lineages.
+func HashJoin(l, r *Annotated, on ...relation.JoinPair) (*Annotated, error) {
+	l.check()
+	r.check()
+	// Tag each side with a hidden ordinal column, join, then strip.
+	lt := relation.AddColumn(l.Rel, relation.Col("__lrow", relation.KindInt), ordinal())
+	rt := relation.AddColumn(r.Rel, relation.Col("__rrow", relation.KindInt), ordinal())
+	j, err := relation.HashJoin(lt, rt, on...)
+	if err != nil {
+		return nil, err
+	}
+	li := j.Schema.IndexOf("__lrow")
+	ri := j.Schema.IndexOf("__rrow")
+	out := &Annotated{}
+	keep := make([]string, 0, len(j.Schema)-2)
+	for _, c := range j.Schema {
+		if c.Name != "__lrow" && c.Name != "__rrow" {
+			keep = append(keep, c.Name)
+		}
+	}
+	stripped, err := relation.Project(j, keep...)
+	if err != nil {
+		return nil, err
+	}
+	stripped.Name = l.Rel.Name + "⋈" + r.Rel.Name
+	out.Rel = stripped
+	out.Lineage = make([]Lineage, len(j.Rows))
+	for i, row := range j.Rows {
+		out.Lineage[i] = merge(l.Lineage[row[li].AsInt()], r.Lineage[row[ri].AsInt()])
+	}
+	return out, nil
+}
+
+func ordinal() func(row []relation.Value, s relation.Schema) relation.Value {
+	i := -1
+	return func([]relation.Value, relation.Schema) relation.Value {
+		i++
+		return relation.Int(int64(i))
+	}
+}
+
+// Union concatenates two annotated relations.
+func Union(a, b *Annotated) (*Annotated, error) {
+	a.check()
+	b.check()
+	r, err := relation.Union(a.Rel, b.Rel)
+	if err != nil {
+		return nil, err
+	}
+	lin := make([]Lineage, 0, len(a.Lineage)+len(b.Lineage))
+	lin = append(lin, a.Lineage...)
+	lin = append(lin, b.Lineage...)
+	return &Annotated{Rel: r, Lineage: lin}, nil
+}
+
+// Distinct removes duplicate rows, merging the lineages of collapsed rows —
+// every source row that could produce the output row shares credit.
+func Distinct(a *Annotated) *Annotated {
+	a.check()
+	out := &Annotated{Rel: relation.New(a.Rel.Name+"_dist", a.Rel.Schema)}
+	idx := map[string]int{}
+	for i, row := range a.Rel.Rows {
+		k := rowKey(row)
+		if j, ok := idx[k]; ok {
+			out.Lineage[j] = merge(out.Lineage[j], a.Lineage[i])
+			continue
+		}
+		idx[k] = len(out.Rel.Rows)
+		out.Rel.Rows = append(out.Rel.Rows, row)
+		out.Lineage = append(out.Lineage, a.Lineage[i])
+	}
+	return out
+}
+
+func rowKey(row []relation.Value) string {
+	var b []byte
+	for _, v := range row {
+		b = append(b, v.Key()...)
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// DatasetContributions counts, per source dataset, how many output rows its
+// rows contributed to. Revenue sharing weights sellers by these counts.
+func (a *Annotated) DatasetContributions() map[string]int {
+	a.check()
+	out := map[string]int{}
+	for _, lin := range a.Lineage {
+		seen := map[string]bool{}
+		for _, ref := range lin {
+			if !seen[ref.Dataset] {
+				seen[ref.Dataset] = true
+				out[ref.Dataset]++
+			}
+		}
+	}
+	return out
+}
+
+// RowShares splits one unit of credit for each output row equally among the
+// datasets appearing in its lineage, returning per-dataset totals. This is
+// the per-row revenue-allocation → per-dataset revenue-sharing pipeline of
+// §3.2.3 in its simplest (uniform per-row) form; the market package layers
+// Shapley-style allocation on top.
+func (a *Annotated) RowShares() map[string]float64 {
+	a.check()
+	out := map[string]float64{}
+	for _, lin := range a.Lineage {
+		ds := map[string]bool{}
+		for _, ref := range lin {
+			ds[ref.Dataset] = true
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		w := 1.0 / float64(len(ds))
+		for d := range ds {
+			out[d] += w
+		}
+	}
+	return out
+}
+
+// Datasets returns the sorted set of datasets appearing anywhere in lineage.
+func (a *Annotated) Datasets() []string {
+	set := map[string]bool{}
+	for _, lin := range a.Lineage {
+		for _, ref := range lin {
+			set[ref.Dataset] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RestrictToDatasets returns a copy of the annotated relation keeping only
+// rows whose lineage is fully contained in the allowed dataset set. The
+// arbiter uses this to evaluate counterfactual mashups ("what would the
+// mashup be without seller X?") when computing Shapley revenue allocations.
+func (a *Annotated) RestrictToDatasets(allowed map[string]bool) *Annotated {
+	a.check()
+	out := &Annotated{Rel: relation.New(a.Rel.Name, a.Rel.Schema)}
+	for i, lin := range a.Lineage {
+		ok := true
+		for _, ref := range lin {
+			if !allowed[ref.Dataset] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Rel.Rows = append(out.Rel.Rows, a.Rel.Rows[i])
+			out.Lineage = append(out.Lineage, lin)
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Agg describes one aggregate over an input column, with an output name.
+type Agg struct {
+	Kind AggKind
+	Col  string // input column; ignored for AggCount
+	As   string // output column name
+}
+
+// GroupBy groups r by the key columns and computes the aggregates per group.
+// Output schema: key columns then one column per aggregate. Groups appear in
+// order of first occurrence. Count yields int; sum/avg/min/max yield float
+// and ignore NULLs.
+func GroupBy(r *Relation, keys []string, aggs []Agg) (*Relation, error) {
+	ki := make([]int, len(keys))
+	for i, k := range keys {
+		ki[i] = r.Schema.IndexOf(k)
+		if ki[i] < 0 {
+			return nil, fmt.Errorf("relation %q: group by: no column %q", r.Name, k)
+		}
+	}
+	ai := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Kind == AggCount {
+			ai[i] = -1
+			continue
+		}
+		ai[i] = r.Schema.IndexOf(a.Col)
+		if ai[i] < 0 {
+			return nil, fmt.Errorf("relation %q: aggregate %s: no column %q", r.Name, a.Kind, a.Col)
+		}
+	}
+
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	for _, i := range ki {
+		schema = append(schema, r.Schema[i])
+	}
+	for _, a := range aggs {
+		kind := KindFloat
+		if a.Kind == AggCount {
+			kind = KindInt
+		}
+		name := a.As
+		if name == "" {
+			name = a.Kind.String() + "_" + a.Col
+		}
+		schema = append(schema, Column{Name: name, Kind: kind})
+	}
+
+	type acc struct {
+		keyRow []Value
+		n      []int64   // non-null count per agg
+		sum    []float64 // running sum
+		min    []float64
+		max    []float64
+		rows   int64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, row := range r.Rows {
+		var kb []byte
+		for _, i := range ki {
+			kb = append(kb, row[i].Key()...)
+			kb = append(kb, 0x1f)
+		}
+		k := string(kb)
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{
+				n:   make([]int64, len(aggs)),
+				sum: make([]float64, len(aggs)),
+				min: make([]float64, len(aggs)),
+				max: make([]float64, len(aggs)),
+			}
+			g.keyRow = make([]Value, len(ki))
+			for j, i := range ki {
+				g.keyRow[j] = row[i]
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows++
+		for j, idx := range ai {
+			if idx < 0 {
+				continue
+			}
+			v := row[idx]
+			if v.IsNull() || !v.IsNumeric() {
+				continue
+			}
+			f := v.AsFloat()
+			if g.n[j] == 0 {
+				g.min[j], g.max[j] = f, f
+			} else {
+				if f < g.min[j] {
+					g.min[j] = f
+				}
+				if f > g.max[j] {
+					g.max[j] = f
+				}
+			}
+			g.n[j]++
+			g.sum[j] += f
+		}
+	}
+
+	out := New(r.Name+"_grp", schema)
+	for _, k := range order {
+		g := groups[k]
+		row := make([]Value, 0, len(schema))
+		row = append(row, g.keyRow...)
+		for j, a := range aggs {
+			switch a.Kind {
+			case AggCount:
+				row = append(row, Int(g.rows))
+			case AggSum:
+				row = append(row, Float(g.sum[j]))
+			case AggAvg:
+				if g.n[j] == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(g.sum[j]/float64(g.n[j])))
+				}
+			case AggMin:
+				if g.n[j] == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(g.min[j]))
+				}
+			case AggMax:
+				if g.n[j] == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(g.max[j]))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Pivot spreads r into a wide table: one row per distinct key value, one
+// column per distinct value of pivotCol, filled with valueCol. Collisions
+// keep the last value. The WTP interface lists pivoting among the
+// transformation needs buyers express (paper §3.2.2.1).
+func Pivot(r *Relation, key, pivotCol, valueCol string) (*Relation, error) {
+	ki := r.Schema.IndexOf(key)
+	pi := r.Schema.IndexOf(pivotCol)
+	vi := r.Schema.IndexOf(valueCol)
+	if ki < 0 || pi < 0 || vi < 0 {
+		return nil, fmt.Errorf("relation %q: pivot needs columns %q,%q,%q", r.Name, key, pivotCol, valueCol)
+	}
+	colSet := map[string]bool{}
+	var colNames []string
+	for _, row := range r.Rows {
+		n := row[pi].String()
+		if !colSet[n] {
+			colSet[n] = true
+			colNames = append(colNames, n)
+		}
+	}
+	sort.Strings(colNames)
+	schema := Schema{r.Schema[ki]}
+	valKind := r.Schema[vi].Kind
+	for _, n := range colNames {
+		schema = append(schema, Column{Name: n, Kind: valKind})
+	}
+	colIdx := make(map[string]int, len(colNames))
+	for i, n := range colNames {
+		colIdx[n] = i + 1
+	}
+
+	out := New(r.Name+"_pivot", schema)
+	rowIdx := map[string]int{}
+	for _, row := range r.Rows {
+		k := row[ki].Key()
+		i, ok := rowIdx[k]
+		if !ok {
+			nr := make([]Value, len(schema))
+			nr[0] = row[ki]
+			for j := 1; j < len(nr); j++ {
+				nr[j] = Null()
+			}
+			out.Rows = append(out.Rows, nr)
+			i = len(out.Rows) - 1
+			rowIdx[k] = i
+		}
+		out.Rows[i][colIdx[row[pi].String()]] = row[vi]
+	}
+	return out, nil
+}
+
+// Interpolate fills NULLs in the named numeric column by linear interpolation
+// between the nearest non-null neighbours (after sorting by orderCol). The
+// Mashup Builder uses this to join datasets recorded at different time
+// granularities (paper §5, "value interpolation to join on different time
+// granularities").
+func Interpolate(r *Relation, orderCol, valueCol string) (*Relation, error) {
+	sorted, err := SortBy(r, false, orderCol)
+	if err != nil {
+		return nil, err
+	}
+	vi := sorted.Schema.IndexOf(valueCol)
+	if vi < 0 {
+		return nil, fmt.Errorf("relation %q: no column %q", r.Name, valueCol)
+	}
+	n := len(sorted.Rows)
+	// Collect known points.
+	type pt struct {
+		idx int
+		val float64
+	}
+	var known []pt
+	for i, row := range sorted.Rows {
+		if !row[vi].IsNull() && row[vi].IsNumeric() {
+			known = append(known, pt{i, row[vi].AsFloat()})
+		}
+	}
+	if len(known) == 0 {
+		return sorted, nil
+	}
+	ki := 0
+	for i := 0; i < n; i++ {
+		row := sorted.Rows[i]
+		if !row[vi].IsNull() {
+			continue
+		}
+		for ki+1 < len(known) && known[ki+1].idx < i {
+			ki++
+		}
+		var f float64
+		switch {
+		case i < known[0].idx:
+			f = known[0].val
+		case i > known[len(known)-1].idx:
+			f = known[len(known)-1].val
+		default:
+			lo, hi := known[ki], known[ki+1]
+			span := float64(hi.idx - lo.idx)
+			f = lo.val + (hi.val-lo.val)*float64(i-lo.idx)/span
+		}
+		row[vi] = Float(f)
+	}
+	sorted.Schema[vi].Kind = KindFloat
+	return sorted, nil
+}

@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func mkBenchRel(n int) *Relation {
+	r := New("bench", NewSchema(
+		Col("k", KindInt), Col("cat", KindString), Col("v", KindFloat)))
+	for i := 0; i < n; i++ {
+		r.MustAppend(Int(int64(i)), String_(fmt.Sprintf("c%d", i%10)), Float(float64(i)*0.5))
+	}
+	return r
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		l, r := mkBenchRel(n), mkBenchRel(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := HashJoin(l, r, JoinPair{"k", "k"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	r := mkBenchRel(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupBy(r, []string{"cat"}, []Agg{
+			{Kind: AggCount, As: "n"}, {Kind: AggAvg, Col: "v", As: "m"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistinct(b *testing.B) {
+	r := mkBenchRel(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distinct(r)
+	}
+}
+
+func BenchmarkSortBy(b *testing.B) {
+	r := mkBenchRel(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SortBy(r, false, "cat", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	r := mkBenchRel(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadCSV("bench", &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueKey(b *testing.B) {
+	vals := []Value{Int(42), Float(3.14), String_("hello"), Bool(true)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vals {
+			_ = v.Key()
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Predicate decides whether a row qualifies. The row slice must not be
+// retained.
+type Predicate func(row []Value, schema Schema) bool
+
+// Select returns the rows of r satisfying pred, preserving order.
+func Select(r *Relation, pred Predicate) *Relation {
+	out := New(r.Name+"_sel", r.Schema)
+	for _, row := range r.Rows {
+		if pred(row, r.Schema) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// ColEquals builds a predicate matching rows whose named column equals v.
+func ColEquals(name string, v Value) Predicate {
+	return func(row []Value, schema Schema) bool {
+		i := schema.IndexOf(name)
+		return i >= 0 && row[i].Equal(v)
+	}
+}
+
+// Project returns r restricted to the named columns, in order.
+func Project(r *Relation, names ...string) (*Relation, error) {
+	sub, err := r.Schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = r.Schema.IndexOf(n)
+	}
+	out := New(r.Name+"_proj", sub)
+	out.Rows = make([][]Value, len(r.Rows))
+	for j, row := range r.Rows {
+		nr := make([]Value, len(idx))
+		for i, k := range idx {
+			nr[i] = row[k]
+		}
+		out.Rows[j] = nr
+	}
+	return out, nil
+}
+
+// Rename returns r with column old renamed to new.
+func Rename(r *Relation, old, new string) (*Relation, error) {
+	s, err := r.Schema.Rename(old, new)
+	if err != nil {
+		return nil, fmt.Errorf("relation %q: %w", r.Name, err)
+	}
+	out := &Relation{Name: r.Name, Schema: s, Rows: r.Rows}
+	return out, nil
+}
+
+// Distinct removes duplicate rows (by canonical key), keeping first
+// occurrences.
+func Distinct(r *Relation) *Relation {
+	out := New(r.Name+"_dist", r.Schema)
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func rowKey(row []Value) string {
+	var sb []byte
+	for _, v := range row {
+		sb = append(sb, v.Key()...)
+		sb = append(sb, 0x1f)
+	}
+	return string(sb)
+}
+
+// SortBy stably sorts r by the named columns ascending. desc flips the order.
+func SortBy(r *Relation, desc bool, names ...string) (*Relation, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		k := r.Schema.IndexOf(n)
+		if k < 0 {
+			return nil, fmt.Errorf("relation %q: no column %q", r.Name, n)
+		}
+		idx[i] = k
+	}
+	out := r.Clone()
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for _, k := range idx {
+			c := out.Rows[a][k].Compare(out.Rows[b][k])
+			if c != 0 {
+				if desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Limit returns the first n rows of r.
+func Limit(r *Relation, n int) *Relation {
+	if n > len(r.Rows) {
+		n = len(r.Rows)
+	}
+	out := New(r.Name+"_lim", r.Schema)
+	out.Rows = r.Rows[:n]
+	return out
+}
+
+// Union appends the rows of b to a. Schemas must be equal.
+func Union(a, b *Relation) (*Relation, error) {
+	if !a.Schema.Equal(b.Schema) {
+		return nil, fmt.Errorf("relation: union schema mismatch %s vs %s", a.Schema, b.Schema)
+	}
+	out := New(a.Name+"_union", a.Schema)
+	out.Rows = make([][]Value, 0, len(a.Rows)+len(b.Rows))
+	out.Rows = append(out.Rows, a.Rows...)
+	out.Rows = append(out.Rows, b.Rows...)
+	return out, nil
+}
+
+// JoinPair names the join columns on each side of a join.
+type JoinPair struct {
+	Left, Right string
+}
+
+// HashJoin performs an inner equi-join of l and r on the given column pairs
+// using a hash table built on the right side. Right join columns are dropped
+// from the output; remaining right columns that clash with left names are
+// suffixed with "_r".
+func HashJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
+	return join(l, r, true, on...)
+}
+
+// NestedLoopJoin is the O(n·m) baseline join, kept for the ablation bench
+// (DESIGN.md "hash join vs nested loop").
+func NestedLoopJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
+	return join(l, r, false, on...)
+}
+
+// maxJoinRows guards against runaway join outputs (e.g. joining on a
+// low-cardinality column): rather than exhaust memory, the join fails and
+// the DoD engine drops the candidate plan.
+const maxJoinRows = 4_000_000
+
+func join(l, r *Relation, hash bool, on ...JoinPair) (*Relation, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("relation: join needs at least one column pair")
+	}
+	li := make([]int, len(on))
+	ri := make([]int, len(on))
+	for k, p := range on {
+		li[k] = l.Schema.IndexOf(p.Left)
+		ri[k] = r.Schema.IndexOf(p.Right)
+		if li[k] < 0 {
+			return nil, fmt.Errorf("relation: join: left %q has no column %q", l.Name, p.Left)
+		}
+		if ri[k] < 0 {
+			return nil, fmt.Errorf("relation: join: right %q has no column %q", r.Name, p.Right)
+		}
+	}
+	dropRight := make(map[int]bool, len(on))
+	for _, k := range ri {
+		dropRight[k] = true
+	}
+	schema := l.Schema.Clone()
+	var rightKeep []int
+	for j, c := range r.Schema {
+		if dropRight[j] {
+			continue
+		}
+		name := c.Name
+		for schema.Has(name) {
+			name += "_r"
+		}
+		schema = append(schema, Column{Name: name, Kind: c.Kind})
+		rightKeep = append(rightKeep, j)
+	}
+	out := New(l.Name+"⋈"+r.Name, schema)
+
+	var emitErr error
+	emit := func(lrow, rrow []Value) {
+		if len(out.Rows) >= maxJoinRows {
+			emitErr = fmt.Errorf("relation: join %s would exceed %d rows", out.Name, maxJoinRows)
+			return
+		}
+		nr := make([]Value, 0, len(schema))
+		nr = append(nr, lrow...)
+		for _, j := range rightKeep {
+			nr = append(nr, rrow[j])
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	keyOf := func(row []Value, idx []int) string {
+		var b []byte
+		for _, i := range idx {
+			b = append(b, row[i].Key()...)
+			b = append(b, 0x1f)
+		}
+		return string(b)
+	}
+
+	if hash {
+		ht := make(map[string][]int, len(r.Rows))
+		for j, row := range r.Rows {
+			skip := false
+			for _, i := range ri {
+				if row[i].IsNull() {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			k := keyOf(row, ri)
+			ht[k] = append(ht[k], j)
+		}
+		for _, lrow := range l.Rows {
+			skip := false
+			for _, i := range li {
+				if lrow[i].IsNull() {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			for _, j := range ht[keyOf(lrow, li)] {
+				emit(lrow, r.Rows[j])
+				if emitErr != nil {
+					return nil, emitErr
+				}
+			}
+		}
+		return out, nil
+	}
+
+	for _, lrow := range l.Rows {
+		for _, rrow := range r.Rows {
+			match := true
+			for k := range on {
+				lv, rv := lrow[li[k]], rrow[ri[k]]
+				if lv.IsNull() || rv.IsNull() || !lv.Equal(rv) {
+					match = false
+					break
+				}
+			}
+			if match {
+				emit(lrow, rrow)
+				if emitErr != nil {
+					return nil, emitErr
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// LeftOuterJoin keeps unmatched left rows, filling right columns with NULL.
+func LeftOuterJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
+	inner, err := HashJoin(l, r, on...)
+	if err != nil {
+		return nil, err
+	}
+	li := make([]int, len(on))
+	ri := make([]int, len(on))
+	for k, p := range on {
+		li[k] = l.Schema.IndexOf(p.Left)
+		ri[k] = r.Schema.IndexOf(p.Right)
+	}
+	matched := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		var b []byte
+		ok := true
+		for _, i := range ri {
+			if row[i].IsNull() {
+				ok = false
+				break
+			}
+			b = append(b, row[i].Key()...)
+			b = append(b, 0x1f)
+		}
+		if ok {
+			matched[string(b)] = true
+		}
+	}
+	nRight := len(inner.Schema) - len(l.Schema)
+	for _, lrow := range l.Rows {
+		var b []byte
+		ok := true
+		for _, i := range li {
+			if lrow[i].IsNull() {
+				ok = false
+				break
+			}
+			b = append(b, lrow[i].Key()...)
+			b = append(b, 0x1f)
+		}
+		if ok && matched[string(b)] {
+			continue
+		}
+		nr := make([]Value, 0, len(inner.Schema))
+		nr = append(nr, lrow...)
+		for i := 0; i < nRight; i++ {
+			nr = append(nr, Null())
+		}
+		inner.Rows = append(inner.Rows, nr)
+	}
+	return inner, nil
+}
+
+// Map applies fn to the named column, returning a new relation with the
+// column's values replaced and (optionally) its kind changed. The Mashup
+// Builder uses Map to apply inferred transformation functions such as the
+// inverse of f(d) (paper §1 Challenge-3).
+func Map(r *Relation, name string, newKind Kind, fn func(Value) Value) (*Relation, error) {
+	i := r.Schema.IndexOf(name)
+	if i < 0 {
+		return nil, fmt.Errorf("relation %q: no column %q", r.Name, name)
+	}
+	out := r.Clone()
+	out.Schema[i].Kind = newKind
+	for _, row := range out.Rows {
+		row[i] = fn(row[i])
+	}
+	return out, nil
+}
+
+// AddColumn appends a computed column.
+func AddColumn(r *Relation, col Column, fn func(row []Value, schema Schema) Value) *Relation {
+	out := New(r.Name, append(r.Schema.Clone(), col))
+	out.Rows = make([][]Value, len(r.Rows))
+	for j, row := range r.Rows {
+		nr := make([]Value, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, fn(row, r.Schema))
+		out.Rows[j] = nr
+	}
+	return out
+}

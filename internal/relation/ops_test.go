@@ -1,0 +1,486 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkPeople() *Relation {
+	r := New("people", NewSchema(
+		Col("id", KindInt), Col("name", KindString), Col("age", KindInt), Col("city", KindString),
+	))
+	r.MustAppend(Int(1), String_("ada"), Int(36), String_("london"))
+	r.MustAppend(Int(2), String_("alan"), Int(41), String_("london"))
+	r.MustAppend(Int(3), String_("grace"), Int(45), String_("nyc"))
+	r.MustAppend(Int(4), String_("edsger"), Int(39), String_("austin"))
+	return r
+}
+
+func mkSalaries() *Relation {
+	r := New("salaries", NewSchema(Col("pid", KindInt), Col("salary", KindFloat)))
+	r.MustAppend(Int(1), Float(100))
+	r.MustAppend(Int(2), Float(120))
+	r.MustAppend(Int(3), Float(150))
+	r.MustAppend(Int(9), Float(999)) // dangling
+	return r
+}
+
+func TestSelectProject(t *testing.T) {
+	p := mkPeople()
+	sel := Select(p, ColEquals("city", String_("london")))
+	if sel.NumRows() != 2 {
+		t.Fatalf("select rows = %d, want 2", sel.NumRows())
+	}
+	proj, err := Project(sel, "name", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj.Schema.Equal(NewSchema(Col("name", KindString), Col("age", KindInt))) {
+		t.Errorf("projected schema = %s", proj.Schema)
+	}
+	if _, err := Project(p, "nope"); err == nil {
+		t.Error("project on unknown column must error")
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	p, s := mkPeople(), mkSalaries()
+	hj, err := HashJoin(p, s, JoinPair{"id", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NestedLoopJoin(p, s, JoinPair{"id", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hj.NumRows() != 3 || nl.NumRows() != 3 {
+		t.Fatalf("join rows hash=%d nested=%d, want 3", hj.NumRows(), nl.NumRows())
+	}
+	// Same multiset of rows.
+	sh, _ := SortBy(hj, false, "id")
+	sn, _ := SortBy(nl, false, "id")
+	if !sh.Equal(sn) {
+		t.Error("hash join and nested loop join disagree")
+	}
+	if !hj.Schema.Has("salary") {
+		t.Error("join must carry right columns")
+	}
+	if hj.Schema.Has("pid") {
+		t.Error("join must drop right join column")
+	}
+}
+
+func TestJoinNullsNeverMatch(t *testing.T) {
+	a := New("a", NewSchema(Col("k", KindInt), Col("x", KindString)))
+	a.MustAppend(Null(), String_("na"))
+	a.MustAppend(Int(1), String_("one"))
+	b := New("b", NewSchema(Col("k", KindInt), Col("y", KindString)))
+	b.MustAppend(Null(), String_("nb"))
+	b.MustAppend(Int(1), String_("uno"))
+	j, err := HashJoin(a, b, JoinPair{"k", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Fatalf("null keys must not join; rows=%d", j.NumRows())
+	}
+}
+
+func TestJoinNameCollisionSuffix(t *testing.T) {
+	a := New("a", NewSchema(Col("k", KindInt), Col("v", KindInt)))
+	a.MustAppend(Int(1), Int(10))
+	b := New("b", NewSchema(Col("k", KindInt), Col("v", KindInt)))
+	b.MustAppend(Int(1), Int(20))
+	j, err := HashJoin(a, b, JoinPair{"k", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Schema.Has("v") || !j.Schema.Has("v_r") {
+		t.Errorf("expected v and v_r, got %s", j.Schema)
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	p, s := mkPeople(), mkSalaries()
+	j, err := LeftOuterJoin(p, s, JoinPair{"id", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 4 {
+		t.Fatalf("outer join rows = %d, want 4", j.NumRows())
+	}
+	sorted, _ := SortBy(j, false, "id")
+	last := sorted.Rows[3]
+	sal := sorted.Schema.IndexOf("salary")
+	if !last[sal].IsNull() {
+		t.Error("unmatched left row must have NULL salary")
+	}
+}
+
+func TestDistinctUnionLimit(t *testing.T) {
+	p := mkPeople()
+	u, err := Union(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 8 {
+		t.Fatalf("union rows = %d", u.NumRows())
+	}
+	d := Distinct(u)
+	if d.NumRows() != 4 {
+		t.Fatalf("distinct rows = %d, want 4", d.NumRows())
+	}
+	if Limit(p, 2).NumRows() != 2 || Limit(p, 100).NumRows() != 4 {
+		t.Error("limit wrong")
+	}
+	other := New("x", NewSchema(Col("z", KindInt)))
+	if _, err := Union(p, other); err == nil {
+		t.Error("union with mismatched schema must error")
+	}
+}
+
+func TestSortByMultiKeyAndDesc(t *testing.T) {
+	p := mkPeople()
+	asc, err := SortBy(p, false, "city", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asc.Rows[0][1].AsString(); got != "edsger" {
+		t.Errorf("first by (city,age) = %s, want edsger (austin)", got)
+	}
+	desc, _ := SortBy(p, true, "age")
+	if got := desc.Rows[0][1].AsString(); got != "grace" {
+		t.Errorf("oldest = %s, want grace", got)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	p := mkPeople()
+	g, err := GroupBy(p, []string{"city"}, []Agg{
+		{Kind: AggCount, As: "n"},
+		{Kind: AggAvg, Col: "age", As: "avg_age"},
+		{Kind: AggMin, Col: "age", As: "min_age"},
+		{Kind: AggMax, Col: "age", As: "max_age"},
+		{Kind: AggSum, Col: "age", As: "sum_age"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3", g.NumRows())
+	}
+	london := Select(g, ColEquals("city", String_("london")))
+	if london.NumRows() != 1 {
+		t.Fatal("missing london group")
+	}
+	row := london.Rows[0]
+	get := func(name string) Value {
+		return row[london.Schema.IndexOf(name)]
+	}
+	if get("n").AsInt() != 2 {
+		t.Errorf("count = %v", get("n"))
+	}
+	if get("avg_age").AsFloat() != 38.5 {
+		t.Errorf("avg = %v", get("avg_age"))
+	}
+	if get("min_age").AsFloat() != 36 || get("max_age").AsFloat() != 41 {
+		t.Errorf("min/max = %v/%v", get("min_age"), get("max_age"))
+	}
+	if get("sum_age").AsFloat() != 77 {
+		t.Errorf("sum = %v", get("sum_age"))
+	}
+}
+
+func TestGroupByNullsIgnored(t *testing.T) {
+	r := New("t", NewSchema(Col("k", KindString), Col("v", KindFloat)))
+	r.MustAppend(String_("a"), Float(1))
+	r.MustAppend(String_("a"), Null())
+	g, err := GroupBy(r, []string{"k"}, []Agg{{Kind: AggAvg, Col: "v", As: "m"}, {Kind: AggCount, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows[0][1].AsFloat() != 1 {
+		t.Errorf("avg ignoring nulls = %v, want 1", g.Rows[0][1])
+	}
+	if g.Rows[0][2].AsInt() != 2 {
+		t.Errorf("count counts rows = %v, want 2", g.Rows[0][2])
+	}
+}
+
+func TestPivot(t *testing.T) {
+	r := New("obs", NewSchema(Col("day", KindString), Col("sensor", KindString), Col("temp", KindFloat)))
+	r.MustAppend(String_("mon"), String_("s1"), Float(20))
+	r.MustAppend(String_("mon"), String_("s2"), Float(21))
+	r.MustAppend(String_("tue"), String_("s1"), Float(18))
+	p, err := Pivot(r, "day", "sensor", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Schema.Has("s1") || !p.Schema.Has("s2") {
+		t.Fatalf("pivot schema = %s", p.Schema)
+	}
+	tue := Select(p, ColEquals("day", String_("tue")))
+	v, _ := tue.Cell(0, "s2")
+	if !v.IsNull() {
+		t.Error("missing pivot cell must be NULL")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	r := New("ts", NewSchema(Col("t", KindInt), Col("v", KindFloat)))
+	r.MustAppend(Int(0), Float(0))
+	r.MustAppend(Int(1), Null())
+	r.MustAppend(Int(2), Null())
+	r.MustAppend(Int(3), Float(30))
+	out, err := Interpolate(r, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[1][1].AsFloat() != 10 || out.Rows[2][1].AsFloat() != 20 {
+		t.Errorf("interpolated = %v, %v; want 10, 20", out.Rows[1][1], out.Rows[2][1])
+	}
+}
+
+func TestMapAndAddColumn(t *testing.T) {
+	p := mkPeople()
+	doubled, err := Map(p, "age", KindInt, func(v Value) Value {
+		if v.IsNull() {
+			return v
+		}
+		return Int(v.AsInt() * 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Rows[0][2].AsInt() != 72 {
+		t.Errorf("mapped age = %v", doubled.Rows[0][2])
+	}
+	// Original untouched.
+	if p.Rows[0][2].AsInt() != 36 {
+		t.Error("Map must not mutate input")
+	}
+	withFlag := AddColumn(p, Col("senior", KindBool), func(row []Value, s Schema) Value {
+		return Bool(row[s.IndexOf("age")].AsInt() >= 40)
+	})
+	if withFlag.NumCols() != 5 {
+		t.Error("AddColumn arity")
+	}
+	v, _ := withFlag.Cell(1, "senior")
+	if !v.AsBool() {
+		t.Error("alan is senior")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := New("t", NewSchema(Col("a", KindInt)))
+	if err := r.Append([]Value{Int(1), Int(2)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if err := r.Append([]Value{String_("x")}); err == nil {
+		t.Error("kind mismatch must error")
+	}
+	if err := r.Append([]Value{Null()}); err != nil {
+		t.Error("NULL fits any column")
+	}
+	f := New("f", NewSchema(Col("a", KindFloat)))
+	if err := f.Append([]Value{Int(3)}); err != nil {
+		t.Error("int fits float column")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := mkPeople()
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("people", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Errorf("csv round trip mismatch:\n%s\nvs\n%s", got, p)
+	}
+}
+
+func TestReadCSVInferred(t *testing.T) {
+	src := "id,name,score\n1,ada,3.5\n2,alan,4.0\n"
+	r, err := ReadCSVInferred("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.KindOf("id") != KindInt || r.Schema.KindOf("score") != KindFloat || r.Schema.KindOf("name") != KindString {
+		t.Errorf("inferred schema = %s", r.Schema)
+	}
+	if r.NumRows() != 2 {
+		t.Errorf("rows = %d", r.NumRows())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := mkPeople()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Relation
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Error("json round trip mismatch")
+	}
+}
+
+func TestMissingRatio(t *testing.T) {
+	r := New("t", NewSchema(Col("a", KindInt), Col("b", KindInt)))
+	r.MustAppend(Int(1), Null())
+	r.MustAppend(Null(), Null())
+	if got := r.MissingRatio(); got != 0.75 {
+		t.Errorf("missing ratio = %v, want 0.75", got)
+	}
+}
+
+// Property: hash join row count equals nested loop row count on random data.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New("a", NewSchema(Col("k", KindInt), Col("x", KindInt)))
+		b := New("b", NewSchema(Col("k", KindInt), Col("y", KindInt)))
+		for i := 0; i < 30; i++ {
+			a.MustAppend(Int(int64(rng.Intn(8))), Int(int64(i)))
+			b.MustAppend(Int(int64(rng.Intn(8))), Int(int64(i)))
+		}
+		hj, err1 := HashJoin(a, b, JoinPair{"k", "k"})
+		nl, err2 := NestedLoopJoin(a, b, JoinPair{"k", "k"})
+		return err1 == nil && err2 == nil && hj.NumRows() == nl.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distinct is idempotent.
+func TestDistinctIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New("r", NewSchema(Col("a", KindInt)))
+		for i := 0; i < 40; i++ {
+			r.MustAppend(Int(int64(rng.Intn(10))))
+		}
+		d1 := Distinct(r)
+		d2 := Distinct(d1)
+		return d1.NumRows() == d2.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Relation{Name: "b", Schema: NewSchema(Col("a", KindInt), Col("a", KindInt))}
+	if bad.Validate() == nil {
+		t.Error("duplicate column names must fail validation")
+	}
+	ok := mkPeople()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid relation failed: %v", err)
+	}
+}
+
+func TestRenameAndStringer(t *testing.T) {
+	p := mkPeople()
+	r, err := Rename(p, "city", "town")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schema.Has("town") || r.Schema.Has("city") {
+		t.Error("rename failed")
+	}
+	if p.Schema.Has("town") {
+		t.Error("rename must not mutate original schema")
+	}
+	if s := p.String(); !strings.Contains(s, "people") || !strings.Contains(s, "ada") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSchemaCoverage(t *testing.T) {
+	p := mkPeople()
+	if got := p.Schema.CoverageOf([]string{"id", "name", "missing"}); got < 0.66 || got > 0.67 {
+		t.Errorf("coverage = %v, want 2/3", got)
+	}
+	if p.Schema.CoverageOf(nil) != 1 {
+		t.Error("empty wanted covers trivially")
+	}
+}
+
+func TestInterpolateAllNull(t *testing.T) {
+	r := New("ts", NewSchema(Col("t", KindInt), Col("v", KindFloat)))
+	r.MustAppend(Int(0), Null())
+	r.MustAppend(Int(1), Null())
+	out, err := Interpolate(r, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Rows[0][1].IsNull() {
+		t.Error("no known points: values stay NULL")
+	}
+}
+
+func TestInterpolateEdgeExtension(t *testing.T) {
+	r := New("ts", NewSchema(Col("t", KindInt), Col("v", KindFloat)))
+	r.MustAppend(Int(0), Null())
+	r.MustAppend(Int(1), Float(5))
+	r.MustAppend(Int(2), Null())
+	out, err := Interpolate(r, "t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][1].AsFloat() != 5 || out.Rows[2][1].AsFloat() != 5 {
+		t.Errorf("edges extend nearest known value: %v %v", out.Rows[0][1], out.Rows[2][1])
+	}
+}
+
+func TestPivotErrors(t *testing.T) {
+	r := mkPeople()
+	if _, err := Pivot(r, "ghost", "city", "age"); err == nil {
+		t.Error("unknown key must fail")
+	}
+	if _, err := Interpolate(r, "ghost", "age"); err == nil {
+		t.Error("unknown order column must fail")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	a := mkPeople()
+	b := mkSalaries()
+	if _, err := HashJoin(a, b); err == nil {
+		t.Error("join without pairs must fail")
+	}
+	if _, err := HashJoin(a, b, JoinPair{"ghost", "pid"}); err == nil {
+		t.Error("unknown left column must fail")
+	}
+	if _, err := HashJoin(a, b, JoinPair{"id", "ghost"}); err == nil {
+		t.Error("unknown right column must fail")
+	}
+}
+
+func TestMultiPairJoin(t *testing.T) {
+	a := New("a", NewSchema(Col("x", KindInt), Col("y", KindString), Col("p", KindInt)))
+	a.MustAppend(Int(1), String_("u"), Int(10))
+	a.MustAppend(Int(1), String_("v"), Int(20))
+	b := New("b", NewSchema(Col("x", KindInt), Col("y", KindString), Col("q", KindInt)))
+	b.MustAppend(Int(1), String_("u"), Int(100))
+	j, err := HashJoin(a, b, JoinPair{"x", "x"}, JoinPair{"y", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Errorf("composite key join rows = %d, want 1", j.NumRows())
+	}
+}

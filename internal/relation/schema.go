@@ -1,0 +1,137 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// NewSchema builds a schema from alternating name/kind pairs supplied as
+// Column values.
+func NewSchema(cols ...Column) Schema { return Schema(cols) }
+
+// Col is a convenience constructor for Column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} }
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// KindOf returns the kind of the named column; KindNull if absent.
+func (s Schema) KindOf(name string) Kind {
+	if i := s.IndexOf(name); i >= 0 {
+		return s[i].Kind
+	}
+	return KindNull
+}
+
+// Equal reports whether two schemas have identical columns in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	cp := make(Schema, len(s))
+	copy(cp, s)
+	return cp
+}
+
+// Project returns the sub-schema holding only the named columns, in the
+// given order. It errors on unknown names.
+func (s Schema) Project(names ...string) (Schema, error) {
+	out := make(Schema, 0, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return nil, fmt.Errorf("relation: schema has no column %q (have %s)", n, strings.Join(s.Names(), ","))
+		}
+		out = append(out, s[i])
+	}
+	return out, nil
+}
+
+// Rename returns a copy of the schema with column old renamed to new.
+func (s Schema) Rename(old, new string) (Schema, error) {
+	i := s.IndexOf(old)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: schema has no column %q", old)
+	}
+	cp := s.Clone()
+	cp[i].Name = new
+	return cp, nil
+}
+
+// Validate checks for duplicate or empty column names.
+func (s Schema) Validate() error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("relation: schema has empty column name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relation: schema has duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// String renders the schema as name:kind pairs.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CoverageOf reports the fraction of the wanted column names present in s.
+// The Mashup Builder uses this to score candidate mashups against a buyer's
+// query-by-example target schema.
+func (s Schema) CoverageOf(wanted []string) float64 {
+	if len(wanted) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, w := range wanted {
+		if s.Has(w) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(wanted))
+}

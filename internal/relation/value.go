@@ -1,0 +1,414 @@
+// Package relation implements the relational substrate for the data market
+// platform: typed schemas, relations, and the relational, non-relational and
+// fusion operators the Mashup Builder composes (paper §3, §5).
+//
+// The package deliberately supports relations that break the first normal
+// form: a cell may hold a multi-value, a set of values each tagged with the
+// source it came from. Fusion operators (internal/fusion) produce such cells
+// when contrasting signals from multiple sellers (paper §1, "data fusion
+// operators ... produce relations that break the first normal form").
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the value types a cell can hold.
+type Kind uint8
+
+// Supported kinds. KindMulti marks a non-1NF multi-valued cell.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+	KindMulti
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	case KindMulti:
+		return "multi"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String. It returns KindNull and false for
+// unknown names.
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "null":
+		return KindNull, true
+	case "int":
+		return KindInt, true
+	case "float":
+		return KindFloat, true
+	case "string":
+		return KindString, true
+	case "bool":
+		return KindBool, true
+	case "time":
+		return KindTime, true
+	case "multi":
+		return KindMulti, true
+	default:
+		return KindNull, false
+	}
+}
+
+// Sourced tags a value with the identifier of the dataset (or seller) that
+// contributed it. Fusion cells are sets of Sourced values.
+type Sourced struct {
+	Source string
+	Value  Value
+}
+
+// Value is a dynamically typed cell value. The zero Value is NULL.
+type Value struct {
+	kind  Kind
+	i     int64
+	f     float64
+	s     string
+	b     bool
+	t     time.Time
+	multi []Sourced
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. The trailing underscore avoids clashing
+// with the Stringer method.
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Time returns a time value.
+func Time(v time.Time) Value { return Value{kind: KindTime, t: v} }
+
+// Multi returns a non-1NF multi-valued cell holding the given sourced values.
+// The slice is copied.
+func Multi(vs ...Sourced) Value {
+	cp := make([]Sourced, len(vs))
+	copy(cp, vs)
+	return Value{kind: KindMulti, multi: cp}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid only for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload. For KindInt it converts.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It is valid only for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// AsTime returns the time payload. It is valid only for KindTime.
+func (v Value) AsTime() time.Time { return v.t }
+
+// AsMulti returns the sourced values of a multi cell. The returned slice must
+// not be modified.
+func (v Value) AsMulti() []Sourced { return v.multi }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports deep equality of two values. Int and float compare
+// numerically across kinds (Int(2) equals Float(2.0)); multi cells compare as
+// ordered lists of sourced values.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	case KindTime:
+		return v.t.Equal(o.t)
+	case KindMulti:
+		if len(v.multi) != len(o.multi) {
+			return false
+		}
+		for i := range v.multi {
+			if v.multi[i].Source != o.multi[i].Source || !v.multi[i].Value.Equal(o.multi[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values: NULL sorts first; numerics compare numerically;
+// strings, bools (false<true) and times compare naturally. Values of
+// different non-numeric kinds order by kind. Multi cells compare by length
+// then element-wise.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		return int(boolToInt(o.kind == KindNull)) - int(boolToInt(v.kind == KindNull))
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		return int(boolToInt(v.b)) - int(boolToInt(o.b))
+	case KindTime:
+		switch {
+		case v.t.Before(o.t):
+			return -1
+		case v.t.After(o.t):
+			return 1
+		default:
+			return 0
+		}
+	case KindMulti:
+		if d := len(v.multi) - len(o.multi); d != 0 {
+			return sign(d)
+		}
+		for i := range v.multi {
+			if c := v.multi[i].Value.Compare(o.multi[i].Value); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+func boolToInt(b bool) int8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sign(d int) int {
+	switch {
+	case d < 0:
+		return -1
+	case d > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Key returns a canonical string encoding usable as a hash-join or group-by
+// key. Numeric values of equal magnitude share a key regardless of kind.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x01" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "\x01" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "\x02" + v.s
+	case KindBool:
+		if v.b {
+			return "\x03t"
+		}
+		return "\x03f"
+	case KindTime:
+		return "\x04" + strconv.FormatInt(v.t.UnixNano(), 10)
+	case KindMulti:
+		var sb strings.Builder
+		sb.WriteString("\x05")
+		for _, sv := range v.multi {
+			sb.WriteString(sv.Source)
+			sb.WriteByte('=')
+			sb.WriteString(sv.Value.Key())
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTime:
+		return v.t.UTC().Format(time.RFC3339)
+	case KindMulti:
+		parts := make([]string, len(v.multi))
+		for i, sv := range v.multi {
+			parts[i] = sv.Source + ":" + sv.Value.String()
+		}
+		return "{" + strings.Join(parts, "|") + "}"
+	}
+	return "?"
+}
+
+// ParseValue parses s into a value of the requested kind. Empty strings parse
+// to NULL for every kind.
+func ParseValue(kind Kind, s string) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return String_(s), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindTime:
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parse time %q: %w", s, err)
+		}
+		return Time(t), nil
+	}
+	return Null(), fmt.Errorf("relation: cannot parse kind %v", kind)
+}
+
+// InferValue guesses the kind of s and parses it (int, then float, then bool,
+// then RFC3339 time, then string). Empty strings infer NULL.
+func InferValue(s string) Value {
+	if s == "" {
+		return Null()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsInf(f, 0) {
+		return Float(f)
+	}
+	if s == "true" || s == "false" {
+		return Bool(s == "true")
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return Time(t)
+	}
+	return String_(s)
+}
+
+// FlattenMulti resolves a multi cell to a single value using majority vote
+// over equal values; ties break toward the lexicographically smallest source.
+// Non-multi values are returned unchanged.
+func (v Value) FlattenMulti() Value {
+	if v.kind != KindMulti {
+		return v
+	}
+	if len(v.multi) == 0 {
+		return Null()
+	}
+	counts := map[string]int{}
+	best := map[string]Sourced{}
+	for _, sv := range v.multi {
+		k := sv.Value.Key()
+		counts[k]++
+		if cur, ok := best[k]; !ok || sv.Source < cur.Source {
+			best[k] = sv
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return best[keys[i]].Source < best[keys[j]].Source
+	})
+	return best[keys[0]].Value
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/market"
+)
+
+// ExPostMetrics extends Metrics with audit accounting for the ex-post
+// protocol (paper §3.2.2.2): buyers get data before paying and then report
+// their realized value; audits with penalties make honesty optimal.
+type ExPostMetrics struct {
+	Metrics
+	Audits        int
+	CaughtCheats  int
+	PenaltiesPaid float64
+	// UnderReportRate is the fraction of reports below true value.
+	UnderReportRate float64
+}
+
+// RunExPost simulates the ex-post protocol: each round every agent receives
+// the data and reports a value according to their behaviour — truthful
+// agents report truthfully, strategic agents under-report by the shade
+// factor, adversarial coalition members coordinate on near-zero reports,
+// ignorant agents report noisily. The arbiter audits each report with
+// mech.AuditProb; caught under-reporting pays true value plus penalty.
+func RunExPost(cfg Config, mech market.ExPost) ExPostMetrics {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	agents := makePopulation(cfg, rng)
+
+	met := ExPostMetrics{Metrics: Metrics{
+		Design:            mech.Name(),
+		Mix:               MixLabel(cfg.Mix),
+		Rounds:            cfg.Rounds,
+		UtilityByBehavior: map[Behavior]float64{},
+	}}
+	utilSum := map[Behavior]float64{}
+	utilN := map[Behavior]int{}
+	reports := 0
+	under := 0
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range agents {
+			v := cfg.ValueMean + cfg.ValueStd*rng.NormFloat64()
+			if v < 1 {
+				v = 1
+			}
+			agents[i].value = v
+		}
+		// Reports per behaviour; Offer is the report in the ex-post setting.
+		bids := makeBids(cfg, agents, rng)
+		// Pre-draw audits so the mechanism stays deterministic given rng.
+		audited := make([]bool, len(bids))
+		for i := range audited {
+			audited[i] = rng.Float64() < mech.AuditProb
+		}
+		outs, revenue := mech.RunAudited(bids, func(i int) bool { return audited[i] })
+		met.Revenue += revenue
+		met.Volume += len(outs)
+		for i, ao := range outs {
+			a := agents[i]
+			reports++
+			if bids[i].Offer < bids[i].True-1e-9 {
+				under++
+			}
+			if ao.Audited {
+				met.Audits++
+				if ao.Shortfall > 0 {
+					met.CaughtCheats++
+					met.PenaltiesPaid += ao.Penalty
+				}
+			}
+			u := a.value - ao.Sale.Price
+			met.Welfare += a.value
+			utilSum[a.behavior] += u
+			utilN[a.behavior]++
+		}
+	}
+	for b, s := range utilSum {
+		if utilN[b] > 0 {
+			met.UtilityByBehavior[b] = s / float64(utilN[b])
+		}
+	}
+	met.TruthfulPremium = met.UtilityByBehavior[Truthful] - met.UtilityByBehavior[Strategic]
+	if reports > 0 {
+		met.UnderReportRate = float64(under) / float64(reports)
+	}
+	return met
+}
+
+// DynamicConfig parameterizes the streaming-arrival simulation: buyers and
+// datasets arrive over time (the dynamic-arrival market of the paper's §8.2
+// related work) and unmatched buyers wait with limited patience.
+type DynamicConfig struct {
+	Rounds int
+	// BuyerArrivalRate is the expected buyers arriving per round.
+	BuyerArrivalRate float64
+	// SellerArrivalRate is the expected datasets arriving per round.
+	SellerArrivalRate float64
+	// Patience is how many rounds a buyer waits before leaving unserved.
+	Patience int
+	// MatchProb is the probability a present dataset satisfies a waiting
+	// buyer in a given round (per pair, capped at one match per buyer).
+	MatchProb float64
+	Seed      int64
+}
+
+// DynamicMetrics summarizes a streaming run.
+type DynamicMetrics struct {
+	Arrived   int
+	Served    int
+	Abandoned int
+	// MeanWait is the average rounds a served buyer waited.
+	MeanWait float64
+	// PeakQueue is the largest number of simultaneously waiting buyers.
+	PeakQueue int
+}
+
+// ServiceRate is served/arrived.
+func (m DynamicMetrics) ServiceRate() float64 {
+	if m.Arrived == 0 {
+		return 0
+	}
+	return float64(m.Served) / float64(m.Arrived)
+}
+
+// RunDynamic simulates dynamic arrival: a thin early market (few datasets)
+// starves early buyers; as supply accumulates the service rate climbs —
+// quantifying why "insufficient number of participants make trade
+// inefficient" and how accumulated supply fixes it.
+func RunDynamic(cfg DynamicConfig) DynamicMetrics {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Patience < 1 {
+		cfg.Patience = 3
+	}
+	type waiting struct{ since int }
+	var queue []waiting
+	datasets := 0
+	var met DynamicMetrics
+	var waitSum int
+
+	poisson := func(lambda float64) int {
+		// Knuth's method; the lambdas here are small.
+		threshold := math.Exp(-lambda)
+		k := 0
+		p := rng.Float64()
+		for p > threshold {
+			k++
+			p *= rng.Float64()
+		}
+		return k
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		datasets += poisson(cfg.SellerArrivalRate)
+		arrivals := poisson(cfg.BuyerArrivalRate)
+		met.Arrived += arrivals
+		for i := 0; i < arrivals; i++ {
+			queue = append(queue, waiting{since: round})
+		}
+		if len(queue) > met.PeakQueue {
+			met.PeakQueue = len(queue)
+		}
+		// Match attempts: each waiting buyer is served if any dataset hits.
+		var still []waiting
+		for _, w := range queue {
+			pNone := 1.0
+			for d := 0; d < datasets; d++ {
+				pNone *= 1 - cfg.MatchProb
+			}
+			if rng.Float64() < 1-pNone {
+				met.Served++
+				waitSum += round - w.since
+				continue
+			}
+			if round-w.since >= cfg.Patience {
+				met.Abandoned++
+				continue
+			}
+			still = append(still, w)
+		}
+		queue = still
+	}
+	if met.Served > 0 {
+		met.MeanWait = float64(waitSum) / float64(met.Served)
+	}
+	return met
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/market"
+)
+
+func TestExPostTruthfulPaysTrue(t *testing.T) {
+	cfg := baseCfg()
+	m := RunExPost(cfg, market.ExPost{AuditProb: 0.3, Penalty: 4})
+	// All truthful: revenue equals welfare (everyone pays their value),
+	// utility is zero, nobody is caught.
+	if diff := m.Revenue - m.Welfare; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("truthful ex-post revenue %v != welfare %v", m.Revenue, m.Welfare)
+	}
+	if m.CaughtCheats != 0 {
+		t.Errorf("no cheats to catch, got %d", m.CaughtCheats)
+	}
+	if m.UnderReportRate != 0 {
+		t.Errorf("under report rate = %v", m.UnderReportRate)
+	}
+	if m.Audits == 0 {
+		t.Error("audits must run at prob 0.3")
+	}
+}
+
+func TestExPostAuditsDeterCheating(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Mix = map[Behavior]float64{Truthful: 0.5, Strategic: 0.5}
+	// Deterrent regime: AuditProb·Penalty = 1.2 > 1.
+	deterred := RunExPost(cfg, market.ExPost{AuditProb: 0.3, Penalty: 4})
+	if deterred.CaughtCheats == 0 {
+		t.Error("strategic under-reporters must sometimes be caught")
+	}
+	if deterred.PenaltiesPaid <= 0 {
+		t.Error("penalties must accrue")
+	}
+	// With deterrent audits, truthful reporting must beat shading.
+	if deterred.TruthfulPremium <= 0 {
+		t.Errorf("audit regime must make honesty optimal: premium=%v", deterred.TruthfulPremium)
+	}
+	// Without audits, cheats pay less: strategic beats truthful.
+	unaudited := RunExPost(cfg, market.ExPost{AuditProb: 0, Penalty: 4})
+	if unaudited.TruthfulPremium >= 0 {
+		t.Errorf("no audits must reward cheating: premium=%v", unaudited.TruthfulPremium)
+	}
+	if unaudited.UnderReportRate == 0 {
+		t.Error("strategic agents under-report")
+	}
+}
+
+func TestDynamicArrivalSupplyHelps(t *testing.T) {
+	base := DynamicConfig{
+		Rounds: 300, BuyerArrivalRate: 2, Patience: 4, MatchProb: 0.02, Seed: 9,
+	}
+	thin := base
+	thin.SellerArrivalRate = 0.05
+	thick := base
+	thick.SellerArrivalRate = 0.5
+	mThin := RunDynamic(thin)
+	mThick := RunDynamic(thick)
+	if mThin.Arrived == 0 || mThick.Arrived == 0 {
+		t.Fatal("buyers must arrive")
+	}
+	if mThick.ServiceRate() <= mThin.ServiceRate() {
+		t.Errorf("more supply must serve more buyers: thin=%.2f thick=%.2f",
+			mThin.ServiceRate(), mThick.ServiceRate())
+	}
+	if mThin.Abandoned == 0 {
+		t.Error("a thin market must lose impatient buyers")
+	}
+	if mThick.MeanWait > float64(base.Patience) {
+		t.Errorf("mean wait %v beyond patience", mThick.MeanWait)
+	}
+}
+
+func TestDynamicConservation(t *testing.T) {
+	cfg := DynamicConfig{
+		Rounds: 200, BuyerArrivalRate: 1.5, SellerArrivalRate: 0.3,
+		Patience: 3, MatchProb: 0.05, Seed: 4,
+	}
+	m := RunDynamic(cfg)
+	// Everyone who arrived was served, abandoned, or still queued at the
+	// end; queue is bounded by arrived - served - abandoned >= 0.
+	remaining := m.Arrived - m.Served - m.Abandoned
+	if remaining < 0 {
+		t.Errorf("served+abandoned exceeds arrivals: %+v", m)
+	}
+	if m.PeakQueue < remaining {
+		t.Errorf("peak queue %d below final queue %d", m.PeakQueue, remaining)
+	}
+}

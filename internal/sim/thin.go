@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand"
+)
+
+// ThinConfig parameterizes the thin-market experiment (E8). The paper argues
+// mashups are "a key component to avoid thin markets, where insufficient
+// number of participants make trade inefficient" (§8.2): a buyer whose need
+// no single dataset covers can still trade when the arbiter may combine
+// datasets.
+type ThinConfig struct {
+	// Universe is the number of distinct attributes in the market.
+	Universe int
+	// Sellers each own a dataset covering AttrsPerSeller random attributes.
+	Sellers        int
+	AttrsPerSeller int
+	// Buyers each need AttrsPerBuyer random attributes fully covered.
+	Buyers        int
+	AttrsPerBuyer int
+	// MaxCombine caps how many datasets the arbiter may join per mashup
+	// (1 = no mashups, the counterfactual).
+	MaxCombine int
+	Seed       int64
+}
+
+// ThinResult reports trade volume for one configuration.
+type ThinResult struct {
+	MaxCombine int
+	Satisfied  int
+	Buyers     int
+}
+
+// Rate is the fraction of buyers who could trade.
+func (r ThinResult) Rate() float64 {
+	if r.Buyers == 0 {
+		return 0
+	}
+	return float64(r.Satisfied) / float64(r.Buyers)
+}
+
+// ThinMarket simulates attribute coverage: each buyer is satisfied when some
+// combination of at most MaxCombine join-compatible datasets covers their
+// needed attributes. Datasets are join-compatible here when they share at
+// least one attribute (the join key), mirroring the DoD join-graph
+// reachability condition.
+func ThinMarket(cfg ThinConfig) ThinResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sellers := make([][]int, cfg.Sellers)
+	for i := range sellers {
+		sellers[i] = sampleAttrs(rng, cfg.Universe, cfg.AttrsPerSeller)
+	}
+	res := ThinResult{MaxCombine: cfg.MaxCombine, Buyers: cfg.Buyers}
+	for b := 0; b < cfg.Buyers; b++ {
+		need := sampleAttrs(rng, cfg.Universe, cfg.AttrsPerBuyer)
+		if covered(need, sellers, cfg.MaxCombine) {
+			res.Satisfied++
+		}
+	}
+	return res
+}
+
+func sampleAttrs(rng *rand.Rand, universe, n int) []int {
+	if n > universe {
+		n = universe
+	}
+	perm := rng.Perm(universe)
+	out := make([]int, n)
+	copy(out, perm[:n])
+	return out
+}
+
+// covered performs a bounded search: starting from each dataset overlapping
+// the need, greedily add join-compatible datasets that add coverage.
+func covered(need []int, sellers [][]int, maxCombine int) bool {
+	needSet := map[int]bool{}
+	for _, a := range need {
+		needSet[a] = true
+	}
+	has := func(ds []int, a int) bool {
+		for _, x := range ds {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	overlap := func(a, b []int) bool {
+		for _, x := range a {
+			if has(b, x) {
+				return true
+			}
+		}
+		return false
+	}
+	coverCount := func(chosen []int) int {
+		got := map[int]bool{}
+		for _, si := range chosen {
+			for _, a := range sellers[si] {
+				if needSet[a] {
+					got[a] = true
+				}
+			}
+		}
+		return len(got)
+	}
+	for start := range sellers {
+		chosen := []int{start}
+		cur := coverCount(chosen)
+		if cur == 0 {
+			continue
+		}
+		for len(chosen) < maxCombine && cur < len(need) {
+			bestGain, bestIdx := 0, -1
+			for cand := range sellers {
+				inChosen := false
+				for _, c := range chosen {
+					if c == cand {
+						inChosen = true
+						break
+					}
+				}
+				if inChosen {
+					continue
+				}
+				// Join compatibility: must overlap some chosen dataset.
+				joinable := false
+				for _, c := range chosen {
+					if overlap(sellers[c], sellers[cand]) {
+						joinable = true
+						break
+					}
+				}
+				if !joinable {
+					continue
+				}
+				gain := coverCount(append(chosen, cand)) - cur
+				if gain > bestGain {
+					bestGain, bestIdx = gain, cand
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			chosen = append(chosen, bestIdx)
+			cur += bestGain
+		}
+		if cur == len(need) {
+			return true
+		}
+	}
+	return false
+}
+
+// ThinSweep runs the thin-market model across MaxCombine values.
+func ThinSweep(base ThinConfig, combines []int) []ThinResult {
+	out := make([]ThinResult, 0, len(combines))
+	for _, c := range combines {
+		cfg := base
+		cfg.MaxCombine = c
+		out = append(out, ThinMarket(cfg))
+	}
+	return out
+}
