@@ -12,15 +12,23 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/license"
 	"repro/internal/market"
 	"repro/internal/profile"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/internal/wtp"
 )
 
 func BenchmarkE1EndToEnd(b *testing.B) {
@@ -211,6 +219,67 @@ func BenchmarkAblationShapleySamples(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineThroughput measures sustained matches/sec through the
+// concurrent market engine: parallel submitters push WTP-task requests into
+// the sharded intake (threshold-kicked epochs clear them in the background),
+// then final epochs drain the tail. The custom matches/sec metric is the
+// number the ROADMAP's scaling PRs track.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const buyers = 16
+	p, err := core.NewPlatform(core.Options{Design: "posted-baseline"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 256})
+	defer eng.Stop()
+	for i := 0; i < buyers; i++ {
+		eng.SubmitRegister(fmt.Sprintf("b%02d", i), 1e9)
+	}
+	for s := 0; s < 4; s++ {
+		id := fmt.Sprintf("s%d/d", s)
+		r := relation.New(id, relation.NewSchema(
+			relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
+		for i := 0; i < 50; i++ {
+			r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)))
+		}
+		eng.SubmitShare(fmt.Sprintf("s%d", s), catalog.DatasetID(id), r,
+			wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open})
+	}
+	eng.TriggerEpoch()
+	eng.Start()
+
+	var worker atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buyer := fmt.Sprintf("b%02d", worker.Add(1)%buyers)
+		for pb.Next() {
+			eng.SubmitRequest(
+				dod.Want{Columns: []string{"a", "b"}},
+				&wtp.Function{
+					Buyer: buyer,
+					Task:  wtp.CoverageTask{Columns: []string{"a", "b"}, WantRows: 1},
+					Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 150}},
+				})
+		}
+	})
+	// Drain: epochs until every request has cleared.
+	for eng.Stats().Matched < uint64(b.N) {
+		eng.TriggerEpoch()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Matched != uint64(b.N) {
+		b.Fatalf("matched %d of %d requests", st.Matched, b.N)
+	}
+	if !eng.Settlements().Conserved() {
+		b.Fatal("settlement conservation violated")
+	}
+	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
+	b.ReportMetric(float64(st.Epochs), "epochs")
 }
 
 func BenchmarkE11ExPostAudits(b *testing.B) {

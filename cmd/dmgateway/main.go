@@ -1,0 +1,94 @@
+// Command dmgateway serves the data market through the concurrent market
+// engine: the async front end of the DMMS. Unlike cmd/dmmsd — which calls
+// the platform inline and clears the market only when a client POSTs /match —
+// dmgateway accepts submissions from many clients into sharded intake
+// queues, batches them into epochs (ticker- or threshold-triggered), runs
+// one arbiter matching round per epoch, and publishes every outcome on an
+// append-only event log that clients poll via /events, /async/tickets/{id}
+// and /settlements.
+//
+// Usage:
+//
+//	dmgateway -addr :8080 -design posted-baseline -epoch 250ms -batch 64 -shards 8
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dmms"
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	design := flag.String("design", "posted-baseline", "market design label")
+	shards := flag.Int("shards", 8, "intake shards")
+	epoch := flag.Duration("epoch", 250*time.Millisecond, "epoch ticker period (0 = threshold/manual only)")
+	batch := flag.Int("batch", 64, "pending submissions that trigger an early epoch (0 = off)")
+	verbose := flag.Bool("verbose", false, "log epoch summaries from the event log")
+	flag.Parse()
+
+	p, err := core.NewPlatform(core.Options{Design: *design})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(p, engine.Config{
+		Shards:         *shards,
+		EpochEvery:     *epoch,
+		BatchThreshold: *batch,
+	})
+	eng.Start()
+
+	// Metrics subscriber: tail the event log and surface epoch summaries —
+	// the same consumption pattern settlement uses internally.
+	if *verbose {
+		go func() {
+			cursor := 0
+			for {
+				evs, open := eng.Log().WaitAfter(cursor)
+				for _, ev := range evs {
+					cursor = ev.Seq
+					switch ev.Kind {
+					case engine.EventEpochEnd:
+						log.Printf("epoch %d: %s", ev.Epoch, ev.Note)
+					case engine.EventTxSettled:
+						log.Printf("epoch %d: %s settled for %.2f (%s)", ev.Epoch, ev.TxID, ev.Price, ev.Participant)
+					}
+				}
+				if !open {
+					return
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: dmms.NewEngineServer(p, eng)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// Stop accepting submissions first, then drain the engine — the
+		// other order would hand out tickets no epoch will ever run.
+		log.Print("dmgateway: shutting down HTTP")
+		_ = srv.Shutdown(context.Background())
+		log.Print("dmgateway: draining engine")
+		eng.Stop()
+	}()
+
+	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d on %s",
+		p.Design.Label, *shards, *epoch, *batch, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

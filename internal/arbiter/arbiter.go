@@ -49,6 +49,7 @@ type Request struct {
 // and sellers audit (paper §4.4).
 type Transaction struct {
 	ID           string
+	RequestID    string
 	Buyer        string
 	Mashup       *relation.Relation
 	Datasets     []string
@@ -246,12 +247,16 @@ func (a *Arbiter) matchGroup(reqs []*Request) ([]*Transaction, []string) {
 		a.recordUnmetMissing(want.Columns, best.Rel().Schema)
 	}
 
-	// WTP-Evaluator: each buyer's offer for the chosen mashup.
+	// WTP-Evaluator: each buyer's offer for the chosen mashup. Bids are
+	// keyed by request ID, not buyer name: a buyer may hold several open
+	// requests for the same columns with different curves, and mechanisms
+	// reorder sales, so only the request ID can map a sale back to the bid
+	// that won it. Each request is one unit of demand in the auction.
 	type offer struct {
 		req *Request
 		ev  wtp.Evaluation
 	}
-	var offers []offer
+	offerByReq := map[string]*offer{}
 	var bids []market.Bid
 	sources := a.sourceMetas(best.Datasets)
 	for _, r := range reqs {
@@ -266,8 +271,8 @@ func (a *Arbiter) matchGroup(reqs []*Request) ([]*Transaction, []string) {
 		if len(r.WTP.TrueValue) > 0 {
 			trueVal = r.WTP.TrueValue.Price(ev.Satisfaction)
 		}
-		offers = append(offers, offer{req: r, ev: ev})
-		bids = append(bids, market.Bid{Buyer: r.WTP.Buyer, Offer: ev.Offer, True: trueVal})
+		offerByReq[r.ID] = &offer{req: r, ev: ev}
+		bids = append(bids, market.Bid{Buyer: r.ID, Offer: ev.Offer, True: trueVal})
 	}
 	if len(bids) == 0 {
 		return nil, requestIDs(reqs)
@@ -286,14 +291,8 @@ func (a *Arbiter) matchGroup(reqs []*Request) ([]*Transaction, []string) {
 	var txs []*Transaction
 	satisfied := map[string]bool{}
 	for _, sale := range out.Sales {
-		var o *offer
-		for i := range offers {
-			if offers[i].req.WTP.Buyer == sale.Buyer {
-				o = &offers[i]
-				break
-			}
-		}
-		if o == nil {
+		o := offerByReq[sale.Buyer] // sale.Buyer carries the request ID
+		if o == nil || !o.req.Open {
 			continue
 		}
 		tx, err := a.settle(o.req, best, sale, o.ev)
@@ -368,15 +367,19 @@ func (a *Arbiter) sourceMetas(datasets []string) []wtp.DatasetMeta {
 	return out
 }
 
-// settle executes payment, licensing and revenue sharing for one sale.
+// settle executes payment, licensing and revenue sharing for one sale. The
+// sale's Buyer field carries the request ID (the auction's bid key); the
+// paying account is the request's buyer.
 func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev wtp.Evaluation) (*Transaction, error) {
+	buyer := req.WTP.Buyer
 	a.nextID++
 	txID := fmt.Sprintf("tx-%04d", a.nextID)
 	price := ledger.FromFloat(sale.Price)
 
 	tx := &Transaction{
 		ID:           txID,
-		Buyer:        sale.Buyer,
+		RequestID:    req.ID,
+		Buyer:        buyer,
 		Mashup:       cand.Rel(),
 		Datasets:     cand.Datasets,
 		Plan:         cand.Plan,
@@ -392,18 +395,18 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 		if dep == 0 {
 			dep = price
 		}
-		if err := a.Ledger.Hold(txID, sale.Buyer, dep, "ex-post deposit"); err != nil {
+		if err := a.Ledger.Hold(txID, buyer, dep, "ex-post deposit"); err != nil {
 			return nil, err
 		}
 		tx.ExPost = true
-		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: sale.Buyer, anno: cand.Anno}
-		a.recordPurchase(sale.Buyer, cand.Datasets)
+		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: buyer, anno: cand.Anno}
+		a.recordPurchase(buyer, cand.Datasets)
 		a.history = append(a.history, tx)
-		a.issueLicenses(cand.Datasets, sale.Buyer, sale.Price)
+		a.issueLicenses(cand.Datasets, buyer, sale.Price)
 		return tx, nil
 	}
 
-	if err := a.Ledger.Hold(txID, sale.Buyer, price, "purchase "+cand.Rel().Name); err != nil {
+	if err := a.Ledger.Hold(txID, buyer, price, "purchase "+cand.Rel().Name); err != nil {
 		return nil, err
 	}
 	owners := a.ownersOf(cand.Datasets)
@@ -413,11 +416,11 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 	}
 	tx.ArbiterCut = split.ArbiterCut
 	tx.SellerCuts = split.SellerCut
-	a.issueLicenses(cand.Datasets, sale.Buyer, sale.Price)
-	a.recordPurchase(sale.Buyer, cand.Datasets)
+	a.issueLicenses(cand.Datasets, buyer, sale.Price)
+	a.recordPurchase(buyer, cand.Datasets)
 	a.history = append(a.history, tx)
 	a.Ledger.Note(fmt.Sprintf("%s: %s bought %s for %.2f (satisfaction %.2f)",
-		txID, sale.Buyer, cand.Rel().Name, sale.Price, ev.Satisfaction))
+		txID, buyer, cand.Rel().Name, sale.Price, ev.Satisfaction))
 	return tx, nil
 }
 

@@ -57,3 +57,48 @@ func TestPolicyGatesTransactions(t *testing.T) {
 		t.Error("policy decisions must be logged")
 	}
 }
+
+// TestSameBuyerMultipleRequests pins the sale->request mapping: a buyer
+// holding several open requests for the same columns — with different
+// curves — must have each winning bid settle its own request, charged at
+// that request's sale, never cross-wired to a sibling.
+func TestSameBuyerMultipleRequests(t *testing.T) {
+	a := setupMarket(t, mkDesign()) // posted price 50
+	want := dod.Want{Columns: []string{"a", "b", "d"}}
+	lowID, err := a.SubmitRequest(want, coverageWTP("b1", 10)) // below posted price
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitRequest(want, coverageWTP("b1", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitRequest(want, coverageWTP("b1", 300)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.MatchRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two above-reserve requests clear at 50 each; the 10-offer one
+	// must stay open, not get settled on the back of a sibling's winning bid.
+	if len(res.Transactions) != 2 {
+		t.Fatalf("transactions = %d, want 2 (unsat %v)", len(res.Transactions), res.Unsatisfied)
+	}
+	seen := map[string]bool{}
+	for _, tx := range res.Transactions {
+		if tx.Buyer != "b1" || tx.Price != 50 {
+			t.Fatalf("unexpected settlement %+v", tx)
+		}
+		if tx.RequestID == lowID || seen[tx.RequestID] {
+			t.Fatalf("sale cross-wired to request %s", tx.RequestID)
+		}
+		seen[tx.RequestID] = true
+	}
+	open := a.OpenRequests()
+	if len(open) != 1 || open[0] != lowID {
+		t.Fatalf("open requests = %v, want [%s]", open, lowID)
+	}
+	if got := a.Ledger.Balance("b1").Float(); got != 10000-100 {
+		t.Fatalf("buyer balance = %v, want 9900", got)
+	}
+}

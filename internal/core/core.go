@@ -14,11 +14,18 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/arbiter"
 	"repro/internal/buyer"
+	"repro/internal/catalog"
+	"repro/internal/dod"
+	"repro/internal/license"
 	"repro/internal/market"
+	"repro/internal/relation"
 	"repro/internal/seller"
+	"repro/internal/wtp"
 )
 
 // Options configures a platform instance.
@@ -33,11 +40,16 @@ type Options struct {
 	Seed int64
 }
 
-// Platform is a running DMMS instance.
+// Platform is a running DMMS instance. It is safe for concurrent use: the
+// arbiter and ledger carry their own locks, and the seller/buyer registries
+// here are guarded so concurrent dmms handlers and the engine's epoch runner
+// can create participants in parallel.
 type Platform struct {
 	Arbiter *arbiter.Arbiter
 	Design  *market.Design
 	opts    Options
+
+	mu      sync.RWMutex
 	sellers map[string]*seller.Platform
 	buyers  map[string]*buyer.Platform
 }
@@ -74,12 +86,20 @@ func NewPlatform(opts Options) (*Platform, error) {
 
 // Seller returns (creating on first use) the named seller's platform.
 func (p *Platform) Seller(name string) *seller.Platform {
+	p.mu.RLock()
+	s, ok := p.sellers[name]
+	p.mu.RUnlock()
+	if ok {
+		return s
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s, ok := p.sellers[name]; ok {
 		return s
 	}
 	// Sellers start with zero balance; they earn by selling.
 	_ = p.Arbiter.RegisterParticipant(name, 0)
-	s := seller.New(name, p.Arbiter, p.opts.EpsilonCap, p.opts.Seed+int64(len(p.sellers)))
+	s = seller.New(name, p.Arbiter, p.opts.EpsilonCap, p.opts.Seed+int64(len(p.sellers)))
 	p.sellers[name] = s
 	return s
 }
@@ -87,11 +107,19 @@ func (p *Platform) Seller(name string) *seller.Platform {
 // Buyer returns (creating on first use) the named buyer's platform, funding
 // the account on creation.
 func (p *Platform) Buyer(name string, funds float64) *buyer.Platform {
+	p.mu.RLock()
+	b, ok := p.buyers[name]
+	p.mu.RUnlock()
+	if ok {
+		return b
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if b, ok := p.buyers[name]; ok {
 		return b
 	}
 	_ = p.Arbiter.RegisterParticipant(name, funds)
-	b := buyer.New(name, p.Arbiter)
+	b = buyer.New(name, p.Arbiter)
 	p.buyers[name] = b
 	return b
 }
@@ -99,6 +127,50 @@ func (p *Platform) Buyer(name string, funds float64) *buyer.Platform {
 // MatchRound runs one arbiter matching round.
 func (p *Platform) MatchRound() (*arbiter.MatchResult, error) {
 	return p.Arbiter.MatchRound()
+}
+
+// --- engine hooks ---------------------------------------------------------
+//
+// The concurrent market engine (internal/engine) drives the platform through
+// these methods rather than reaching into the arbiter, so the platform stays
+// the single seam between coordination and clearing.
+
+// RegisterParticipant opens a ledger account with initial funds.
+func (p *Platform) RegisterParticipant(name string, funds float64) error {
+	return p.Arbiter.RegisterParticipant(name, funds)
+}
+
+// HasAccount reports whether a participant's ledger account is open.
+func (p *Platform) HasAccount(name string) bool {
+	return p.Arbiter.Ledger.Exists(name)
+}
+
+// ShareDataset ingests a dataset on a seller's behalf, creating the seller's
+// platform (and zero-balance account) on first use.
+func (p *Platform) ShareDataset(sellerName string, id catalog.DatasetID, rel *relation.Relation,
+	meta wtp.DatasetMeta, terms license.Terms) error {
+	p.Seller(sellerName)
+	return p.Arbiter.ShareDataset(sellerName, id, rel, meta, terms)
+}
+
+// SubmitRequest files a buyer's data need with the arbiter.
+func (p *Platform) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) {
+	return p.Arbiter.SubmitRequest(want, f)
+}
+
+// Participants returns the registered seller and buyer names, sorted.
+func (p *Platform) Participants() (sellers, buyers []string) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for n := range p.sellers {
+		sellers = append(sellers, n)
+	}
+	for n := range p.buyers {
+		buyers = append(buyers, n)
+	}
+	sort.Strings(sellers)
+	sort.Strings(buyers)
+	return sellers, buyers
 }
 
 // Summary renders the platform state for CLI display.

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/relation"
 )
 
@@ -117,4 +119,105 @@ func (c *Client) Balance(account string) (float64, error) {
 		return 0, err
 	}
 	return out["balance"], nil
+}
+
+// --- async (engine-backed) API --------------------------------------------
+
+// RegisterAsync queues a participant registration and returns its ticket.
+func (c *Client) RegisterAsync(name string, funds float64) (string, error) {
+	var out TicketResp
+	if err := c.post("/async/participants", ParticipantReq{Name: name, Funds: funds}, &out); err != nil {
+		return "", err
+	}
+	return out.Ticket, nil
+}
+
+// ShareDatasetAsync queues a dataset share and returns its ticket.
+func (c *Client) ShareDatasetAsync(seller, id string, rel *relation.Relation, licenseKind string) (string, error) {
+	var out TicketResp
+	req := DatasetReq{Seller: seller, ID: id, Relation: rel, License: licenseKind}
+	if err := c.post("/async/datasets", req, &out); err != nil {
+		return "", err
+	}
+	return out.Ticket, nil
+}
+
+// SubmitRequestAsync queues a data need and returns its ticket.
+func (c *Client) SubmitRequestAsync(req RequestReq) (string, error) {
+	var out TicketResp
+	if err := c.post("/async/requests", req, &out); err != nil {
+		return "", err
+	}
+	return out.Ticket, nil
+}
+
+// Ticket polls one submission's state.
+func (c *Client) Ticket(id string) (engine.Ticket, error) {
+	var out engine.Ticket
+	if err := c.get("/async/tickets/"+id, &out); err != nil {
+		return engine.Ticket{}, err
+	}
+	return out, nil
+}
+
+// WaitTicket polls a ticket until it reaches a terminal status or the
+// timeout elapses.
+func (c *Client) WaitTicket(id string, timeout time.Duration) (engine.Ticket, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		t, err := c.Ticket(id)
+		if err != nil {
+			return engine.Ticket{}, err
+		}
+		if t.Status.Terminal() {
+			return t, nil
+		}
+		if time.Now().After(deadline) {
+			return t, fmt.Errorf("dmms: ticket %s still %s after %v", id, t.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Events fetches event-log records with Seq > after.
+func (c *Client) Events(after int) ([]engine.Event, error) {
+	var out []engine.Event
+	if err := c.get(fmt.Sprintf("/events?after=%d", after), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TriggerEpoch forces one engine epoch; it returns the epoch number and
+// whether any work ran.
+func (c *Client) TriggerEpoch() (uint64, bool, error) {
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+		Ran   bool   `json:"ran"`
+	}
+	if err := c.post("/epoch", struct{}{}, &out); err != nil {
+		return 0, false, err
+	}
+	return out.Epoch, out.Ran, nil
+}
+
+// EngineStats fetches the engine's counters.
+func (c *Client) EngineStats() (engine.Stats, error) {
+	var out engine.Stats
+	if err := c.get("/engine/stats", &out); err != nil {
+		return engine.Stats{}, err
+	}
+	return out, nil
+}
+
+// Settlements fetches the settlement book and its conservation verdict.
+func (c *Client) Settlements() ([]SettlementView, bool, error) {
+	var out struct {
+		Settlements []SettlementView `json:"settlements"`
+		Conserved   bool             `json:"conserved"`
+	}
+	if err := c.get("/settlements", &out); err != nil {
+		return nil, false, err
+	}
+	return out.Settlements, out.Conserved, nil
 }

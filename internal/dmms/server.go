@@ -9,27 +9,38 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/arbiter"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dod"
+	"repro/internal/engine"
 	"repro/internal/license"
 	"repro/internal/mltask"
 	"repro/internal/relation"
 	"repro/internal/wtp"
 )
 
-// Server wraps a core.Platform with an HTTP API.
+// Server wraps a core.Platform with an HTTP API. When built with an engine
+// (NewEngineServer) it additionally serves the async submit/poll surface:
+// submissions return tickets immediately, epochs clear the market in the
+// background, and clients follow progress via tickets and the event log.
 type Server struct {
 	platform *core.Platform
+	engine   *engine.Engine
 	mux      *http.ServeMux
 }
 
-// NewServer builds the HTTP front end.
-func NewServer(p *core.Platform) *Server {
-	s := &Server{platform: p, mux: http.NewServeMux()}
+// NewServer builds the synchronous HTTP front end (no engine; the async
+// endpoints answer 503).
+func NewServer(p *core.Platform) *Server { return NewEngineServer(p, nil) }
+
+// NewEngineServer builds the HTTP front end over a concurrent market engine.
+// The caller owns the engine's lifecycle (Start/Stop).
+func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
+	s := &Server{platform: p, engine: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /participants", s.handleParticipants)
 	s.mux.HandleFunc("POST /datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /requests", s.handleRequests)
@@ -40,7 +51,26 @@ func NewServer(p *core.Platform) *Server {
 	s.mux.HandleFunc("GET /balance", s.handleBalance)
 	s.mux.HandleFunc("GET /designs", s.handleDesigns)
 	s.mux.HandleFunc("POST /save", s.handleSave)
+	// Async (engine-backed) surface.
+	s.mux.HandleFunc("POST /async/participants", s.withEngine(s.handleAsyncParticipants))
+	s.mux.HandleFunc("POST /async/datasets", s.withEngine(s.handleAsyncDatasets))
+	s.mux.HandleFunc("POST /async/requests", s.withEngine(s.handleAsyncRequests))
+	s.mux.HandleFunc("GET /async/tickets/{id}", s.withEngine(s.handleTicket))
+	s.mux.HandleFunc("GET /events", s.withEngine(s.handleEvents))
+	s.mux.HandleFunc("POST /epoch", s.withEngine(s.handleEpoch))
+	s.mux.HandleFunc("GET /engine/stats", s.withEngine(s.handleEngineStats))
+	s.mux.HandleFunc("GET /settlements", s.withEngine(s.handleSettlements))
 	return s
+}
+
+func (s *Server) withEngine(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.engine == nil {
+			writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("dmms: no engine configured; use the synchronous endpoints"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -85,15 +115,11 @@ type DatasetReq struct {
 	Author   string             `json:"author,omitempty"`
 }
 
-func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	var req DatasetReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
+// datasetTerms validates a DatasetReq and derives the license terms and
+// metadata shared by the sync and async share paths.
+func datasetTerms(req DatasetReq) (license.Terms, wtp.DatasetMeta, error) {
 	if req.Relation == nil || req.ID == "" || req.Seller == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: seller, id and relation are required"))
-		return
+		return license.Terms{}, wtp.DatasetMeta{}, fmt.Errorf("dmms: seller, id and relation are required")
 	}
 	kind := license.Kind(req.License)
 	if req.License == "" {
@@ -101,8 +127,21 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}
 	terms := license.Terms{Kind: kind, ExclusivityTaxRate: req.TaxRate}
 	meta := wtp.DatasetMeta{Dataset: req.ID, UpdatedAt: time.Now(), Author: req.Author, HasProvenance: true}
-	err := s.platform.Arbiter.ShareDataset(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	return terms, meta, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var req DatasetReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	terms, meta, err := datasetTerms(req)
 	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.platform.Arbiter.ShareDataset(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -137,12 +176,9 @@ type RequestReq struct {
 	MinRows int                 `json:"min_rows,omitempty"`
 }
 
-func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
-	var req RequestReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
+// buildRequest turns the wire form into the arbiter's Want + WTP-function,
+// shared by the sync and async request paths.
+func buildRequest(req RequestReq) (dod.Want, *wtp.Function, error) {
 	var task wtp.Task
 	switch req.Task.Kind {
 	case "classifier":
@@ -152,8 +188,7 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	case "coverage", "":
 		task = wtp.CoverageTask{Columns: req.Columns, WantRows: req.Task.WantRows}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: unknown task kind %q", req.Task.Kind))
-		return
+		return dod.Want{}, nil, fmt.Errorf("dmms: unknown task kind %q", req.Task.Kind)
 	}
 	f := &wtp.Function{Buyer: req.Buyer, Task: task}
 	for _, p := range req.Curve {
@@ -161,6 +196,20 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	}
 	f.Constraints.MinRows = req.MinRows
 	want := dod.Want{Columns: req.Columns, Aliases: req.Aliases, MinRows: req.MinRows}
+	return want, f, nil
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	var req RequestReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	want, f, err := buildRequest(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	id, err := s.platform.Arbiter.SubmitRequest(want, f)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -172,6 +221,7 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 // TxView is the wire form of a transaction.
 type TxView struct {
 	ID           string             `json:"id"`
+	RequestID    string             `json:"request_id,omitempty"`
 	Buyer        string             `json:"buyer"`
 	Price        float64            `json:"price"`
 	Satisfaction float64            `json:"satisfaction"`
@@ -184,7 +234,7 @@ type TxView struct {
 
 func txView(tx *arbiter.Transaction, includeData bool) TxView {
 	v := TxView{
-		ID: tx.ID, Buyer: tx.Buyer, Price: tx.Price, Satisfaction: tx.Satisfaction,
+		ID: tx.ID, RequestID: tx.RequestID, Buyer: tx.Buyer, Price: tx.Price, Satisfaction: tx.Satisfaction,
 		Datasets: tx.Datasets, SellerCuts: tx.SellerCuts, ExPost: tx.ExPost, Plan: tx.Plan,
 	}
 	if includeData {
@@ -200,6 +250,13 @@ type MatchResp struct {
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	// With an engine, matching rounds belong to the epoch runner: a direct
+	// MatchRound here would settle engine-tracked requests without event-log
+	// publication, leaving tickets stuck and the settlement book incomplete.
+	if s.engine != nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("dmms: matching is epoch-driven on this server; POST /epoch instead"))
+		return
+	}
 	res, err := s.platform.MatchRound()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -280,4 +337,121 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"saved": req.Dir})
+}
+
+// --- async (engine-backed) handlers ---------------------------------------
+
+// TicketResp acknowledges an async submission.
+type TicketResp struct {
+	Ticket string `json:"ticket"`
+}
+
+func (s *Server) handleAsyncParticipants(w http.ResponseWriter, r *http.Request) {
+	var req ParticipantReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: name is required"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: s.engine.SubmitRegister(req.Name, req.Funds)})
+}
+
+func (s *Server) handleAsyncDatasets(w http.ResponseWriter, r *http.Request) {
+	var req DatasetReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	terms, meta, err := datasetTerms(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ticket := s.engine.SubmitShare(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+func (s *Server) handleAsyncRequests(w http.ResponseWriter, r *http.Request) {
+	var req RequestReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	want, f, err := buildRequest(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: s.engine.SubmitRequest(want, f)})
+}
+
+func (s *Server) handleTicket(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.engine.Ticket(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dmms: unknown ticket %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: bad after cursor %q", v))
+			return
+		}
+		after = n
+	}
+	evs := s.engine.Events(after)
+	if evs == nil {
+		evs = []engine.Event{}
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	epoch, ran := s.engine.TriggerEpoch()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "ran": ran})
+}
+
+func (s *Server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// SettlementView is the wire form of one settlement-book entry.
+type SettlementView struct {
+	TxID       string             `json:"tx_id"`
+	Epoch      uint64             `json:"epoch"`
+	Buyer      string             `json:"buyer"`
+	Price      float64            `json:"price"`
+	ArbiterCut float64            `json:"arbiter_cut"`
+	SellerCuts map[string]float64 `json:"seller_cuts,omitempty"`
+	ExPost     bool               `json:"ex_post,omitempty"`
+}
+
+func (s *Server) handleSettlements(w http.ResponseWriter, r *http.Request) {
+	book := s.engine.Settlements()
+	out := []SettlementView{}
+	for _, st := range book.All() {
+		v := SettlementView{
+			TxID: st.TxID, Epoch: st.Epoch, Buyer: st.Buyer,
+			Price: st.Price.Float(), ArbiterCut: st.ArbiterCut.Float(), ExPost: st.ExPost,
+		}
+		if len(st.SellerCuts) > 0 {
+			v.SellerCuts = map[string]float64{}
+			for name, c := range st.SellerCuts {
+				v.SellerCuts[name] = c.Float()
+			}
+		}
+		out = append(out, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"settlements": out,
+		"conserved":   book.Conserved(),
+	})
 }

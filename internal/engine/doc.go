@@ -1,0 +1,70 @@
+// Package engine is the concurrent market engine: the coordination layer
+// between the wire protocol (internal/dmms) and the single-threaded clearing
+// logic of the arbiter (internal/arbiter). The arbiter's MatchRound — the
+// paper's Fig. 2 pipeline — is inherently a discrete matching round over the
+// full set of open requests, so it cannot itself be parallelized across
+// buyers; what can be made concurrent is everything around it. The engine
+// does exactly that:
+//
+//	many goroutines                 one epoch runner
+//	---------------                 ----------------
+//	SubmitRegister ─┐
+//	SubmitShare    ─┼─> sharded     drain -> apply -> MatchRound -> publish
+//	SubmitRequest  ─┘   intake          (batched, once per epoch)
+//	                    queues
+//
+// # Intake sharding
+//
+// Submissions (participant registrations, seller shares, buyer WTP-task
+// requests) are appended to one of Config.Shards intake queues, chosen by a
+// hash of the participant name, so concurrent submitters mostly touch
+// distinct locks. Every submission receives a globally ordered sequence
+// number and a ticket ID; callers poll the ticket to follow the submission
+// through its lifecycle:
+//
+//	queued -> applied -> done        (requests: applied = filed, done = matched)
+//	queued -> done                   (registrations and shares)
+//	queued -> failed                 (validation or apply error)
+//
+// # Epochs
+//
+// An epoch is one batched coordination step. It is triggered by a ticker
+// (Config.EpochEvery), by intake pressure (Config.BatchThreshold pending
+// submissions), or manually (TriggerEpoch). Each epoch the runner drains all
+// shards, replays the batch in global sequence order against the platform
+// (registrations, dataset shares, request filings), and — when open requests
+// exist — runs exactly one arbiter MatchRound. Requests that stay
+// unsatisfied remain open and are retried automatically in later epochs, so
+// a buyer whose need precedes the matching supply is served as soon as a
+// seller shows up. Epochs with nothing to do are skipped.
+//
+// # Event log
+//
+// Every state change is published to an append-only, totally ordered event
+// log instead of being returned to one caller. Subscribers — settlement
+// (ledger.SettlementBook), provenance, metrics, the dmms polling endpoints —
+// consume the log at their own pace via cursor-based reads (Events/WaitAfter);
+// nothing is ever dropped. Event schema (JSON over the wire):
+//
+//	seq          int     total order, 1-based, no gaps
+//	epoch        uint64  epoch that produced the event
+//	kind         string  epoch-start | participant-registered | dataset-shared |
+//	                     request-filed | request-unmet | tx-settled |
+//	                     submission-rejected | epoch-end
+//	ticket       string  submission ticket, when the event advances one
+//	participant  string  buyer or seller name
+//	dataset      string  dataset ID (dataset-shared)
+//	request_id   string  arbiter request ID (request-filed onward)
+//	tx_id        string  transaction ID (tx-settled)
+//	price        float64 clearing price (tx-settled)
+//	arbiter_cut  float64 arbiter fee (tx-settled)
+//	seller_cuts  map     seller -> revenue share (tx-settled)
+//	ex_post      bool    settlement is escrow-based, priced on report
+//	error        string  rejection reason (submission-rejected)
+//	note         string  human-readable detail
+//
+// The settlement subscriber folds every tx-settled event into a
+// ledger.SettlementBook, which checks conservation (price == arbiter cut +
+// seller cuts) per transaction — the invariant the race tests assert across
+// epochs.
+package engine

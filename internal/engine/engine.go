@@ -1,0 +1,491 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arbiter"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// Config tunes the engine. The zero value is usable: 8 shards, no ticker
+// (epochs run on TriggerEpoch or BatchThreshold only).
+type Config struct {
+	// Shards is the number of intake queues (participant-hashed).
+	Shards int
+	// EpochEvery, when > 0, runs an epoch on this period.
+	EpochEvery time.Duration
+	// BatchThreshold, when > 0, kicks an epoch early once this many
+	// submissions are queued.
+	BatchThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// TicketStatus tracks a submission through its lifecycle.
+type TicketStatus string
+
+// Ticket statuses.
+const (
+	TicketQueued  TicketStatus = "queued"  // in an intake shard
+	TicketApplied TicketStatus = "applied" // request filed, awaiting a match
+	TicketDone    TicketStatus = "done"    // applied (shares/registers) or matched (requests)
+	TicketFailed  TicketStatus = "failed"  // rejected at apply time
+)
+
+// Terminal reports whether the status can no longer change.
+func (s TicketStatus) Terminal() bool { return s == TicketDone || s == TicketFailed }
+
+// SubmissionKind names what a ticket tracks.
+type SubmissionKind string
+
+// Submission kinds.
+const (
+	KindRegister SubmissionKind = "register"
+	KindShare    SubmissionKind = "share"
+	KindRequest  SubmissionKind = "request"
+)
+
+// Ticket is the pollable state of one submission.
+type Ticket struct {
+	ID          string         `json:"id"`
+	Kind        SubmissionKind `json:"kind"`
+	Status      TicketStatus   `json:"status"`
+	Participant string         `json:"participant"`
+	Epoch       uint64         `json:"epoch,omitempty"`      // epoch that applied it
+	RequestID   string         `json:"request_id,omitempty"` // requests only
+	TxID        string         `json:"tx_id,omitempty"`      // matched requests only
+	Price       float64        `json:"price,omitempty"`      // matched requests only
+	Err         string         `json:"error,omitempty"`
+}
+
+type submission struct {
+	seq    uint64
+	ticket string
+	kind   SubmissionKind
+	// register
+	name  string
+	funds float64
+	// share
+	seller string
+	id     catalog.DatasetID
+	rel    *relation.Relation
+	meta   wtp.DatasetMeta
+	terms  license.Terms
+	// request
+	want dod.Want
+	fn   *wtp.Function
+}
+
+type shard struct {
+	mu    sync.Mutex
+	queue []submission
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Epochs        uint64        `json:"epochs"`
+	Submitted     uint64        `json:"submitted"`
+	Applied       uint64        `json:"applied"`
+	Matched       uint64        `json:"matched"`
+	Failed        uint64        `json:"failed"`
+	OpenRequests  int           `json:"open_requests"`
+	Pending       int64         `json:"pending"`
+	Events        int           `json:"events"`
+	Uptime        time.Duration `json:"uptime"`
+	MatchesPerSec float64       `json:"matches_per_sec"`
+}
+
+// Engine is the concurrent front end to a core.Platform: sharded intake,
+// epoch-batched clearing, append-only event publishing. See the package
+// documentation for the model.
+type Engine struct {
+	platform *core.Platform
+	cfg      Config
+	log      *EventLog
+	book     *ledger.SettlementBook
+
+	shards  []*shard
+	seq     atomic.Uint64
+	pending atomic.Int64
+
+	tmu     sync.Mutex
+	tickets map[string]*Ticket
+
+	epochMu  sync.Mutex // serializes epochs; guards openReqs
+	openReqs map[string]string
+	epoch    atomic.Uint64
+
+	kick    chan struct{}
+	stop    chan struct{}
+	loopWG  sync.WaitGroup
+	consWG  sync.WaitGroup
+	started time.Time
+	stopped atomic.Bool
+
+	stSubmitted atomic.Uint64
+	stApplied   atomic.Uint64
+	stMatched   atomic.Uint64
+	stFailed    atomic.Uint64
+}
+
+// New builds an engine over the platform. Call Start to run the background
+// epoch loop, or drive epochs manually with TriggerEpoch.
+func New(p *core.Platform, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		platform: p,
+		cfg:      cfg,
+		log:      NewEventLog(),
+		book:     ledger.NewSettlementBook(),
+		shards:   make([]*shard, cfg.Shards),
+		tickets:  map[string]*Ticket{},
+		openReqs: map[string]string{},
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		started:  time.Now(),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{}
+	}
+	// Settlement subscriber: folds tx-settled events into the settlement
+	// book. Runs until Stop closes the log and the tail is drained.
+	e.consWG.Add(1)
+	go func() {
+		defer e.consWG.Done()
+		cursor := 0
+		for {
+			evs, open := e.log.WaitAfter(cursor)
+			for _, ev := range evs {
+				cursor = ev.Seq
+				if ev.Kind != EventTxSettled {
+					continue
+				}
+				cuts := make(map[string]ledger.Currency, len(ev.SellerCuts))
+				for s, c := range ev.SellerCuts {
+					cuts[s] = ledger.FromFloat(c)
+				}
+				e.book.Record(ledger.Settlement{
+					TxID:       ev.TxID,
+					Epoch:      ev.Epoch,
+					Buyer:      ev.Participant,
+					Price:      ledger.FromFloat(ev.Price),
+					ArbiterCut: ledger.FromFloat(ev.ArbiterCut),
+					SellerCuts: cuts,
+					ExPost:     ev.ExPost,
+				})
+			}
+			if !open {
+				return
+			}
+		}
+	}()
+	return e
+}
+
+// Start launches the background epoch loop (ticker- and threshold-driven).
+func (e *Engine) Start() {
+	e.loopWG.Add(1)
+	go func() {
+		defer e.loopWG.Done()
+		var tick <-chan time.Time
+		if e.cfg.EpochEvery > 0 {
+			t := time.NewTicker(e.cfg.EpochEvery)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-tick:
+				e.TriggerEpoch()
+			case <-e.kick:
+				e.TriggerEpoch()
+			}
+		}
+	}()
+}
+
+// Stop shuts the loop down, runs one final epoch to flush queued intake,
+// closes the event log and waits for subscribers to drain.
+func (e *Engine) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	close(e.stop)
+	e.loopWG.Wait()
+	e.TriggerEpoch()
+	e.log.Close()
+	e.consWG.Wait()
+}
+
+// Log exposes the event log for external subscribers (metrics, provenance).
+func (e *Engine) Log() *EventLog { return e.log }
+
+// Settlements exposes the settlement book the built-in subscriber maintains.
+func (e *Engine) Settlements() *ledger.SettlementBook { return e.book }
+
+// Events returns all events with Seq > after.
+func (e *Engine) Events(after int) []Event { return e.log.Since(after) }
+
+// Ticket returns a snapshot of one submission's state.
+func (e *Engine) Ticket(id string) (Ticket, bool) {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	t, ok := e.tickets[id]
+	if !ok {
+		return Ticket{}, false
+	}
+	return *t, true
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.epochMu.Lock()
+	open := len(e.openReqs)
+	e.epochMu.Unlock()
+	up := time.Since(e.started)
+	matched := e.stMatched.Load()
+	mps := 0.0
+	if up > 0 {
+		mps = float64(matched) / up.Seconds()
+	}
+	return Stats{
+		Epochs:        e.epoch.Load(),
+		Submitted:     e.stSubmitted.Load(),
+		Applied:       e.stApplied.Load(),
+		Matched:       matched,
+		Failed:        e.stFailed.Load(),
+		OpenRequests:  open,
+		Pending:       e.pending.Load(),
+		Events:        e.log.Len(),
+		Uptime:        up,
+		MatchesPerSec: mps,
+	}
+}
+
+// SubmitRegister queues a participant registration and returns its ticket.
+func (e *Engine) SubmitRegister(name string, funds float64) string {
+	return e.enqueue(submission{kind: KindRegister, name: name, funds: funds}, name)
+}
+
+// SubmitShare queues a seller's dataset share and returns its ticket.
+func (e *Engine) SubmitShare(seller string, id catalog.DatasetID, rel *relation.Relation,
+	meta wtp.DatasetMeta, terms license.Terms) string {
+	return e.enqueue(submission{kind: KindShare, seller: seller, id: id, rel: rel,
+		meta: meta, terms: terms}, seller)
+}
+
+// SubmitRequest queues a buyer's data need and returns its ticket. The
+// request stays open across epochs until a matching round satisfies it.
+func (e *Engine) SubmitRequest(want dod.Want, f *wtp.Function) string {
+	return e.enqueue(submission{kind: KindRequest, want: want, fn: f}, f.Buyer)
+}
+
+func (e *Engine) enqueue(s submission, participant string) string {
+	s.seq = e.seq.Add(1)
+	s.ticket = fmt.Sprintf("sub-%06d", s.seq)
+
+	e.tmu.Lock()
+	e.tickets[s.ticket] = &Ticket{ID: s.ticket, Kind: s.kind, Status: TicketQueued, Participant: participant}
+	e.tmu.Unlock()
+
+	sh := e.shards[shardOf(participant, len(e.shards))]
+	sh.mu.Lock()
+	sh.queue = append(sh.queue, s)
+	sh.mu.Unlock()
+
+	e.stSubmitted.Add(1)
+	if n := e.pending.Add(1); e.cfg.BatchThreshold > 0 && n >= int64(e.cfg.BatchThreshold) {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+	return s.ticket
+}
+
+func shardOf(participant string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(participant))
+	return int(h.Sum32() % uint32(n))
+}
+
+// drain swaps out every shard queue and returns the batch in global
+// submission order.
+func (e *Engine) drain() []submission {
+	var batch []submission
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		batch = append(batch, sh.queue...)
+		sh.queue = nil
+		sh.mu.Unlock()
+	}
+	e.pending.Add(-int64(len(batch)))
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	return batch
+}
+
+func (e *Engine) setTicket(id string, f func(*Ticket)) {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if t, ok := e.tickets[id]; ok {
+		f(t)
+	}
+}
+
+// TriggerEpoch runs one epoch synchronously: drain intake, apply the batch,
+// run a matching round if requests are open, publish events. Epochs with no
+// work are skipped (returns the current epoch number and false). With an
+// empty batch but open requests, the matching round still runs — supply can
+// arrive through the synchronous dmms endpoints, bypassing intake — but a
+// round that matches nothing is not counted as an epoch and publishes no
+// events, so a ticker spinning over starved requests doesn't flood the log.
+// Safe to call concurrently with intake and with the background loop.
+func (e *Engine) TriggerEpoch() (uint64, bool) {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+
+	batch := e.drain()
+	if len(batch) == 0 {
+		if len(e.openReqs) == 0 {
+			return e.epoch.Load(), false
+		}
+		res, err := e.platform.MatchRound()
+		if err != nil || len(res.Transactions) == 0 {
+			return e.epoch.Load(), false
+		}
+		ep := e.epoch.Add(1)
+		e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
+			Note: fmt.Sprintf("0 queued, %d open requests", len(e.openReqs))})
+		matched, unmet := e.publishRound(ep, res)
+		e.log.Append(Event{Epoch: ep, Kind: EventEpochEnd,
+			Note: fmt.Sprintf("applied=0 matched=%d unmet=%d", matched, unmet)})
+		return ep, true
+	}
+
+	ep := e.epoch.Add(1)
+	e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
+		Note: fmt.Sprintf("%d queued, %d open requests", len(batch), len(e.openReqs))})
+
+	for _, s := range batch {
+		e.apply(ep, s)
+	}
+	var matched, unmet int
+	if len(e.openReqs) > 0 {
+		matched, unmet = e.clear(ep)
+	}
+	e.log.Append(Event{Epoch: ep, Kind: EventEpochEnd,
+		Note: fmt.Sprintf("applied=%d matched=%d unmet=%d", len(batch), matched, unmet)})
+	return ep, true
+}
+
+// apply replays one submission against the platform, under epochMu.
+func (e *Engine) apply(ep uint64, s submission) {
+	fail := func(err error) {
+		e.stFailed.Add(1)
+		e.setTicket(s.ticket, func(t *Ticket) {
+			t.Status, t.Epoch, t.Err = TicketFailed, ep, err.Error()
+		})
+		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Ticket: s.ticket,
+			Participant: e.ticketParticipant(s.ticket), Err: err.Error()})
+	}
+	switch s.kind {
+	case KindRegister:
+		if err := e.platform.RegisterParticipant(s.name, s.funds); err != nil {
+			fail(err)
+			return
+		}
+		e.stApplied.Add(1)
+		e.setTicket(s.ticket, func(t *Ticket) { t.Status, t.Epoch = TicketDone, ep })
+		e.log.Append(Event{Epoch: ep, Kind: EventRegistered, Ticket: s.ticket,
+			Participant: s.name, Price: s.funds})
+	case KindShare:
+		if err := e.platform.ShareDataset(s.seller, s.id, s.rel, s.meta, s.terms); err != nil {
+			fail(err)
+			return
+		}
+		e.stApplied.Add(1)
+		e.setTicket(s.ticket, func(t *Ticket) { t.Status, t.Epoch = TicketDone, ep })
+		e.log.Append(Event{Epoch: ep, Kind: EventDatasetShared, Ticket: s.ticket,
+			Participant: s.seller, Dataset: string(s.id)})
+	case KindRequest:
+		if !e.platform.HasAccount(s.fn.Buyer) {
+			fail(fmt.Errorf("engine: buyer %q is not registered", s.fn.Buyer))
+			return
+		}
+		reqID, err := e.platform.SubmitRequest(s.want, s.fn)
+		if err != nil {
+			fail(err)
+			return
+		}
+		e.stApplied.Add(1)
+		e.openReqs[reqID] = s.ticket
+		e.setTicket(s.ticket, func(t *Ticket) {
+			t.Status, t.Epoch, t.RequestID = TicketApplied, ep, reqID
+		})
+		e.log.Append(Event{Epoch: ep, Kind: EventRequestFiled, Ticket: s.ticket,
+			Participant: s.fn.Buyer, RequestID: reqID})
+	}
+}
+
+// clear runs one arbiter matching round and publishes its outcome.
+func (e *Engine) clear(ep uint64) (matched, unmet int) {
+	res, err := e.platform.MatchRound()
+	if err != nil {
+		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Err: "match round: " + err.Error()})
+		return 0, len(e.openReqs)
+	}
+	return e.publishRound(ep, res)
+}
+
+// publishRound folds one MatchResult into tickets, stats and the event log.
+func (e *Engine) publishRound(ep uint64, res *arbiter.MatchResult) (matched, unmet int) {
+	for _, tx := range res.Transactions {
+		ticket := e.openReqs[tx.RequestID]
+		delete(e.openReqs, tx.RequestID)
+		e.stMatched.Add(1)
+		matched++
+		e.setTicket(ticket, func(t *Ticket) {
+			t.Status, t.TxID, t.Price = TicketDone, tx.ID, tx.Price
+		})
+		e.log.Append(Event{Epoch: ep, Kind: EventTxSettled, Ticket: ticket,
+			Participant: tx.Buyer, RequestID: tx.RequestID, TxID: tx.ID,
+			Price: tx.Price, ArbiterCut: tx.ArbiterCut, SellerCuts: tx.SellerCuts,
+			ExPost: tx.ExPost,
+			Note:   fmt.Sprintf("datasets=%v satisfaction=%.2f", tx.Datasets, tx.Satisfaction)})
+	}
+	for _, reqID := range res.Unsatisfied {
+		if ticket, ok := e.openReqs[reqID]; ok {
+			unmet++
+			e.log.Append(Event{Epoch: ep, Kind: EventRequestUnmet, Ticket: ticket, RequestID: reqID})
+		}
+	}
+	return matched, unmet
+}
+
+// ticketParticipant reads the participant recorded at enqueue time.
+func (e *Engine) ticketParticipant(id string) string {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	if t, ok := e.tickets[id]; ok {
+		return t.Participant
+	}
+	return ""
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+func testRelation(name string, rows int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*1.5))
+	}
+	return r
+}
+
+func coverageRequest(buyer string, offer float64) (dod.Want, *wtp.Function) {
+	want := dod.Want{Columns: []string{"a", "b"}}
+	f := &wtp.Function{
+		Buyer: buyer,
+		Task:  wtp.CoverageTask{Columns: []string{"a", "b"}, WantRows: 1},
+		Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: offer}},
+	}
+	return want, f
+}
+
+func newTestEngine(t *testing.T, cfg Config) (*core.Platform, *Engine) {
+	t.Helper()
+	p, err := core.NewPlatform(core.Options{Design: "posted-baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, New(p, cfg)
+}
+
+func waitTerminal(t *testing.T, e *Engine, tickets []string, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		done := 0
+		for _, id := range tickets {
+			tk, ok := e.Ticket(id)
+			if !ok {
+				t.Fatalf("ticket %s vanished", id)
+			}
+			if tk.Status.Terminal() {
+				done++
+			}
+		}
+		if done == len(tickets) {
+			return
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("only %d/%d tickets terminal after %v", done, len(tickets), deadline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEngineConcurrentEpochs is the -race hammer the issue asks for: 8
+// concurrent submitters (4 sellers, 4 buyers) across 3 deterministic epochs,
+// asserting ledger conservation (credits == debits) across all of them.
+func TestEngineConcurrentEpochs(t *testing.T) {
+	p, e := newTestEngine(t, Config{Shards: 8})
+	defer e.Stop()
+
+	const sellers, buyers, waves = 4, 4, 3
+	funds := 10_000.0
+	var initial ledger.Currency
+	var regs []string
+	for b := 0; b < buyers; b++ {
+		regs = append(regs, e.SubmitRegister(fmt.Sprintf("buyer%d", b), funds))
+		initial += ledger.FromFloat(funds)
+	}
+	if _, ran := e.TriggerEpoch(); !ran {
+		t.Fatal("registration epoch did not run")
+	}
+	waitTerminal(t, e, regs, time.Second)
+
+	var allRequests []string
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var requests []string
+		for s := 0; s < sellers; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				name := fmt.Sprintf("seller%d", s)
+				id := catalog.DatasetID(fmt.Sprintf("%s/wave%d", name, wave))
+				tk := e.SubmitShare(name, id, testRelation(string(id), 20),
+					wtp.DatasetMeta{Dataset: string(id), HasProvenance: true},
+					license.Terms{Kind: license.Open})
+				mu.Lock()
+				requests = append(requests, tk)
+				mu.Unlock()
+			}(s)
+		}
+		for b := 0; b < buyers; b++ {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				want, fn := coverageRequest(fmt.Sprintf("buyer%d", b), 150)
+				tk := e.SubmitRequest(want, fn)
+				mu.Lock()
+				requests = append(requests, tk)
+				mu.Unlock()
+			}(b)
+		}
+		wg.Wait()
+		if _, ran := e.TriggerEpoch(); !ran {
+			t.Fatalf("wave %d epoch did not run", wave)
+		}
+		waitTerminal(t, e, requests, 5*time.Second)
+		allRequests = append(allRequests, requests...)
+	}
+
+	st := e.Stats()
+	if st.Epochs < 3 {
+		t.Fatalf("want >= 3 epochs, got %d", st.Epochs)
+	}
+	if st.Matched != buyers*waves {
+		t.Fatalf("want %d matches, got %d", buyers*waves, st.Matched)
+	}
+	e.Stop() // flush + drain the settlement subscriber
+
+	// Conservation, three ways. (1) money supply: nothing minted or burned
+	// after the funding registrations.
+	if got := p.Arbiter.Ledger.TotalSupply(); got != initial {
+		t.Fatalf("total supply changed: want %s, got %s", initial, got)
+	}
+	// (2) per-settlement: price fully fanned out to arbiter + sellers.
+	book := e.Settlements()
+	if book.Count() != buyers*waves {
+		t.Fatalf("settlement book has %d entries, want %d", book.Count(), buyers*waves)
+	}
+	if !book.Conserved() {
+		t.Fatalf("settlement conservation violated: debits=%s credits=%s",
+			book.Debits(), book.Credits())
+	}
+	if len(book.Epochs()) < waves {
+		t.Fatalf("settlements span %d epochs, want >= %d", len(book.Epochs()), waves)
+	}
+	// (3) the hash-chained audit log is intact.
+	if i := p.Arbiter.Ledger.VerifyChain(); i >= 0 {
+		t.Fatalf("audit chain corrupted at entry %d", i)
+	}
+
+	// Event log sanity: dense, ordered sequence numbers.
+	evs := e.Events(0)
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestEngineTickerEpochs exercises the background loop: ticker-driven epochs
+// with threshold kicks, submissions racing the runner.
+func TestEngineTickerEpochs(t *testing.T) {
+	p, e := newTestEngine(t, Config{Shards: 4, EpochEvery: 2 * time.Millisecond, BatchThreshold: 64})
+	e.Start()
+	defer e.Stop()
+
+	regTicket := e.SubmitRegister("b1", 5000)
+	shareTicket := e.SubmitShare("s1", "s1/d1", testRelation("s1/d1", 10),
+		wtp.DatasetMeta{Dataset: "s1/d1"}, license.Terms{Kind: license.Open})
+	waitTerminal(t, e, []string{regTicket, shareTicket}, 2*time.Second)
+
+	var tickets []string
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				want, fn := coverageRequest("b1", 120)
+				tk := e.SubmitRequest(want, fn)
+				mu.Lock()
+				tickets = append(tickets, tk)
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	waitTerminal(t, e, tickets, 5*time.Second)
+	e.Stop()
+
+	if st := e.Stats(); st.Matched != 32 {
+		t.Fatalf("want 32 matches, got %d", st.Matched)
+	}
+	if i := p.Arbiter.Ledger.VerifyChain(); i >= 0 {
+		t.Fatalf("audit chain corrupted at entry %d", i)
+	}
+	if !e.Settlements().Conserved() {
+		t.Fatal("settlement conservation violated")
+	}
+}
+
+// TestEngineRequestWaitsForSupply checks the cross-epoch retry: a request
+// filed before any matching supply stays open (unmet) and clears in a later
+// epoch once a seller shares the data.
+func TestEngineRequestWaitsForSupply(t *testing.T) {
+	_, e := newTestEngine(t, Config{Shards: 2})
+	defer e.Stop()
+
+	reg := e.SubmitRegister("b1", 1000)
+	e.TriggerEpoch()
+	waitTerminal(t, e, []string{reg}, time.Second)
+
+	want, fn := coverageRequest("b1", 200)
+	reqTicket := e.SubmitRequest(want, fn)
+	e.TriggerEpoch()
+	tk, _ := e.Ticket(reqTicket)
+	if tk.Status != TicketApplied {
+		t.Fatalf("request should be open after epoch without supply, got %s", tk.Status)
+	}
+	unmet := false
+	for _, ev := range e.Events(0) {
+		if ev.Kind == EventRequestUnmet && ev.Ticket == reqTicket {
+			unmet = true
+		}
+	}
+	if !unmet {
+		t.Fatal("no request-unmet event for the starved request")
+	}
+
+	e.SubmitShare("s1", "s1/late", testRelation("s1/late", 10),
+		wtp.DatasetMeta{Dataset: "s1/late"}, license.Terms{Kind: license.Open})
+	e.TriggerEpoch()
+	tk, _ = e.Ticket(reqTicket)
+	if tk.Status != TicketDone || tk.TxID == "" {
+		t.Fatalf("request should have matched once supply arrived, got %+v", tk)
+	}
+}
+
+// TestEngineRejections covers the failure lifecycle: unknown buyers and
+// duplicate registrations fail their tickets with events, without wedging
+// the epoch.
+func TestEngineRejections(t *testing.T) {
+	_, e := newTestEngine(t, Config{})
+	defer e.Stop()
+
+	want, fn := coverageRequest("ghost", 100)
+	ghost := e.SubmitRequest(want, fn)
+	ok := e.SubmitRegister("b1", 100)
+	dup := e.SubmitRegister("b1", 100)
+	e.TriggerEpoch()
+
+	if tk, _ := e.Ticket(ghost); tk.Status != TicketFailed {
+		t.Fatalf("unregistered buyer's request should fail, got %s", tk.Status)
+	}
+	if tk, _ := e.Ticket(ok); tk.Status != TicketDone {
+		t.Fatalf("first registration should succeed, got %s", tk.Status)
+	}
+	if tk, _ := e.Ticket(dup); tk.Status != TicketFailed || tk.Err == "" {
+		t.Fatalf("duplicate registration should fail with an error, got %+v", tk)
+	}
+	rejected := 0
+	for _, ev := range e.Events(0) {
+		if ev.Kind == EventRejected {
+			rejected++
+		}
+	}
+	if rejected != 2 {
+		t.Fatalf("want 2 submission-rejected events, got %d", rejected)
+	}
+}
+
+func TestEventLogWaitAfter(t *testing.T) {
+	l := NewEventLog()
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _ := l.WaitAfter(0)
+		got <- evs
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Append(Event{Kind: EventEpochStart, Epoch: 1})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Seq != 1 {
+			t.Fatalf("unexpected batch %+v", evs)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitAfter never woke")
+	}
+
+	l.Append(Event{Kind: EventEpochEnd, Epoch: 1})
+	l.Close()
+	evs, open := l.WaitAfter(1)
+	if open {
+		t.Fatal("log should report closed")
+	}
+	if len(evs) != 1 || evs[0].Kind != EventEpochEnd {
+		t.Fatalf("tail not drained: %+v", evs)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("want 2 events, got %d", l.Len())
+	}
+}

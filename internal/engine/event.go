@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies event-log records.
+type EventKind string
+
+// Event kinds, in rough lifecycle order.
+const (
+	EventEpochStart    EventKind = "epoch-start"
+	EventRegistered    EventKind = "participant-registered"
+	EventDatasetShared EventKind = "dataset-shared"
+	EventRequestFiled  EventKind = "request-filed"
+	EventRequestUnmet  EventKind = "request-unmet"
+	EventTxSettled     EventKind = "tx-settled"
+	EventRejected      EventKind = "submission-rejected"
+	EventEpochEnd      EventKind = "epoch-end"
+)
+
+// Event is one append-only log record. See the package documentation for the
+// schema; fields are JSON-tagged because dmms serves them verbatim.
+type Event struct {
+	Seq         int                `json:"seq"`
+	Epoch       uint64             `json:"epoch"`
+	Kind        EventKind          `json:"kind"`
+	At          time.Time          `json:"at"`
+	Ticket      string             `json:"ticket,omitempty"`
+	Participant string             `json:"participant,omitempty"`
+	Dataset     string             `json:"dataset,omitempty"`
+	RequestID   string             `json:"request_id,omitempty"`
+	TxID        string             `json:"tx_id,omitempty"`
+	Price       float64            `json:"price,omitempty"`
+	ArbiterCut  float64            `json:"arbiter_cut,omitempty"`
+	SellerCuts  map[string]float64 `json:"seller_cuts,omitempty"`
+	ExPost      bool               `json:"ex_post,omitempty"`
+	Err         string             `json:"error,omitempty"`
+	Note        string             `json:"note,omitempty"`
+}
+
+// EventLog is an append-only, totally ordered event log with cursor-based
+// consumption. Producers Append; consumers either poll Since or block in
+// WaitAfter. There are no per-subscriber buffers, so a slow consumer can
+// never stall the epoch runner or lose events.
+type EventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+// NewEventLog creates an empty log.
+func NewEventLog() *EventLog {
+	l := &EventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Append assigns the next sequence number, stores the event and wakes
+// blocked consumers. It returns the assigned sequence number.
+func (l *EventLog) Append(e Event) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.events) + 1
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	l.events = append(l.events, e)
+	l.cond.Broadcast()
+	return e.Seq
+}
+
+// Since returns a copy of all events with Seq > after (non-blocking).
+func (l *EventLog) Since(after int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.copyAfter(after)
+}
+
+// WaitAfter blocks until at least one event with Seq > after exists or the
+// log is closed. The second return is false once the log is closed; callers
+// must still process the returned batch before exiting, or events written
+// just before Close would be lost.
+func (l *EventLog) WaitAfter(after int) ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.events) <= after && !l.closed {
+		l.cond.Wait()
+	}
+	return l.copyAfter(after), !l.closed
+}
+
+func (l *EventLog) copyAfter(after int) []Event {
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(l.events) {
+		return nil
+	}
+	out := make([]Event, len(l.events)-after)
+	copy(out, l.events[after:])
+	return out
+}
+
+// Len returns the number of events appended so far.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Close wakes all blocked consumers; subsequent WaitAfter calls drain the
+// remaining events and report the log closed.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}

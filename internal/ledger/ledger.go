@@ -114,6 +114,16 @@ func (l *Ledger) Balance(account string) Currency {
 	return l.balances[account]
 }
 
+// Exists reports whether an account is open. The engine uses it to fail
+// buyer requests fast instead of letting them stall open forever when the
+// settlement Hold would bounce.
+func (l *Ledger) Exists(account string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.balances[account]
+	return ok
+}
+
 // Deposit adds funds from outside the market.
 func (l *Ledger) Deposit(account string, amount Currency) error {
 	if amount < 0 {

@@ -1,0 +1,104 @@
+package ledger
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSettlementBookConservation(t *testing.T) {
+	b := NewSettlementBook()
+	b.Record(Settlement{
+		TxID: "tx-1", Epoch: 1, Buyer: "b1", Price: FromFloat(100),
+		ArbiterCut: FromFloat(10),
+		SellerCuts: map[string]Currency{"s1": FromFloat(45), "s2": FromFloat(45)},
+	})
+	b.Record(Settlement{
+		TxID: "tx-2", Epoch: 2, Buyer: "b2", Price: FromFloat(60),
+		ArbiterCut: FromFloat(6),
+		SellerCuts: map[string]Currency{"s1": FromFloat(54)},
+	})
+	if !b.Conserved() {
+		t.Fatal("balanced settlements reported unconserved")
+	}
+	if got := b.Debits(); got != FromFloat(160) {
+		t.Fatalf("debits: want 160, got %s", got)
+	}
+	if got := b.Credits(); got != FromFloat(160) {
+		t.Fatalf("credits: want 160, got %s", got)
+	}
+	if got := b.Epochs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("epochs: %v", got)
+	}
+
+	// A leaky settlement (price not fully fanned out) breaks conservation.
+	b.Record(Settlement{
+		TxID: "tx-3", Epoch: 3, Buyer: "b3", Price: FromFloat(100),
+		ArbiterCut: FromFloat(10),
+		SellerCuts: map[string]Currency{"s1": FromFloat(50)},
+	})
+	if b.Conserved() {
+		t.Fatal("missing 40 units went undetected")
+	}
+}
+
+func TestSettlementBookExPostSkipped(t *testing.T) {
+	b := NewSettlementBook()
+	// Ex-post: deposit escrowed, cuts unknown until the report — must not
+	// count against conservation or the credit/debit totals.
+	b.Record(Settlement{TxID: "tx-1", Epoch: 1, Buyer: "b1", Price: FromFloat(500), ExPost: true})
+	if !b.Conserved() {
+		t.Fatal("ex-post settlement should be skipped by Conserved")
+	}
+	if b.Debits() != 0 || b.Credits() != 0 {
+		t.Fatalf("ex-post settlement leaked into totals: debits=%s credits=%s", b.Debits(), b.Credits())
+	}
+	if b.Count() != 1 {
+		t.Fatalf("count: want 1, got %d", b.Count())
+	}
+}
+
+func TestSettlementBookRoundingTolerance(t *testing.T) {
+	b := NewSettlementBook()
+	// Each cut may round by one micro-unit; a 3-way split may be off by up
+	// to len(cuts)+1 micro-units in total and still conserve.
+	b.Record(Settlement{
+		TxID: "tx-1", Epoch: 1, Buyer: "b1", Price: FromFloat(100),
+		ArbiterCut: FromFloat(100.0 / 3),
+		SellerCuts: map[string]Currency{
+			"s1": FromFloat(100.0 / 3),
+			"s2": FromFloat(100.0 / 3),
+		},
+	})
+	if !b.Conserved() {
+		t.Fatal("micro-unit rounding should be tolerated")
+	}
+}
+
+func TestSettlementBookConcurrent(t *testing.T) {
+	b := NewSettlementBook()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Record(Settlement{
+					TxID: fmt.Sprintf("tx-%d-%d", g, i), Epoch: uint64(g),
+					Buyer: "b", Price: FromFloat(10), ArbiterCut: FromFloat(1),
+					SellerCuts: map[string]Currency{"s": FromFloat(9)},
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Count() != 400 {
+		t.Fatalf("count: want 400, got %d", b.Count())
+	}
+	if !b.Conserved() {
+		t.Fatal("conservation violated")
+	}
+	if len(b.All()) != 400 || len(b.Epochs()) != 8 {
+		t.Fatalf("All/Epochs inconsistent: %d/%d", len(b.All()), len(b.Epochs()))
+	}
+}
