@@ -27,6 +27,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/relation"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/internal/wtp"
 )
@@ -291,5 +292,34 @@ func BenchmarkE11ExPostAudits(b *testing.B) {
 func BenchmarkE12DynamicArrival(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.E12DynamicArrival(42)
+	}
+}
+
+// BenchmarkWALAppend measures the durable event log's per-record append cost
+// under each fsync policy (internal/wal). `always` pays one fsync per event,
+// `epoch` amortizes it over the epoch batch (the sync point here is the
+// epoch-end record every 64 events), `off` leaves flushing to the OS.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncEpoch, wal.SyncOff} {
+		b.Run(string(policy), func(b *testing.B) {
+			w, err := wal.Open(wal.Options{Dir: b.TempDir(), Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kind := engine.EventRequestFiled
+				if (i+1)%64 == 0 {
+					kind = engine.EventEpochEnd
+				}
+				if err := w.Persist(engine.Event{
+					Seq: i + 1, Epoch: uint64(i / 64), Kind: kind,
+					Ticket: "sub-000042", Participant: "b1", RequestID: "req-0042",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

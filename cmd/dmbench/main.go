@@ -1,11 +1,11 @@
 // Command dmbench regenerates every experiment table from DESIGN.md's
-// per-experiment index (E1–E13) in one run and prints them in the format
+// per-experiment index (E1–E14) in one run and prints them in the format
 // recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
 //	dmbench            # run everything
-//	dmbench -only E5   # run one experiment (E1..E13)
+//	dmbench -only E5   # run one experiment (E1..E14)
 //	dmbench -seed 7    # change the deterministic seed
 package main
 
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E13)")
+	only := flag.String("only", "", "run a single experiment (E1..E14)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	rounds := flag.Int("rounds", 100, "simulation rounds for E2/E3")
 	flag.Parse()
@@ -42,6 +42,7 @@ func main() {
 		{"E11", func() (experiments.Table, error) { return experiments.E11ExPostAudits(*rounds, *seed), nil }},
 		{"E12", func() (experiments.Table, error) { return experiments.E12DynamicArrival(*seed), nil }},
 		{"E13", func() (experiments.Table, error) { return experiments.E13EngineThroughput(8, 8, 4, *seed) }},
+		{"E14", func() (experiments.Table, error) { return experiments.E14WALDurability(6, *seed) }},
 	}
 	ran := 0
 	for _, r := range runners {

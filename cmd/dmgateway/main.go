@@ -7,9 +7,15 @@
 // append-only event log that clients poll via /events, /async/tickets/{id}
 // and /settlements.
 //
+// With -wal-dir the event log is durable: every event is written ahead to a
+// segmented, checksummed WAL (fsync policy via -fsync), boot replays the log
+// (resuming from the newest snapshot when one exists), POST /snapshot writes
+// a checkpoint on demand, and -snapshot-on-drain writes one during shutdown.
+//
 // Usage:
 //
-//	dmgateway -addr :8080 -design posted-baseline -epoch 250ms -batch 64 -shards 8
+//	dmgateway -addr :8080 -design posted-baseline -epoch 250ms -batch 64 \
+//	          -shards 8 -wal-dir /var/lib/dmms/wal -fsync epoch -snapshot-on-drain
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmms"
 	"repro/internal/engine"
+	"repro/internal/market"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -34,24 +42,61 @@ func main() {
 	epoch := flag.Duration("epoch", 250*time.Millisecond, "epoch ticker period (0 = threshold/manual only)")
 	batch := flag.Int("batch", 64, "pending submissions that trigger an early epoch (0 = off)")
 	verbose := flag.Bool("verbose", false, "log epoch summaries from the event log")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory only, no durability)")
+	fsync := flag.String("fsync", "epoch", "WAL fsync policy: always | epoch | off")
+	segBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+	snapOnDrain := flag.Bool("snapshot-on-drain", true, "write a snapshot after draining the engine on shutdown (needs -wal-dir)")
 	flag.Parse()
 
-	p, err := core.NewPlatform(core.Options{Design: *design})
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng := engine.New(p, engine.Config{
+	cfg := engine.Config{
 		Shards:         *shards,
 		EpochEvery:     *epoch,
 		BatchThreshold: *batch,
-	})
+	}
+
+	var (
+		p   *core.Platform
+		eng *engine.Engine
+		w   *wal.Log
+		err error
+	)
+	if *walDir != "" {
+		policy, perr := wal.ParseSyncPolicy(*fsync)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		// Ex-post designs settle via POST /report, which is neither
+		// evented nor replayable yet (see ROADMAP): escrowed deposits
+		// would brick snapshots and a post-report crash could fail replay.
+		// Refuse the combination up front instead of wedging later.
+		if d, err := market.StandardDesigns().Get(*design); err == nil && d.Elicitation == market.ElicitExPost {
+			log.Fatalf("dmgateway: -wal-dir does not support ex-post design %q yet (reporting is not event-logged)", *design)
+		}
+		var res wal.BootResult
+		p, eng, w, res, err = wal.Boot(core.Options{Design: *design}, cfg,
+			wal.Options{Dir: *walDir, Policy: policy, SegmentBytes: *segBytes})
+		if err != nil {
+			log.Fatalf("dmgateway: WAL boot: %v", err)
+		}
+		log.Printf("dmgateway: WAL %s: recovered %d events (snapshot seq %d, replayed %d), fsync=%s",
+			*walDir, res.Recovered, res.FromSnapshotSeq, res.Replayed, policy)
+	} else {
+		p, err = core.NewPlatform(core.Options{Design: *design})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = engine.New(p, cfg)
+	}
 	eng.Start()
 
 	// Metrics subscriber: tail the event log and surface epoch summaries —
 	// the same consumption pattern settlement uses internally.
 	if *verbose {
+		// Tail from the boot-time head: replayed history was already
+		// logged in its first life.
+		bootHead := eng.Log().LastSeq()
 		go func() {
-			cursor := 0
+			cursor := bootHead
 			for {
 				evs, open := eng.Log().WaitAfter(cursor)
 				for _, ev := range evs {
@@ -70,7 +115,20 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: dmms.NewEngineServer(p, eng)}
+	server := dmms.NewEngineServer(p, eng)
+	if w != nil {
+		dir := *walDir
+		server.SetSnapshotFunc(func() (string, int, error) {
+			snap, err := eng.Snapshot()
+			if err != nil {
+				return "", 0, err
+			}
+			path, err := wal.WriteSnapshot(dir, snap)
+			return path, snap.TakenAtSeq, err
+		})
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -83,6 +141,20 @@ func main() {
 		_ = srv.Shutdown(context.Background())
 		log.Print("dmgateway: draining engine")
 		eng.Stop()
+		if w != nil {
+			if *snapOnDrain {
+				if snap, err := eng.Snapshot(); err != nil {
+					log.Printf("dmgateway: drain snapshot refused: %v", err)
+				} else if path, err := wal.WriteSnapshot(*walDir, snap); err != nil {
+					log.Printf("dmgateway: drain snapshot failed: %v", err)
+				} else {
+					log.Printf("dmgateway: drain snapshot %s (seq %d)", path, snap.TakenAtSeq)
+				}
+			}
+			if err := w.Close(); err != nil {
+				log.Printf("dmgateway: WAL close: %v", err)
+			}
+		}
 	}()
 
 	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d on %s",

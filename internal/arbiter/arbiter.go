@@ -79,9 +79,12 @@ type Arbiter struct {
 	disc *discovery.Engine
 	dod  *dod.Engine
 
-	metas    map[string]wtp.DatasetMeta
-	requests []*Request
-	history  []*Transaction
+	metas map[string]wtp.DatasetMeta
+	// shareOrder records dataset IDs in ingestion order; snapshot/restore
+	// replays shares in this order so profile indexing is deterministic.
+	shareOrder []string
+	requests   []*Request
+	history    []*Transaction
 	// unmet tracks wanted columns no mashup could supply — the demand
 	// signal opportunistic sellers mine (paper §7.1).
 	unmet map[string]int
@@ -152,6 +155,7 @@ func (a *Arbiter) ShareDataset(seller string, id catalog.DatasetID, rel *relatio
 	defer a.mu.Unlock()
 	meta.Dataset = string(id)
 	a.metas[string(id)] = meta
+	a.shareOrder = append(a.shareOrder, string(id))
 	a.ix.Add(profile.Profile(string(id), rel))
 	a.Ledger.Note(fmt.Sprintf("dataset %s shared by %s (%d rows, license %s)", id, seller, rel.NumRows(), terms.Kind))
 	return nil

@@ -1,0 +1,250 @@
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dod"
+	"repro/internal/ledger"
+	"repro/internal/market"
+	"repro/internal/wtp"
+)
+
+// This file is the arbiter's durability seam: the hooks the engine's WAL
+// replay (internal/engine, internal/wal) and the platform snapshot
+// (internal/core) use to rebuild arbiter state without re-running the
+// matching pipeline. Replay applies the *outcome* recorded in the event log —
+// request filings under their original IDs and settlement transfers — so a
+// restarted arbiter reaches the same requests, balances, licenses and
+// history skeleton as the uninterrupted run.
+
+// OpenRequestStates returns the open requests in filing order (unlike
+// OpenRequests, which returns only IDs). The slice holds copies; the WTP
+// pointers are shared (functions are immutable after submission).
+func (a *Arbiter) OpenRequestStates() []Request {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Request
+	for _, r := range a.requests {
+		if r.Open {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// SharedIDs returns dataset IDs in share order — the order replays must
+// re-ingest them so profile indexing is deterministic.
+func (a *Arbiter) SharedIDs() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.shareOrder...)
+}
+
+// MetaFor returns the recorded metadata of a shared dataset.
+func (a *Arbiter) MetaFor(id string) wtp.DatasetMeta {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.metas[id]
+}
+
+// PendingExPostCount reports how many delivered-but-unpaid ex-post
+// transactions are outstanding. Their deposits live in ledger escrow, which
+// snapshots do not capture — Engine.Snapshot refuses a checkpoint while any
+// are pending.
+func (a *Arbiter) PendingExPostCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pendingExPost)
+}
+
+// ReplayNextID reads the request/transaction ID counter for snapshots.
+func (a *Arbiter) ReplayNextID() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nextID
+}
+
+// RestoreNextID raises the ID counter to at least n, so IDs assigned after a
+// restore never collide with logged ones.
+func (a *Arbiter) RestoreNextID(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.nextID {
+		a.nextID = n
+	}
+}
+
+// bumpNextID parses the numeric suffix of a logged ID ("req-0007",
+// "tx-0012") and raises the counter past it. Caller holds a.mu.
+func (a *Arbiter) bumpNextID(id string) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return
+	}
+	if n, err := strconv.Atoi(id[i+1:]); err == nil && n > a.nextID {
+		a.nextID = n
+	}
+}
+
+// RestoreRequest re-files a request under its original ID. Unlike
+// SubmitRequest it does not assign a fresh ID: durable logs and snapshots
+// record the ID the original filing got, and replay must reproduce it so
+// settlements and tickets keep pointing at the right request.
+func (a *Arbiter) RestoreRequest(id string, want dod.Want, f *wtp.Function) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if len(want.Columns) == 0 {
+		return fmt.Errorf("arbiter: request has no wanted columns")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.requests {
+		if r.ID == id {
+			return fmt.Errorf("arbiter: request %q already filed", id)
+		}
+	}
+	a.bumpNextID(id)
+	a.requests = append(a.requests, &Request{ID: id, Want: want, WTP: f, Open: true})
+	return nil
+}
+
+// ReplayedSettlement is the durable skeleton of one settled sale, as carried
+// by a tx-settled event. It holds everything settle() moved through the
+// ledger, but not the mashup itself — replayed history entries have a nil
+// Mashup and Plan.
+type ReplayedSettlement struct {
+	TxID         string             `json:"tx_id"`
+	RequestID    string             `json:"request_id,omitempty"`
+	Buyer        string             `json:"buyer"`
+	Price        float64            `json:"price"`
+	ArbiterCut   float64            `json:"arbiter_cut,omitempty"`
+	SellerCuts   map[string]float64 `json:"seller_cuts,omitempty"`
+	Satisfaction float64            `json:"satisfaction,omitempty"`
+	Datasets     []string           `json:"datasets,omitempty"`
+	ExPost       bool               `json:"ex_post,omitempty"`
+}
+
+// HistorySkeletons returns the completed-transaction history in its durable
+// form (no mashup or plan) for snapshots.
+func (a *Arbiter) HistorySkeletons() []ReplayedSettlement {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ReplayedSettlement, 0, len(a.history))
+	for _, tx := range a.history {
+		out = append(out, ReplayedSettlement{
+			TxID:         tx.ID,
+			RequestID:    tx.RequestID,
+			Buyer:        tx.Buyer,
+			Price:        tx.Price,
+			ArbiterCut:   tx.ArbiterCut,
+			SellerCuts:   tx.SellerCuts,
+			Satisfaction: tx.Satisfaction,
+			Datasets:     tx.Datasets,
+			ExPost:       tx.ExPost,
+		})
+	}
+	return out
+}
+
+// RestoreHistory re-seeds the transaction history from snapshot skeletons.
+// Purely archival: the ledger effects of these transactions are already in
+// the snapshot's balances, so nothing is transferred. The ID counter is
+// raised past every restored transaction.
+func (a *Arbiter) RestoreHistory(skels []ReplayedSettlement) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rs := range skels {
+		a.bumpNextID(rs.TxID)
+		cuts := map[string]float64{}
+		for s, c := range rs.SellerCuts {
+			cuts[s] = c
+		}
+		a.history = append(a.history, &Transaction{
+			ID:           rs.TxID,
+			RequestID:    rs.RequestID,
+			Buyer:        rs.Buyer,
+			Datasets:     append([]string(nil), rs.Datasets...),
+			Satisfaction: rs.Satisfaction,
+			Price:        rs.Price,
+			ArbiterCut:   rs.ArbiterCut,
+			SellerCuts:   cuts,
+			ExPost:       rs.ExPost,
+		})
+	}
+}
+
+// ReplaySettlement re-applies one settled sale from the durable event log:
+// closes the request, repeats the escrow hold / release / revenue fan-out
+// with the logged amounts (micro-unit identical to the original run),
+// re-issues licenses and records the purchase. Ex-post sales re-escrow the
+// deposit and return to the pending set, though without provenance
+// annotations (the mashup is not logged), so a later ReportValue splits
+// revenue by dataset owners only.
+func (a *Arbiter) ReplaySettlement(rs ReplayedSettlement) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.requests {
+		if r.ID == rs.RequestID {
+			r.Open = false
+		}
+	}
+	a.bumpNextID(rs.TxID)
+
+	tx := &Transaction{
+		ID:           rs.TxID,
+		RequestID:    rs.RequestID,
+		Buyer:        rs.Buyer,
+		Datasets:     append([]string(nil), rs.Datasets...),
+		Satisfaction: rs.Satisfaction,
+		Price:        rs.Price,
+		SellerCuts:   map[string]float64{},
+	}
+
+	if rs.ExPost {
+		dep := ledger.FromFloat(rs.Price)
+		if mech, ok := a.Design.Mechanism.(market.ExPost); ok && mech.Deposit > 0 {
+			dep = ledger.FromFloat(mech.Deposit)
+		}
+		if err := a.Ledger.Hold(rs.TxID, rs.Buyer, dep, "ex-post deposit (replay)"); err != nil {
+			return err
+		}
+		tx.ExPost = true
+		a.pendingExPost[rs.TxID] = &exPostState{tx: tx, deposit: dep, buyer: rs.Buyer}
+	} else {
+		price := ledger.FromFloat(rs.Price)
+		if err := a.Ledger.Hold(rs.TxID, rs.Buyer, price, "purchase (replay)"); err != nil {
+			return err
+		}
+		remaining := a.Ledger.Escrowed(rs.TxID)
+		if err := a.Ledger.Release(rs.TxID, ArbiterAccount, remaining, "settlement"); err != nil {
+			return err
+		}
+		sellers := make([]string, 0, len(rs.SellerCuts))
+		for s := range rs.SellerCuts {
+			sellers = append(sellers, s)
+		}
+		sort.Strings(sellers)
+		for _, s := range sellers {
+			amt := ledger.FromFloat(rs.SellerCuts[s])
+			if amt <= 0 {
+				continue
+			}
+			if err := a.Ledger.Transfer(ArbiterAccount, s, amt, "revenue share "+rs.TxID); err != nil {
+				return err
+			}
+		}
+		tx.ArbiterCut = rs.ArbiterCut
+		for s, c := range rs.SellerCuts {
+			tx.SellerCuts[s] = c
+		}
+	}
+
+	a.issueLicenses(rs.Datasets, rs.Buyer, rs.Price)
+	a.recordPurchase(rs.Buyer, rs.Datasets)
+	a.history = append(a.history, tx)
+	return nil
+}

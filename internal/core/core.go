@@ -52,6 +52,10 @@ type Platform struct {
 	mu      sync.RWMutex
 	sellers map[string]*seller.Platform
 	buyers  map[string]*buyer.Platform
+	// Creation order, kept for snapshot/restore: seller mechanism seeds
+	// derive from creation rank, so restores must replay the same order.
+	sellerOrder []string
+	buyerOrder  []string
 }
 
 // NewPlatform builds the platform with the requested market design.
@@ -101,6 +105,7 @@ func (p *Platform) Seller(name string) *seller.Platform {
 	_ = p.Arbiter.RegisterParticipant(name, 0)
 	s = seller.New(name, p.Arbiter, p.opts.EpsilonCap, p.opts.Seed+int64(len(p.sellers)))
 	p.sellers[name] = s
+	p.sellerOrder = append(p.sellerOrder, name)
 	return s
 }
 
@@ -121,6 +126,7 @@ func (p *Platform) Buyer(name string, funds float64) *buyer.Platform {
 	_ = p.Arbiter.RegisterParticipant(name, funds)
 	b = buyer.New(name, p.Arbiter)
 	p.buyers[name] = b
+	p.buyerOrder = append(p.buyerOrder, name)
 	return b
 }
 

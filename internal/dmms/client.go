@@ -210,6 +210,16 @@ func (c *Client) EngineStats() (engine.Stats, error) {
 	return out, nil
 }
 
+// Snapshot asks the server to write a durable checkpoint, returning its
+// path and the last event seq it covers.
+func (c *Client) Snapshot() (string, int, error) {
+	var out SnapshotResp
+	if err := c.post("/snapshot", struct{}{}, &out); err != nil {
+		return "", 0, err
+	}
+	return out.Path, out.Seq, nil
+}
+
 // Settlements fetches the settlement book and its conservation verdict.
 func (c *Client) Settlements() ([]SettlementView, bool, error) {
 	var out struct {

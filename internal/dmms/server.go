@@ -31,7 +31,16 @@ type Server struct {
 	platform *core.Platform
 	engine   *engine.Engine
 	mux      *http.ServeMux
+	snapshot SnapshotFunc
 }
+
+// SnapshotFunc persists an engine checkpoint (see internal/wal) and returns
+// its path and the last event seq it covers. Wired by the gateway when a WAL
+// is configured; without one the /snapshot endpoint answers 503.
+type SnapshotFunc func() (path string, seq int, err error)
+
+// SetSnapshotFunc enables the POST /snapshot admin endpoint.
+func (s *Server) SetSnapshotFunc(fn SnapshotFunc) { s.snapshot = fn }
 
 // NewServer builds the synchronous HTTP front end (no engine; the async
 // endpoints answer 503).
@@ -41,11 +50,11 @@ func NewServer(p *core.Platform) *Server { return NewEngineServer(p, nil) }
 // The caller owns the engine's lifecycle (Start/Stop).
 func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 	s := &Server{platform: p, engine: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /participants", s.handleParticipants)
-	s.mux.HandleFunc("POST /datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /requests", s.handleRequests)
+	s.mux.HandleFunc("POST /participants", s.syncMutation(s.handleParticipants))
+	s.mux.HandleFunc("POST /datasets", s.syncMutation(s.handleDatasets))
+	s.mux.HandleFunc("POST /requests", s.syncMutation(s.handleRequests))
 	s.mux.HandleFunc("POST /match", s.handleMatch)
-	s.mux.HandleFunc("POST /report", s.handleReport)
+	s.mux.HandleFunc("POST /report", s.syncMutation(s.handleReport))
 	s.mux.HandleFunc("GET /history", s.handleHistory)
 	s.mux.HandleFunc("GET /demand", s.handleDemand)
 	s.mux.HandleFunc("GET /balance", s.handleBalance)
@@ -60,7 +69,25 @@ func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /epoch", s.withEngine(s.handleEpoch))
 	s.mux.HandleFunc("GET /engine/stats", s.withEngine(s.handleEngineStats))
 	s.mux.HandleFunc("GET /settlements", s.withEngine(s.handleSettlements))
+	s.mux.HandleFunc("POST /snapshot", s.withEngine(s.handleSnapshot))
 	return s
+}
+
+// syncMutation guards the synchronous state-changing endpoints: on a
+// WAL-backed (durable) engine server they would mutate the platform without
+// an event-log record, making the durable log incomplete — and a later
+// replay could even fail outright (e.g. a settlement against a buyer whose
+// registration was never logged). Durable servers accept mutations only
+// through the async, event-logged surface.
+func (s *Server) syncMutation(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.engine != nil && s.engine.Durable() {
+			writeErr(w, http.StatusConflict, fmt.Errorf(
+				"dmms: this server is WAL-backed; synchronous mutations bypass the durable event log — use the /async endpoints"))
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) withEngine(h http.HandlerFunc) http.HandlerFunc {
@@ -411,6 +438,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if evs == nil {
 		evs = []engine.Event{}
 	}
+	// Strip submission payloads: they exist for WAL replay and carry the
+	// full shared relations — data the market sells, not a free download.
+	for i := range evs {
+		evs[i].Payload = nil
+	}
 	writeJSON(w, http.StatusOK, evs)
 }
 
@@ -421,6 +453,25 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// SnapshotResp reports a written checkpoint.
+type SnapshotResp struct {
+	Path string `json:"path"`
+	Seq  int    `json:"seq"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshot == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("dmms: no snapshot store configured (run the gateway with -wal-dir)"))
+		return
+	}
+	path, seq, err := s.snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResp{Path: path, Seq: seq})
 }
 
 // SettlementView is the wire form of one settlement-book entry.

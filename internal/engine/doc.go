@@ -59,12 +59,35 @@
 //	price        float64 clearing price (tx-settled)
 //	arbiter_cut  float64 arbiter fee (tx-settled)
 //	seller_cuts  map     seller -> revenue share (tx-settled)
+//	satisfaction float64 WTP satisfaction achieved (tx-settled)
+//	datasets     []str   datasets in the sold mashup (tx-settled)
 //	ex_post      bool    settlement is escrow-based, priced on report
+//	sub_kind     string  submission kind (submission-rejected)
 //	error        string  rejection reason (submission-rejected)
 //	note         string  human-readable detail
+//	payload      object  full submission body (dataset-shared, request-filed)
 //
 // The settlement subscriber folds every tx-settled event into a
 // ledger.SettlementBook, which checks conservation (price == arbiter cut +
 // seller cuts) per transaction — the invariant the race tests assert across
 // epochs.
+//
+// # Durability
+//
+// The log carries enough to be the system of record: share and request
+// events embed their full submission payload, so a write-ahead copy of the
+// log (internal/wal, attached via Config.Persister) is sufficient to rebuild
+// everything. The replay invariant: applying the events of any log prefix,
+// in order, to a fresh platform (Restore) reproduces exactly the state the
+// original process had when it appended the prefix's last record — ledger
+// balances to the micro-unit, catalog and index contents, open requests
+// under their original IDs, tickets, the settlement book, and the request/
+// transaction ID counter. Replay applies logged outcomes; it never re-runs
+// matching, so recovery is deterministic regardless of design or mechanism.
+// Snapshot checkpoints (Engine.Snapshot + core.PlatformSnapshot) let Restore
+// start from a watermark instead of seq 1; the in-memory log is still
+// re-seeded with the full recovered history so subscriber cursors resume
+// without gaps. The only non-durable submissions are requests whose WTP task
+// is an in-process code package (wtp.FuncTask) — they cannot be serialized
+// and are failed on replay.
 package engine

@@ -28,6 +28,11 @@ type Config struct {
 	// BatchThreshold, when > 0, kicks an epoch early once this many
 	// submissions are queued.
 	BatchThreshold int
+	// Persister, when non-nil, receives every event synchronously at append
+	// time — the write-ahead hook (see internal/wal). Restored engines get
+	// it attached after the recovered events are seeded, so replay never
+	// re-persists.
+	Persister Persister
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +112,8 @@ type Stats struct {
 	OpenRequests  int           `json:"open_requests"`
 	Pending       int64         `json:"pending"`
 	Events        int           `json:"events"`
+	LastPersisted int           `json:"last_persisted,omitempty"`
+	PersistErr    string        `json:"persist_error,omitempty"`
 	Uptime        time.Duration `json:"uptime"`
 	MatchesPerSec float64       `json:"matches_per_sec"`
 }
@@ -131,6 +138,14 @@ type Engine struct {
 	openReqs map[string]string
 	epoch    atomic.Uint64
 
+	// bookSeq is the settlement subscriber's high-water mark: the last log
+	// seq folded into the book. Snapshot waits on bookCond until it reaches
+	// the log head, so checkpoints include every settlement the log already
+	// carries.
+	bookMu   sync.Mutex
+	bookCond *sync.Cond
+	bookSeq  int
+
 	kick    chan struct{}
 	stop    chan struct{}
 	loopWG  sync.WaitGroup
@@ -142,17 +157,52 @@ type Engine struct {
 	stApplied   atomic.Uint64
 	stMatched   atomic.Uint64
 	stFailed    atomic.Uint64
+	// stMatchedAtBoot is the replayed-match baseline after a Restore, so
+	// MatchesPerSec reflects this process's rate, not history divided by a
+	// fresh uptime.
+	stMatchedAtBoot uint64
 }
 
 // New builds an engine over the platform. Call Start to run the background
-// epoch loop, or drive epochs manually with TriggerEpoch.
+// epoch loop, or drive epochs manually with TriggerEpoch. With
+// cfg.Persister set, every event is written ahead to it; use Restore to
+// boot from the persisted log after a restart.
 func New(p *core.Platform, cfg Config) *Engine {
+	e := newEngine(p, cfg, NewEventLog(), ledger.NewSettlementBook(), 0)
+	if cfg.Persister != nil {
+		e.log.SetPersister(cfg.Persister)
+	}
+	return e
+}
+
+// settlementFromEvent derives the book entry for one tx-settled event — the
+// single translation both the live subscriber and replay use.
+func settlementFromEvent(ev Event) ledger.Settlement {
+	cuts := make(map[string]ledger.Currency, len(ev.SellerCuts))
+	for s, c := range ev.SellerCuts {
+		cuts[s] = ledger.FromFloat(c)
+	}
+	return ledger.Settlement{
+		TxID:       ev.TxID,
+		Epoch:      ev.Epoch,
+		Buyer:      ev.Participant,
+		Price:      ledger.FromFloat(ev.Price),
+		ArbiterCut: ledger.FromFloat(ev.ArbiterCut),
+		SellerCuts: cuts,
+		ExPost:     ev.ExPost,
+	}
+}
+
+// newEngine wires an engine over a (possibly pre-seeded) log and settlement
+// book; the subscriber starts folding at bookCursor, so restores that seed
+// the book from a snapshot skip the already-folded prefix.
+func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.SettlementBook, bookCursor int) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		platform: p,
 		cfg:      cfg,
-		log:      NewEventLog(),
-		book:     ledger.NewSettlementBook(),
+		log:      log,
+		book:     book,
 		shards:   make([]*shard, cfg.Shards),
 		tickets:  map[string]*Ticket{},
 		openReqs: map[string]string{},
@@ -160,6 +210,8 @@ func New(p *core.Platform, cfg Config) *Engine {
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
+	e.bookCond = sync.NewCond(&e.bookMu)
+	e.bookSeq = bookCursor
 	for i := range e.shards {
 		e.shards[i] = &shard{}
 	}
@@ -168,28 +220,19 @@ func New(p *core.Platform, cfg Config) *Engine {
 	e.consWG.Add(1)
 	go func() {
 		defer e.consWG.Done()
-		cursor := 0
+		cursor := bookCursor
 		for {
 			evs, open := e.log.WaitAfter(cursor)
 			for _, ev := range evs {
 				cursor = ev.Seq
-				if ev.Kind != EventTxSettled {
-					continue
+				if ev.Kind == EventTxSettled {
+					e.book.Record(settlementFromEvent(ev))
 				}
-				cuts := make(map[string]ledger.Currency, len(ev.SellerCuts))
-				for s, c := range ev.SellerCuts {
-					cuts[s] = ledger.FromFloat(c)
-				}
-				e.book.Record(ledger.Settlement{
-					TxID:       ev.TxID,
-					Epoch:      ev.Epoch,
-					Buyer:      ev.Participant,
-					Price:      ledger.FromFloat(ev.Price),
-					ArbiterCut: ledger.FromFloat(ev.ArbiterCut),
-					SellerCuts: cuts,
-					ExPost:     ev.ExPost,
-				})
 			}
+			e.bookMu.Lock()
+			e.bookSeq = cursor
+			e.bookCond.Broadcast()
+			e.bookMu.Unlock()
 			if !open {
 				return
 			}
@@ -197,6 +240,11 @@ func New(p *core.Platform, cfg Config) *Engine {
 	}()
 	return e
 }
+
+// Durable reports whether a write-ahead persister is attached to the event
+// log. dmms uses it to refuse synchronous mutations that would bypass the
+// log on a durable server.
+func (e *Engine) Durable() bool { return e.log.durable() }
 
 // Start launches the background epoch loop (ticker- and threshold-driven).
 func (e *Engine) Start() {
@@ -264,9 +312,10 @@ func (e *Engine) Stats() Stats {
 	matched := e.stMatched.Load()
 	mps := 0.0
 	if up > 0 {
-		mps = float64(matched) / up.Seconds()
+		mps = float64(matched-e.stMatchedAtBoot) / up.Seconds()
 	}
-	return Stats{
+	persisted, perr := e.log.Persisted()
+	st := Stats{
 		Epochs:        e.epoch.Load(),
 		Submitted:     e.stSubmitted.Load(),
 		Applied:       e.stApplied.Load(),
@@ -275,9 +324,14 @@ func (e *Engine) Stats() Stats {
 		OpenRequests:  open,
 		Pending:       e.pending.Load(),
 		Events:        e.log.Len(),
+		LastPersisted: persisted,
 		Uptime:        up,
 		MatchesPerSec: mps,
 	}
+	if perr != nil {
+		st.PersistErr = perr.Error()
+	}
+	return st
 }
 
 // SubmitRegister queues a participant registration and returns its ticket.
@@ -404,7 +458,7 @@ func (e *Engine) apply(ep uint64, s submission) {
 			t.Status, t.Epoch, t.Err = TicketFailed, ep, err.Error()
 		})
 		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Ticket: s.ticket,
-			Participant: e.ticketParticipant(s.ticket), Err: err.Error()})
+			Participant: e.ticketParticipant(s.ticket), SubKind: s.kind, Err: err.Error()})
 	}
 	switch s.kind {
 	case KindRegister:
@@ -423,8 +477,12 @@ func (e *Engine) apply(ep uint64, s submission) {
 		}
 		e.stApplied.Add(1)
 		e.setTicket(s.ticket, func(t *Ticket) { t.Status, t.Epoch = TicketDone, ep })
+		meta := s.meta
+		meta.Dataset = string(s.id)
 		e.log.Append(Event{Epoch: ep, Kind: EventDatasetShared, Ticket: s.ticket,
-			Participant: s.seller, Dataset: string(s.id)})
+			Participant: s.seller, Dataset: string(s.id),
+			Payload: &Payload{Relation: s.rel, Meta: &meta,
+				License: string(s.terms.Kind), TaxRate: s.terms.ExclusivityTaxRate}})
 	case KindRequest:
 		if !e.platform.HasAccount(s.fn.Buyer) {
 			fail(fmt.Errorf("engine: buyer %q is not registered", s.fn.Buyer))
@@ -440,8 +498,15 @@ func (e *Engine) apply(ep uint64, s submission) {
 		e.setTicket(s.ticket, func(t *Ticket) {
 			t.Status, t.Epoch, t.RequestID = TicketApplied, ep, reqID
 		})
+		// Payload is nil for non-serializable (code-package) tasks; such
+		// requests are served while the process lives but do not survive a
+		// replay (see doc.go, "Durability").
+		var pl *Payload
+		if spec, ok := core.EncodeRequest(s.want, s.fn); ok {
+			pl = &Payload{Request: spec}
+		}
 		e.log.Append(Event{Epoch: ep, Kind: EventRequestFiled, Ticket: s.ticket,
-			Participant: s.fn.Buyer, RequestID: reqID})
+			Participant: s.fn.Buyer, RequestID: reqID, Payload: pl})
 	}
 }
 
@@ -468,6 +533,7 @@ func (e *Engine) publishRound(ep uint64, res *arbiter.MatchResult) (matched, unm
 		e.log.Append(Event{Epoch: ep, Kind: EventTxSettled, Ticket: ticket,
 			Participant: tx.Buyer, RequestID: tx.RequestID, TxID: tx.ID,
 			Price: tx.Price, ArbiterCut: tx.ArbiterCut, SellerCuts: tx.SellerCuts,
+			Satisfaction: tx.Satisfaction, Datasets: tx.Datasets,
 			ExPost: tx.ExPost,
 			Note:   fmt.Sprintf("datasets=%v satisfaction=%.2f", tx.Datasets, tx.Satisfaction)})
 	}

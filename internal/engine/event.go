@@ -1,8 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/wtp"
 )
 
 // EventKind classifies event-log records.
@@ -20,59 +25,163 @@ const (
 	EventEpochEnd      EventKind = "epoch-end"
 )
 
+// Payload carries the full submission body of an event, so a write-ahead log
+// of events is sufficient to rebuild the platform by replay. Only
+// dataset-shared (Relation/Meta/License) and request-filed (Request) events
+// carry one; a request whose task is a non-serializable code package has a
+// nil payload and is not durable.
+type Payload struct {
+	// Share.
+	Relation *relation.Relation `json:"relation,omitempty"`
+	Meta     *wtp.DatasetMeta   `json:"meta,omitempty"`
+	License  string             `json:"license,omitempty"`
+	TaxRate  float64            `json:"tax_rate,omitempty"`
+	// Request.
+	Request *core.RequestSpec `json:"request,omitempty"`
+}
+
 // Event is one append-only log record. See the package documentation for the
-// schema; fields are JSON-tagged because dmms serves them verbatim.
+// schema; fields are JSON-tagged because dmms serves them verbatim and the
+// WAL (internal/wal) persists them as JSON records.
 type Event struct {
-	Seq         int                `json:"seq"`
-	Epoch       uint64             `json:"epoch"`
-	Kind        EventKind          `json:"kind"`
-	At          time.Time          `json:"at"`
-	Ticket      string             `json:"ticket,omitempty"`
-	Participant string             `json:"participant,omitempty"`
-	Dataset     string             `json:"dataset,omitempty"`
-	RequestID   string             `json:"request_id,omitempty"`
-	TxID        string             `json:"tx_id,omitempty"`
-	Price       float64            `json:"price,omitempty"`
-	ArbiterCut  float64            `json:"arbiter_cut,omitempty"`
-	SellerCuts  map[string]float64 `json:"seller_cuts,omitempty"`
-	ExPost      bool               `json:"ex_post,omitempty"`
-	Err         string             `json:"error,omitempty"`
-	Note        string             `json:"note,omitempty"`
+	Seq          int                `json:"seq"`
+	Epoch        uint64             `json:"epoch"`
+	Kind         EventKind          `json:"kind"`
+	At           time.Time          `json:"at"`
+	Ticket       string             `json:"ticket,omitempty"`
+	Participant  string             `json:"participant,omitempty"`
+	Dataset      string             `json:"dataset,omitempty"`
+	RequestID    string             `json:"request_id,omitempty"`
+	TxID         string             `json:"tx_id,omitempty"`
+	Price        float64            `json:"price,omitempty"`
+	ArbiterCut   float64            `json:"arbiter_cut,omitempty"`
+	SellerCuts   map[string]float64 `json:"seller_cuts,omitempty"`
+	Satisfaction float64            `json:"satisfaction,omitempty"`
+	Datasets     []string           `json:"datasets,omitempty"`
+	ExPost       bool               `json:"ex_post,omitempty"`
+	// SubKind records the submission kind on rejection events, where it
+	// cannot be inferred from the event kind; replay rebuilds the failed
+	// ticket from it.
+	SubKind SubmissionKind `json:"sub_kind,omitempty"`
+	Err     string         `json:"error,omitempty"`
+	Note    string         `json:"note,omitempty"`
+	Payload *Payload       `json:"payload,omitempty"`
+}
+
+// Persister receives every event synchronously at append time, before the
+// append becomes visible to subscribers — the write-ahead hook. A persister
+// that returns an error wedges: the log stops forwarding events to it (so
+// the durable prefix stays a prefix) and records the error, while in-memory
+// operation continues. internal/wal provides the standard implementation.
+type Persister interface {
+	Persist(Event) error
 }
 
 // EventLog is an append-only, totally ordered event log with cursor-based
 // consumption. Producers Append; consumers either poll Since or block in
 // WaitAfter. There are no per-subscriber buffers, so a slow consumer can
 // never stall the epoch runner or lose events.
+//
+// A log may start at a base sequence > 0 after a snapshot restore with a
+// pruned WAL: events 1..base are no longer held, and cursors older than base
+// resume at base+1.
 type EventLog struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
+	base   int // seq of the last event no longer held (0 = complete log)
 	events []Event
 	closed bool
+
+	persister Persister
+	persisted int   // highest seq durably forwarded to the persister
+	perr      error // first persist failure; persister is wedged once set
 }
 
-// NewEventLog creates an empty log.
-func NewEventLog() *EventLog {
-	l := &EventLog{}
+// NewEventLog creates an empty log starting at seq 1.
+func NewEventLog() *EventLog { return NewEventLogAt(0) }
+
+// NewEventLogAt creates an empty log whose first appended event gets seq
+// base+1. Used by snapshot restores where events up to base are compacted.
+func NewEventLogAt(base int) *EventLog {
+	l := &EventLog{base: base}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
 
-// Append assigns the next sequence number, stores the event and wakes
-// blocked consumers. It returns the assigned sequence number.
+// SetPersister attaches the write-ahead hook. Events already in the log are
+// considered persisted (a restore seeds the log from the WAL itself);
+// subsequent appends are forwarded synchronously, in order.
+func (l *EventLog) SetPersister(p Persister) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.persister = p
+	l.persisted = l.base + len(l.events)
+	l.perr = nil
+}
+
+// Persisted returns the highest durably persisted seq and the wedging error,
+// if any. With no persister attached it reports 0, nil.
+func (l *EventLog) Persisted() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.persisted, l.perr
+}
+
+// durable reports whether a write-ahead persister is attached.
+func (l *EventLog) durable() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.persister != nil
+}
+
+// Append assigns the next sequence number, forwards the event to the
+// persister (if any), stores it and wakes blocked consumers. It returns the
+// assigned sequence number. The persist happens under the log lock so the
+// WAL order is exactly the log order.
 func (l *EventLog) Append(e Event) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e.Seq = len(l.events) + 1
+	e.Seq = l.base + len(l.events) + 1
 	if e.At.IsZero() {
 		e.At = time.Now()
+	}
+	if l.persister != nil && l.perr == nil {
+		if err := l.persister.Persist(e); err != nil {
+			l.perr = err
+		} else {
+			l.persisted = e.Seq
+		}
 	}
 	l.events = append(l.events, e)
 	l.cond.Broadcast()
 	return e.Seq
 }
 
-// Since returns a copy of all events with Seq > after (non-blocking).
+// seed loads recovered events into an empty log without invoking the
+// persister (they came from the WAL in the first place). Events must be
+// contiguous starting at base+1.
+func (l *EventLog) seed(events []Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) != 0 {
+		return fmt.Errorf("engine: seed on non-empty log")
+	}
+	for i, e := range events {
+		if e.Seq != l.base+i+1 {
+			return fmt.Errorf("engine: seed event %d has seq %d, want %d", i, e.Seq, l.base+i+1)
+		}
+	}
+	l.events = append(l.events, events...)
+	l.cond.Broadcast()
+	return nil
+}
+
+// Since returns all events with Seq > after (non-blocking). The returned
+// slice is a fresh copy on every call — never the live backing array — so a
+// subscriber can hold its batch (and overwrite its elements' value fields)
+// while appends race past its cursor. The copy is shallow: reference fields
+// (SellerCuts, Datasets, Payload) still point into the log's records and
+// must be treated as read-only.
 func (l *EventLog) Since(after int) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -82,34 +191,42 @@ func (l *EventLog) Since(after int) []Event {
 // WaitAfter blocks until at least one event with Seq > after exists or the
 // log is closed. The second return is false once the log is closed; callers
 // must still process the returned batch before exiting, or events written
-// just before Close would be lost.
+// just before Close would be lost. Like Since, the returned batch is a
+// shallow copy: private to the caller, reference fields read-only.
 func (l *EventLog) WaitAfter(after int) ([]Event, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.events) <= after && !l.closed {
+	for l.base+len(l.events) <= after && !l.closed {
 		l.cond.Wait()
 	}
 	return l.copyAfter(after), !l.closed
 }
 
+// copyAfter returns a copy of events with Seq > after. Caller holds l.mu.
 func (l *EventLog) copyAfter(after int) []Event {
-	if after < 0 {
-		after = 0
+	if after < l.base {
+		after = l.base // events up to base are compacted away
 	}
-	if after >= len(l.events) {
+	idx := after - l.base
+	if idx >= len(l.events) {
 		return nil
 	}
-	out := make([]Event, len(l.events)-after)
-	copy(out, l.events[after:])
+	out := make([]Event, len(l.events)-idx)
+	copy(out, l.events[idx:])
 	return out
 }
 
-// Len returns the number of events appended so far.
+// Len returns the total number of events appended over the log's lifetime,
+// including any compacted below the base.
 func (l *EventLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.base + len(l.events)
 }
+
+// LastSeq is the sequence number of the newest event (== Len, by the no-gaps
+// invariant).
+func (l *EventLog) LastSeq() int { return l.Len() }
 
 // Close wakes all blocked consumers; subsequent WaitAfter calls drain the
 // remaining events and report the log closed.

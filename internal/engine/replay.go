@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/arbiter"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/license"
+)
+
+// This file implements deterministic recovery: rebuilding an engine (and the
+// platform under it) from a durable event log, optionally on top of a
+// checkpoint. The replay invariant: applying the payload-carrying events of
+// a log prefix, in order, to a fresh platform yields exactly the state —
+// registries, catalog, open requests, micro-unit balances, settlement book,
+// ID counters — the original process had when it appended the last record of
+// that prefix. internal/wal supplies the log; cmd/dmgateway wires the boot
+// sequence.
+
+// Counters is the durable slice of engine statistics.
+type Counters struct {
+	Submitted uint64 `json:"submitted"`
+	Applied   uint64 `json:"applied"`
+	Matched   uint64 `json:"matched"`
+	Failed    uint64 `json:"failed"`
+}
+
+// SnapshotState is a point-in-time engine checkpoint: the platform snapshot
+// plus the engine's own registries (tickets, open-request ownership, epoch
+// and submission counters) and the settlement book. Restores seed from it
+// and replay only log events with Seq > TakenAtSeq.
+type SnapshotState struct {
+	TakenAt    time.Time              `json:"taken_at"`
+	TakenAtSeq int                    `json:"taken_at_seq"`
+	Epoch      uint64                 `json:"epoch"`
+	SubmitSeq  uint64                 `json:"submit_seq"`
+	Platform   *core.PlatformSnapshot `json:"platform"`
+	Tickets    []Ticket               `json:"tickets,omitempty"`
+	OpenReqs   map[string]string      `json:"open_reqs,omitempty"` // request ID -> ticket
+	Settles    []ledger.Settlement    `json:"settlements,omitempty"`
+	Counters   Counters               `json:"counters"`
+}
+
+// Snapshot captures a consistent checkpoint. It holds the epoch lock, so no
+// epoch is mid-flight, waits for the settlement subscriber to catch up with
+// the log, then snapshots platform and engine registries as one cut.
+// Intake queued behind the lock is not part of the checkpoint — it has no
+// events yet, so it is not durable until its epoch runs; its tickets are
+// likewise excluded, and clients re-submit after a restore (the submission
+// counter excludes queued intake too, so re-submissions get their original
+// ticket IDs back).
+//
+// A checkpoint must never claim state it cannot restore, so Snapshot fails
+// instead of silently losing data when (a) the WAL is wedged or behind the
+// log head — the checkpoint would cover events lost on restart — or (b)
+// ex-post settlements are pending: their deposits live in ledger escrow,
+// which the platform snapshot does not capture. Case (b) clears as soon as
+// the buyers report (Arbiter.ReportValue); retry then.
+func (e *Engine) Snapshot() (*SnapshotState, error) {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+
+	seq := e.log.LastSeq()
+	if e.log.durable() {
+		persisted, perr := e.log.Persisted()
+		if perr != nil {
+			return nil, fmt.Errorf("engine: snapshot refused, persister wedged: %w", perr)
+		}
+		if persisted < seq {
+			return nil, fmt.Errorf("engine: snapshot refused, WAL at seq %d behind log head %d", persisted, seq)
+		}
+	}
+	if n := e.platform.Arbiter.PendingExPostCount(); n > 0 {
+		return nil, fmt.Errorf("engine: snapshot refused, %d ex-post settlement(s) pending (escrowed deposits are not checkpointable; retry after the buyers report)", n)
+	}
+	// Appends only happen under epochMu, so the log cannot advance while we
+	// wait for the book to absorb everything up to seq.
+	e.bookMu.Lock()
+	for e.bookSeq < seq {
+		e.bookCond.Wait()
+	}
+	e.bookMu.Unlock()
+
+	snap := &SnapshotState{
+		TakenAt:    time.Now(),
+		TakenAtSeq: seq,
+		Epoch:      e.epoch.Load(),
+		Platform:   e.platform.Snapshot(),
+		OpenReqs:   map[string]string{},
+		Settles:    e.book.All(),
+		Counters: Counters{
+			Applied: e.stApplied.Load(),
+			Matched: e.stMatched.Load(),
+			Failed:  e.stFailed.Load(),
+		},
+	}
+	for id, t := range e.openReqs {
+		snap.OpenReqs[id] = t
+	}
+	e.tmu.Lock()
+	for _, t := range e.tickets {
+		if t.Status == TicketQueued {
+			// Queued intake has no events yet and is not durable; after a
+			// restore its clients re-submit. Excluding it here (and from
+			// SubmitSeq below) guarantees re-submissions get their original
+			// ticket IDs, exactly like the no-snapshot replay path.
+			continue
+		}
+		snap.Tickets = append(snap.Tickets, *t)
+	}
+	e.tmu.Unlock()
+	sort.Slice(snap.Tickets, func(i, j int) bool {
+		return ticketNum(snap.Tickets[i].ID) < ticketNum(snap.Tickets[j].ID)
+	})
+	for _, t := range snap.Tickets {
+		if n := ticketNum(t.ID); n > snap.SubmitSeq {
+			snap.SubmitSeq = n
+		}
+	}
+	snap.Counters.Submitted = uint64(len(snap.Tickets))
+	return snap, nil
+}
+
+// ticketNum parses the numeric suffix of a "sub-%06d" ticket (0 when absent).
+func ticketNum(id string) uint64 {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Restore rebuilds an engine from a recovered event log, optionally on top
+// of a checkpoint. The caller builds the platform first — from
+// core.RestorePlatform(opts, snap.Platform) when a snapshot exists, else
+// core.NewPlatform — and passes every recovered event (wal.Load). Events up
+// to snap.TakenAtSeq only re-seed the in-memory log (cursors resume without
+// gaps); events after it are applied to the platform. The engine is returned
+// stopped; call Start (and attach the reopened WAL via cfg.Persister before
+// calling Restore, or engine appends after boot will not be persisted).
+//
+// Non-replayable records — a request-filed event whose payload was a code
+// task — leave their request lost; everything the dmms wire surface can
+// express replays exactly.
+func Restore(p *core.Platform, cfg Config, snap *SnapshotState, events []Event) (*Engine, error) {
+	watermark := 0
+	if snap != nil {
+		watermark = snap.TakenAtSeq
+	}
+
+	// The log base: events before the first recovered seq are compacted
+	// (possible only under a snapshot at or past them).
+	base := 0
+	if len(events) > 0 {
+		first := events[0].Seq
+		for i, ev := range events {
+			if ev.Seq != first+i {
+				return nil, fmt.Errorf("engine: recovered events not contiguous at seq %d", ev.Seq)
+			}
+		}
+		base = first - 1
+	} else if snap != nil {
+		base = watermark
+	}
+	if base > watermark {
+		return nil, fmt.Errorf("engine: recovered events start at seq %d but checkpoint covers only %d", base+1, watermark)
+	}
+	if len(events) > 0 && events[len(events)-1].Seq < watermark {
+		// Seeding a log that ends short of the checkpoint would hand out
+		// seqs the snapshot already covers. The caller must drop the stale
+		// segments (they are fully covered) and restore from the snapshot
+		// alone — wal.Boot does this automatically.
+		return nil, fmt.Errorf("engine: recovered events end at seq %d, short of checkpoint %d",
+			events[len(events)-1].Seq, watermark)
+	}
+
+	log := NewEventLogAt(base)
+	if err := log.seed(events); err != nil {
+		return nil, err
+	}
+
+	book := ledger.NewSettlementBook()
+	if snap != nil {
+		for _, s := range snap.Settles {
+			book.Record(s)
+		}
+	}
+	e := newEngine(p, cfg, log, book, watermark)
+
+	// Seed engine registries from the checkpoint.
+	var (
+		epoch     uint64
+		submitSeq uint64
+		counters  Counters
+	)
+	if snap != nil {
+		epoch, submitSeq, counters = snap.Epoch, snap.SubmitSeq, snap.Counters
+		for _, t := range snap.Tickets {
+			tc := t
+			e.tickets[t.ID] = &tc
+		}
+		for id, ticket := range snap.OpenReqs {
+			e.openReqs[id] = ticket
+		}
+	}
+
+	// Replay the tail onto the platform and the engine registries.
+	for _, ev := range events {
+		if ev.Seq <= watermark {
+			continue
+		}
+		if ev.Epoch > epoch {
+			epoch = ev.Epoch
+		}
+		if n := ticketNum(ev.Ticket); n > submitSeq {
+			submitSeq = n
+		}
+		if err := e.replayEvent(ev, &counters); err != nil {
+			return nil, fmt.Errorf("engine: replay seq %d (%s): %w", ev.Seq, ev.Kind, err)
+		}
+	}
+
+	e.epoch.Store(epoch)
+	e.seq.Store(submitSeq)
+	counters.Submitted = uint64(len(e.tickets))
+	e.stSubmitted.Store(counters.Submitted)
+	e.stApplied.Store(counters.Applied)
+	e.stMatched.Store(counters.Matched)
+	e.stFailed.Store(counters.Failed)
+	e.stMatchedAtBoot = counters.Matched
+	// Attach the write-ahead hook only now: the seeded events came from the
+	// WAL, re-persisting them would duplicate the log.
+	if cfg.Persister != nil {
+		e.log.SetPersister(cfg.Persister)
+	}
+	return e, nil
+}
+
+// replayEvent applies one recovered event: platform mutation plus ticket and
+// counter bookkeeping. It mirrors apply/publishRound without re-running
+// matching — the log already fixes every outcome.
+func (e *Engine) replayEvent(ev Event, c *Counters) error {
+	ensureTicket := func(kind SubmissionKind) {
+		if ev.Ticket == "" {
+			return
+		}
+		if _, ok := e.tickets[ev.Ticket]; !ok {
+			e.tickets[ev.Ticket] = &Ticket{ID: ev.Ticket, Kind: kind, Status: TicketQueued, Participant: ev.Participant}
+		}
+	}
+	switch ev.Kind {
+	case EventRegistered:
+		if err := e.platform.RegisterParticipant(ev.Participant, ev.Price); err != nil {
+			return err
+		}
+		c.Applied++
+		ensureTicket(KindRegister)
+		e.setTicket(ev.Ticket, func(t *Ticket) { t.Status, t.Epoch = TicketDone, ev.Epoch })
+
+	case EventDatasetShared:
+		if ev.Payload == nil || ev.Payload.Relation == nil || ev.Payload.Meta == nil {
+			return fmt.Errorf("dataset-shared event without payload")
+		}
+		terms := license.Terms{Kind: license.Kind(ev.Payload.License), ExclusivityTaxRate: ev.Payload.TaxRate}
+		if err := e.platform.ShareDataset(ev.Participant, catalog.DatasetID(ev.Dataset),
+			ev.Payload.Relation, *ev.Payload.Meta, terms); err != nil {
+			return err
+		}
+		c.Applied++
+		ensureTicket(KindShare)
+		e.setTicket(ev.Ticket, func(t *Ticket) { t.Status, t.Epoch = TicketDone, ev.Epoch })
+
+	case EventRequestFiled:
+		ensureTicket(KindRequest)
+		if ev.Payload == nil || ev.Payload.Request == nil {
+			// Code-task request: not durable. The ticket survives but its
+			// request is gone; mark it failed so pollers see a terminal state.
+			e.setTicket(ev.Ticket, func(t *Ticket) {
+				t.Status, t.Epoch, t.Err = TicketFailed, ev.Epoch, "engine: request not replayable (code task)"
+			})
+			c.Failed++
+			return nil
+		}
+		want, f, err := ev.Payload.Request.Decode()
+		if err != nil {
+			return err
+		}
+		if err := e.platform.Arbiter.RestoreRequest(ev.RequestID, want, f); err != nil {
+			return err
+		}
+		c.Applied++
+		e.openReqs[ev.RequestID] = ev.Ticket
+		e.setTicket(ev.Ticket, func(t *Ticket) {
+			t.Status, t.Epoch, t.RequestID = TicketApplied, ev.Epoch, ev.RequestID
+		})
+
+	case EventTxSettled:
+		if err := e.platform.ReplaySettlement(arbiter.ReplayedSettlement{
+			TxID:         ev.TxID,
+			RequestID:    ev.RequestID,
+			Buyer:        ev.Participant,
+			Price:        ev.Price,
+			ArbiterCut:   ev.ArbiterCut,
+			SellerCuts:   ev.SellerCuts,
+			Satisfaction: ev.Satisfaction,
+			Datasets:     ev.Datasets,
+			ExPost:       ev.ExPost,
+		}); err != nil {
+			return err
+		}
+		c.Matched++
+		delete(e.openReqs, ev.RequestID)
+		ensureTicket(KindRequest)
+		e.setTicket(ev.Ticket, func(t *Ticket) {
+			t.Status, t.TxID, t.Price = TicketDone, ev.TxID, ev.Price
+		})
+
+	case EventRejected:
+		if ev.Ticket != "" {
+			ensureTicket(ev.SubKind)
+			c.Failed++
+			e.setTicket(ev.Ticket, func(t *Ticket) {
+				t.Status, t.Epoch, t.Err = TicketFailed, ev.Epoch, ev.Err
+			})
+		}
+
+	case EventEpochStart, EventEpochEnd, EventRequestUnmet:
+		// Structural markers; no platform mutation to replay.
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/engine"
+)
+
+// headerSize is the fixed record prefix: 4-byte length + 4-byte CRC.
+const headerSize = 8
+
+// maxRecordSize bounds a single record's payload. A length prefix larger
+// than this is treated as corruption, not as an allocation request.
+const maxRecordSize = 64 << 20
+
+// crcTable is the Castagnoli polynomial, the standard WAL checksum (it has
+// hardware support on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn marks the end of the valid prefix: a truncated, bit-flipped or
+// otherwise unparseable record. Readers recover everything before it.
+var ErrTorn = errors.New("wal: torn or corrupt record")
+
+// appendRecord encodes one payload as a framed record onto dst.
+func appendRecord(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodeEvent frames one event as a record.
+func encodeEvent(ev engine.Event) ([]byte, error) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode event %d: %w", ev.Seq, err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("wal: event %d payload %d bytes exceeds record limit", ev.Seq, len(payload))
+	}
+	return appendRecord(nil, payload), nil
+}
+
+// nextRecord decodes the record starting at buf[off]. It returns the payload
+// and the offset past the record. Any defect — short header, oversized or
+// truncated length, CRC mismatch — returns an error wrapping ErrTorn; a
+// clean end of buffer returns (nil, off, nil) with done=true.
+func nextRecord(buf []byte, off int) (payload []byte, next int, done bool, err error) {
+	if off == len(buf) {
+		return nil, off, true, nil
+	}
+	if len(buf)-off < headerSize {
+		return nil, off, false, fmt.Errorf("%w: %d-byte header fragment", ErrTorn, len(buf)-off)
+	}
+	n := binary.LittleEndian.Uint32(buf[off : off+4])
+	sum := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	if n > maxRecordSize {
+		return nil, off, false, fmt.Errorf("%w: length prefix %d exceeds limit", ErrTorn, n)
+	}
+	start := off + headerSize
+	if len(buf)-start < int(n) {
+		return nil, off, false, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrTorn, len(buf)-start, n)
+	}
+	payload = buf[start : start+int(n)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, off, false, fmt.Errorf("%w: crc mismatch", ErrTorn)
+	}
+	return payload, start + int(n), false, nil
+}
+
+// DecodeAll decodes every valid record from raw and returns the events plus
+// the byte offset of the valid prefix. It never panics and never fails: any
+// corruption — torn write, bit-flipped CRC, truncated length prefix, bogus
+// JSON, out-of-order seq — ends the prefix, and everything before it is
+// returned. wantNext is the first expected seq (0 accepts any start).
+func DecodeAll(raw []byte, wantNext int) (events []engine.Event, validBytes int) {
+	off := 0
+	for {
+		payload, next, done, err := nextRecord(raw, off)
+		if done || err != nil {
+			return events, off
+		}
+		var ev engine.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return events, off
+		}
+		if wantNext != 0 && ev.Seq != wantNext {
+			return events, off
+		}
+		events = append(events, ev)
+		wantNext = ev.Seq + 1
+		off = next
+	}
+}

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// encodeN frames n sequential events into one byte stream.
+func encodeN(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf []byte
+	for _, ev := range testEvents(n) {
+		rec, err := encodeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, rec...)
+	}
+	return buf
+}
+
+// TestDecodeAllCorpus is the corruption corpus the issue asks for: torn
+// writes, bit-flipped CRCs, truncated length prefixes, empty and oversized
+// records. Every case must decode without panicking and recover exactly the
+// longest valid prefix.
+func TestDecodeAllCorpus(t *testing.T) {
+	valid := encodeN(t, 4)
+	firstRec := func() []byte { // re-encode to get one record's framing
+		rec, _ := encodeEvent(testEvents(1)[0])
+		return rec
+	}()
+
+	cases := []struct {
+		name    string
+		raw     []byte
+		wantEvs int
+		wantOfs int // -1 = don't check exact offset
+	}{
+		{"empty input", nil, 0, 0},
+		{"clean stream", valid, 4, len(valid)},
+		{"torn header", append(append([]byte{}, valid...), 0x10, 0x00, 0x00), 4, len(valid)},
+		{"torn payload", append(append([]byte{}, valid...), firstRec[:len(firstRec)-3]...), 4, len(valid)},
+		{"garbage stream", []byte("not a wal at all, definitely json-free"), 0, 0},
+		{"truncated length prefix", valid[:2], 0, 0},
+		{"empty record stream", func() []byte {
+			// A zero-length payload: valid frame, but invalid JSON ("").
+			var hdr [headerSize]byte
+			binary.LittleEndian.PutUint32(hdr[4:8], 0x00000000)
+			return appendRecord(nil, nil)[:headerSize]
+		}(), 0, 0},
+		{"oversized length prefix", func() []byte {
+			var hdr [headerSize]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], maxRecordSize+1)
+			return append(hdr[:], valid...)
+		}(), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs, valid := DecodeAll(tc.raw, 0)
+			if len(evs) != tc.wantEvs {
+				t.Fatalf("decoded %d events, want %d", len(evs), tc.wantEvs)
+			}
+			if tc.wantOfs >= 0 && valid != tc.wantOfs {
+				t.Fatalf("valid prefix %d bytes, want %d", valid, tc.wantOfs)
+			}
+			if valid > len(tc.raw) {
+				t.Fatalf("valid prefix %d exceeds input %d", valid, len(tc.raw))
+			}
+		})
+	}
+}
+
+// TestDecodeAllBitFlips flips every byte of a two-record stream, one at a
+// time, and asserts decoding never panics, never over-reads, and never
+// accepts a record whose checksum no longer matches its payload.
+func TestDecodeAllBitFlips(t *testing.T) {
+	clean := encodeN(t, 2)
+	var cleanEvs []engine.Event
+	cleanEvs, _ = DecodeAll(clean, 0)
+	if len(cleanEvs) != 2 {
+		t.Fatalf("sanity: clean stream decodes %d events", len(cleanEvs))
+	}
+	for i := range clean {
+		raw := append([]byte{}, clean...)
+		raw[i] ^= 0x41
+		evs, valid := DecodeAll(raw, 0)
+		if valid > len(raw) {
+			t.Fatalf("flip at %d: valid prefix %d exceeds input", i, valid)
+		}
+		if len(evs) > 2 {
+			t.Fatalf("flip at %d: decoded %d events from a 2-record stream", i, len(evs))
+		}
+		// A flip inside record k must not lose records before k.
+		rec0End := len(clean) / 2
+		if i >= rec0End && len(evs) < 1 {
+			t.Fatalf("flip at %d (second record) lost the first record", i)
+		}
+		// Re-decode of the accepted prefix must be stable.
+		evs2, valid2 := DecodeAll(raw[:valid], 0)
+		if len(evs2) != len(evs) || valid2 != valid {
+			t.Fatalf("flip at %d: prefix re-decode unstable (%d/%d vs %d/%d)",
+				i, len(evs2), valid2, len(evs), valid)
+		}
+	}
+}
+
+// TestDecodeAllSeqGap: a decoded record whose seq breaks contiguity ends the
+// valid prefix (the log invariant is "no gaps").
+func TestDecodeAllSeqGap(t *testing.T) {
+	evs := testEvents(3)
+	evs[2].Seq = 7 // gap
+	var buf []byte
+	for _, ev := range evs {
+		rec, err := encodeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, rec...)
+	}
+	got, _ := DecodeAll(buf, 1)
+	if len(got) != 2 {
+		t.Fatalf("want 2 events before the gap, got %d", len(got))
+	}
+}
+
+// TestEncodeOversizedEvent: an event whose JSON exceeds the record limit is
+// rejected at encode time, not written as garbage.
+func TestEncodeOversizedEvent(t *testing.T) {
+	huge := make([]byte, maxRecordSize+1)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	ev := engine.Event{Seq: 1, Kind: engine.EventEpochStart, Note: string(huge)}
+	if _, err := encodeEvent(ev); err == nil {
+		t.Fatal("oversized event must fail to encode")
+	}
+}
+
+// sanity: the JSON wire form round-trips payloads.
+func TestEventJSONRoundTrip(t *testing.T) {
+	ev := testEvents(1)[0]
+	ev.SellerCuts = map[string]float64{"s1": 12.5, "s2": 7.5}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back engine.Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != ev.Seq || back.SellerCuts["s1"] != 12.5 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,53 @@
+// Package wal is the durable half of the market engine's event log: a
+// segmented write-ahead log that persists every engine.Event before it
+// becomes visible to in-memory subscribers, plus the snapshot files that let
+// a restart skip replaying from seq 1.
+//
+// # Record format
+//
+// Each record is length-prefixed, checksummed JSON:
+//
+//	offset  size  field
+//	0       4     payload length N, little-endian uint32
+//	4       4     CRC-32C (Castagnoli) of the payload, little-endian uint32
+//	8       N     payload: one engine.Event, JSON-encoded
+//
+// Records are concatenated into segment files named wal-<firstseq>.seg,
+// rotated once a segment exceeds Options.SegmentBytes. Sequence numbers are
+// assigned by the engine's event log (1-based, no gaps); the WAL verifies
+// contiguity on append and on load, so a decoded log is always a prefix of
+// the in-memory history.
+//
+// # Torn tails
+//
+// A crash can leave a partial record at the end of the newest segment. The
+// reader never fails on this: Load and Open both stop at the first record
+// whose length prefix is truncated, whose CRC mismatches, or whose payload
+// does not parse, and recover the longest valid prefix. Open additionally
+// truncates the file there so new appends continue from a clean boundary.
+// Corruption in the middle of the log (a torn non-final segment) likewise
+// ends the valid prefix; later segments are beyond it and are dropped.
+//
+// # Fsync policy
+//
+// Options.Policy trades durability for throughput:
+//
+//	SyncAlways  fsync after every record — no record is lost once Append
+//	            returns; slowest (one fsync per event).
+//	SyncEpoch   fsync when an epoch-end record is written (and on rotation
+//	            and close) — a crash loses at most the current epoch, the
+//	            natural batching unit of the engine.
+//	SyncOff     fsync only on rotation and close — a crash loses whatever
+//	            the OS had not flushed; fastest.
+//
+// # Boot sequence
+//
+// Boot wires recovery end to end: load the newest parseable snapshot (if
+// any), load every WAL record, rebuild the platform from the snapshot (or
+// fresh), open the WAL for appending (truncating any torn tail), and hand
+// both to engine.Restore — which re-seeds the in-memory log so subscriber
+// cursors resume gap-free, replays post-snapshot events onto the platform,
+// and attaches the WAL as the persister for everything after. Snapshots are
+// written by Engine.Snapshot via WriteSnapshot — on demand (dmms /snapshot),
+// or on drain (dmgateway -snapshot-on-drain).
+package wal

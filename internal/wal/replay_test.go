@@ -1,0 +1,715 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// This file is the crash/replay determinism harness: a scripted workload is
+// driven against an engine whose WAL persister is killed at chosen event
+// seqs (epoch boundaries and mid-epoch), the engine is rebooted from the
+// durable prefix, the lost suffix of the script is re-driven, and the final
+// state must match an uninterrupted run — byte-identically for crashes at
+// epoch boundaries, and identically modulo epoch numbering for mid-epoch
+// crashes (re-driven work lands in later epochs, which is visible in epoch
+// tags but in nothing else).
+
+const testDesign = "posted-baseline"
+
+// op is one scripted submission.
+type op struct {
+	kind  string // "register" | "share" | "request"
+	name  string
+	funds float64
+	ds    string
+	rows  int
+	offer float64
+	cols  []string
+}
+
+// script is the deterministic workload: epochs of ops covering
+// registrations, shares, settling requests, a duplicate-registration
+// rejection, a ghost-buyer rejection, sub-posted-price offers that stay
+// open, and a permanently unmet request.
+func script() [][]op {
+	return [][]op{
+		{ // epoch 1: funding registrations (one duplicate -> rejection)
+			{kind: "register", name: "b1", funds: 5000},
+			{kind: "register", name: "b2", funds: 8000},
+			{kind: "register", name: "b1", funds: 100}, // duplicate
+			{kind: "register", name: "b3", funds: 3000},
+		},
+		{ // epoch 2: first supply + first demand
+			{kind: "share", name: "s1", ds: "s1/d0", rows: 20},
+			{kind: "share", name: "s2", ds: "s2/d0", rows: 30},
+			{kind: "request", name: "b1", offer: 150, cols: []string{"a", "b"}},
+		},
+		{ // epoch 3: more demand; one request no supply will ever cover
+			{kind: "request", name: "b2", offer: 120, cols: []string{"a", "b"}},
+			{kind: "request", name: "b3", offer: 110, cols: []string{"a", "b"}},
+			{kind: "request", name: "b2", offer: 60, cols: []string{"never", "supplied"}},
+		},
+		{ // epoch 4: late supply, ghost buyer, late registration
+			{kind: "share", name: "s1", ds: "s1/d1", rows: 25},
+			{kind: "request", name: "ghost", offer: 10, cols: []string{"a", "b"}},
+			{kind: "register", name: "b4", funds: 1500},
+		},
+		{ // epoch 5: a below-posted-price offer (stays open) and a match
+			{kind: "request", name: "b4", offer: 80, cols: []string{"a", "b"}},
+			{kind: "request", name: "b1", offer: 200, cols: []string{"a", "b"}},
+		},
+	}
+}
+
+func scriptRelation(name string, rows int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*2.5))
+	}
+	return r
+}
+
+func submitOp(e *engine.Engine, o op) string {
+	switch o.kind {
+	case "register":
+		return e.SubmitRegister(o.name, o.funds)
+	case "share":
+		return e.SubmitShare(o.name, catalog.DatasetID(o.ds), scriptRelation(o.ds, o.rows),
+			wtp.DatasetMeta{Dataset: o.ds, HasProvenance: true}, license.Terms{Kind: license.Open})
+	case "request":
+		want := dod.Want{Columns: o.cols}
+		f := &wtp.Function{
+			Buyer: o.name,
+			Task:  wtp.CoverageTask{Columns: o.cols, WantRows: 1},
+			Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: o.offer}},
+		}
+		return e.SubmitRequest(want, f)
+	}
+	panic("unknown op kind " + o.kind)
+}
+
+// expectedTicket is the ticket ID the k-th submission (0-based, global
+// script order) receives — deterministic because the engine's submission
+// counter is restored from the durable log on reboot.
+func expectedTicket(k int) string { return fmt.Sprintf("sub-%06d", k+1) }
+
+// faultPersister forwards to the real WAL until `remaining` events have been
+// persisted, then fails forever — simulating a crash at an exact event seq.
+// The engine's event log wedges on the first error, so the durable log is a
+// clean prefix.
+type faultPersister struct {
+	inner     engine.Persister
+	remaining int
+}
+
+func (f *faultPersister) Persist(ev engine.Event) error {
+	if f.remaining <= 0 {
+		return fmt.Errorf("injected crash at seq %d", ev.Seq)
+	}
+	f.remaining--
+	return f.inner.Persist(ev)
+}
+
+// driveAll submits every scripted op in order, triggering one epoch per
+// group, and asserts ticket IDs land as expected.
+func driveAll(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	k := 0
+	for _, epoch := range script() {
+		for _, o := range epoch {
+			if got, want := submitOp(e, o), expectedTicket(k); got != want {
+				t.Fatalf("submission %d got ticket %s, want %s", k, got, want)
+			}
+			k++
+		}
+		e.TriggerEpoch()
+	}
+}
+
+// redrive completes the script against a rebooted engine: ops whose tickets
+// survived in the durable log are skipped, lost ones are resubmitted (and
+// must receive their original ticket IDs). Epochs re-trigger only from the
+// first incomplete one — triggering a fully durable epoch again would clear
+// later requests earlier than the original run did. A final trigger flushes
+// requests whose filing was durable but whose settlement was lost.
+func redrive(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	k := 0
+	triggering := false
+	for _, epoch := range script() {
+		for _, o := range epoch {
+			id := expectedTicket(k)
+			k++
+			if tk, ok := e.Ticket(id); ok && (tk.Status.Terminal() || tk.Status == engine.TicketApplied) {
+				continue // durable: already applied or terminally failed
+			}
+			if got := submitOp(e, o); got != id {
+				t.Fatalf("re-driven submission got ticket %s, want %s", got, id)
+			}
+			triggering = true
+		}
+		if triggering {
+			e.TriggerEpoch()
+		}
+	}
+	e.TriggerEpoch()
+}
+
+// fingerprint canonicalizes the externally observable state of a platform +
+// engine pair: balances, catalog (including the data), open requests on both
+// layers, ID counters, tickets, the settlement book, and history. With
+// withEpochs=false every epoch tag is scrubbed — the only field re-driven
+// work is allowed to move.
+func fingerprint(t *testing.T, p *core.Platform, e *engine.Engine, withEpochs bool) []byte {
+	t.Helper()
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot for fingerprint: %v", err)
+	}
+	snap.TakenAt = time.Time{}
+	if !withEpochs {
+		snap.Epoch = 0
+		snap.TakenAtSeq = 0
+		for i := range snap.Tickets {
+			snap.Tickets[i].Epoch = 0
+		}
+		for i := range snap.Settles {
+			snap.Settles[i].Epoch = 0
+		}
+	}
+	var history []string
+	for _, tx := range p.Arbiter.History() {
+		history = append(history, fmt.Sprintf("%s/%s/%s/%.2f", tx.ID, tx.RequestID, tx.Buyer, tx.Price))
+	}
+	out, err := json.MarshalIndent(struct {
+		Snap      *engine.SnapshotState
+		History   []string
+		Supply    ledger.Currency
+		Conserved bool
+	}{snap, history, p.Arbiter.Ledger.TotalSupply(), e.Settlements().Conserved()}, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runUninterrupted drives the full script against a WAL-backed engine with
+// no fault and returns the platform, engine and the closed WAL's directory.
+func runUninterrupted(t *testing.T, policy SyncPolicy) (*core.Platform, *engine.Engine, string) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+	driveAll(t, e)
+	e.Stop()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := e.Log().Persisted(); perr != nil {
+		t.Fatalf("uninterrupted run wedged its persister: %v", perr)
+	}
+	return p, e, dir
+}
+
+// TestCrashReplayDeterminism is the harness the issue asks for, table-driven
+// over fsync policies. For each policy it computes the uninterrupted
+// baseline, then crashes the persister at every epoch boundary (strong
+// assertion: byte-identical state, epochs included) and at mid-epoch seqs
+// (epoch-insensitive assertion), reboots from the WAL and re-drives the lost
+// part of the script.
+func TestCrashReplayDeterminism(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
+		t.Run(string(policy), func(t *testing.T) {
+			basePlat, baseEng, _ := runUninterrupted(t, policy)
+			baseStrong := fingerprint(t, basePlat, baseEng, true)
+			baseWeak := fingerprint(t, basePlat, baseEng, false)
+
+			// Crash points from the baseline's event stream: every
+			// epoch-end seq is a boundary; seqs just inside an epoch check
+			// the mid-epoch story. 0 = nothing durable at all.
+			events := baseEng.Events(0)
+			var boundaries []int
+			for _, ev := range events {
+				if ev.Kind == engine.EventEpochEnd {
+					boundaries = append(boundaries, ev.Seq)
+				}
+			}
+			if len(boundaries) != len(script()) {
+				t.Fatalf("baseline ran %d epochs, want %d", len(boundaries), len(script()))
+			}
+			isBoundary := map[int]bool{0: true}
+			crashPoints := []int{0}
+			for _, b := range boundaries {
+				isBoundary[b] = true
+				crashPoints = append(crashPoints, b)
+			}
+			for _, b := range boundaries {
+				for _, mid := range []int{b - 1, b + 2} {
+					if mid > 0 && mid < len(events) && !isBoundary[mid] {
+						crashPoints = append(crashPoints, mid)
+					}
+				}
+			}
+
+			for _, crashAfter := range crashPoints {
+				name := fmt.Sprintf("crash@%d", crashAfter)
+				if isBoundary[crashAfter] {
+					name += "-boundary"
+				}
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					w, err := Open(Options{Dir: dir, Policy: policy})
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := core.NewPlatform(core.Options{Design: testDesign})
+					if err != nil {
+						t.Fatal(err)
+					}
+					e := engine.New(p, engine.Config{Shards: 4,
+						Persister: &faultPersister{inner: w, remaining: crashAfter}})
+					driveAll(t, e)
+					if crashAfter < len(events) {
+						if _, perr := e.Log().Persisted(); perr == nil {
+							t.Fatal("fault persister never fired")
+						}
+					}
+					e.Stop()
+					w.Close()
+
+					// Reboot from the durable prefix and finish the script.
+					p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+						engine.Config{Shards: 4}, Options{Dir: dir, Policy: policy})
+					if err != nil {
+						t.Fatalf("boot: %v", err)
+					}
+					defer w2.Close()
+					if res.Recovered != crashAfter {
+						t.Fatalf("recovered %d events, want %d durable", res.Recovered, crashAfter)
+					}
+					redrive(t, e2)
+					e2.Stop()
+
+					if isBoundary[crashAfter] {
+						got := fingerprint(t, p2, e2, true)
+						if string(got) != string(baseStrong) {
+							t.Fatalf("epoch-boundary crash diverged from uninterrupted run:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+						}
+					} else {
+						got := fingerprint(t, p2, e2, false)
+						if string(got) != string(baseWeak) {
+							t.Fatalf("mid-epoch crash diverged (epoch-insensitive):\n--- baseline\n%s\n--- restarted\n%s", baseWeak, got)
+						}
+					}
+					if i := p2.Arbiter.Ledger.VerifyChain(); i >= 0 {
+						t.Fatalf("audit chain corrupted at entry %d after replay", i)
+					}
+					if !e2.Settlements().Conserved() {
+						t.Fatal("settlement conservation violated after replay")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCleanRestartIsByteIdentical: a full run, a clean shutdown, a reboot
+// from the WAL with nothing to re-drive — the strongest determinism claim.
+func TestCleanRestartIsByteIdentical(t *testing.T) {
+	basePlat, baseEng, dir := runUninterrupted(t, SyncEpoch)
+	baseStrong := fingerprint(t, basePlat, baseEng, true)
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.Recovered == 0 || res.Replayed != res.Recovered {
+		t.Fatalf("unexpected recovery stats: %+v", res)
+	}
+	e2.Stop()
+	if got := fingerprint(t, p2, e2, true); string(got) != string(baseStrong) {
+		t.Fatalf("clean restart diverged:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+	}
+}
+
+// TestSnapshotRestartIsByteIdentical checkpoints mid-script, finishes the
+// run, reboots — recovery must start from the snapshot, replay only the
+// tail, and still match the uninterrupted state byte for byte.
+func TestSnapshotRestartIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+
+	sc := script()
+	k := 0
+	for i, epoch := range sc {
+		for _, o := range epoch {
+			submitOp(e, o)
+			k++
+		}
+		e.TriggerEpoch()
+		if i == 2 { // checkpoint after epoch 3
+			snap, err := e.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := WriteSnapshot(dir, snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.Stop()
+	w.Close()
+	baseStrong := fingerprint(t, p, e, true)
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.FromSnapshotSeq == 0 {
+		t.Fatal("boot ignored the snapshot")
+	}
+	if res.Replayed >= res.Recovered {
+		t.Fatalf("snapshot did not shorten replay: %+v", res)
+	}
+	e2.Stop()
+	if got := fingerprint(t, p2, e2, true); string(got) != string(baseStrong) {
+		t.Fatalf("snapshot restart diverged:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+	}
+
+	// Cursors must resume gap-free even though state came from the snapshot:
+	// the full event history is still served.
+	evs := e2.Events(0)
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d after snapshot boot", i, ev.Seq)
+		}
+	}
+}
+
+// TestBootTruncatesCorruptTail: a bit-flipped final record must not be fatal
+// on boot — the reader truncates it and the lost suffix can be re-driven.
+func TestBootTruncatesCorruptTail(t *testing.T) {
+	basePlat, baseEng, dir := runUninterrupted(t, SyncAlways)
+	baseWeak := fingerprint(t, basePlat, baseEng, false)
+
+	segs, err := segmentFiles(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff // flip a byte inside the final record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("boot over corrupt tail: %v", err)
+	}
+	defer w2.Close()
+	if res.Recovered != baseEng.Log().LastSeq()-1 {
+		t.Fatalf("recovered %d events, want %d (one truncated)", res.Recovered, baseEng.Log().LastSeq()-1)
+	}
+	redrive(t, e2)
+	e2.Stop()
+	if got := fingerprint(t, p2, e2, false); string(got) != string(baseWeak) {
+		t.Fatalf("corrupt-tail reboot diverged:\n--- baseline\n%s\n--- restarted\n%s", baseWeak, got)
+	}
+}
+
+// TestBootArchivesStaleLogBehindSnapshot: a snapshot can outlive the WAL
+// records it covers (crash under fsync=off loses the unsynced suffix). Boot
+// must not reuse sequence numbers the checkpoint covers: the stale segments
+// are archived, the state comes from the snapshot alone, and new appends
+// continue at the watermark — still recoverable on a second boot.
+func TestBootArchivesStaleLogBehindSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+	driveAll(t, e)
+	e.Stop()
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Simulate the fsync=off crash: chop the tail off the last segment so
+	// the log ends well short of the snapshot watermark.
+	segs, _ := segmentFiles(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncOff})
+	if err != nil {
+		t.Fatalf("boot over stale log: %v", err)
+	}
+	if res.FromSnapshotSeq != snap.TakenAtSeq || res.Recovered != 0 {
+		t.Fatalf("want snapshot-only recovery, got %+v", res)
+	}
+	if got := e2.Log().LastSeq(); got != snap.TakenAtSeq {
+		t.Fatalf("log resumes at seq %d, want watermark %d", got, snap.TakenAtSeq)
+	}
+	if w2.LastSeq() != snap.TakenAtSeq {
+		t.Fatalf("WAL cursor at %d, want watermark %d", w2.LastSeq(), snap.TakenAtSeq)
+	}
+
+	// New work gets post-watermark seqs and survives another restart.
+	reg := e2.SubmitRegister("b9", 700)
+	e2.TriggerEpoch()
+	if tk, _ := e2.Ticket(reg); tk.Status != engine.TicketDone {
+		t.Fatalf("post-archive registration failed: %+v", tk)
+	}
+	e2.Stop()
+	w2.Close()
+	after := e2.Log().LastSeq()
+	if after <= snap.TakenAtSeq {
+		t.Fatalf("no post-watermark events appended (seq %d)", after)
+	}
+
+	p3, e3, w3, res3, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncOff})
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	defer func() { e3.Stop(); w3.Close() }()
+	if res3.Replayed == 0 {
+		t.Fatalf("second boot replayed nothing: %+v", res3)
+	}
+	if !p3.Arbiter.Ledger.Exists("b9") {
+		t.Fatal("post-watermark registration lost on second boot")
+	}
+	if got := e3.Log().LastSeq(); got != after {
+		t.Fatalf("second boot log ends at %d, want %d", got, after)
+	}
+	_ = p2
+}
+
+// TestSnapshotRefusedWhenWedged: a checkpoint must never claim seqs the WAL
+// does not hold, so a wedged persister makes Snapshot fail.
+func TestSnapshotRefusedWhenWedged(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 2,
+		Persister: &faultPersister{inner: w, remaining: 2}})
+	defer e.Stop()
+	e.SubmitRegister("b1", 100)
+	e.SubmitRegister("b2", 100)
+	e.TriggerEpoch() // >2 events: the persister wedges mid-epoch
+	if _, perr := e.Log().Persisted(); perr == nil {
+		t.Fatal("persister should be wedged")
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot on a wedged engine must be refused")
+	}
+}
+
+// TestSnapshotRefusedWhileExPostPending: ex-post deposits live in ledger
+// escrow, which snapshots do not capture — a checkpoint taken while one is
+// outstanding would silently destroy the deposit on restore, so Snapshot
+// must refuse until the buyer reports.
+func TestSnapshotRefusedWhileExPostPending(t *testing.T) {
+	p, err := core.NewPlatform(core.Options{Design: "expost-audited"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 2})
+	defer e.Stop()
+	e.SubmitRegister("b1", 5000)
+	e.SubmitShare("s1", "s1/d0", scriptRelation("s1/d0", 20),
+		wtp.DatasetMeta{Dataset: "s1/d0", HasProvenance: true}, license.Terms{Kind: license.Open})
+	e.TriggerEpoch()
+	e.SubmitRequest(dod.Want{Columns: []string{"a", "b"}}, &wtp.Function{
+		Buyer: "b1",
+		Task:  wtp.CoverageTask{Columns: []string{"a", "b"}, WantRows: 1},
+		Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 600}},
+	})
+	e.TriggerEpoch()
+	if p.Arbiter.PendingExPostCount() == 0 {
+		t.Fatal("expected a pending ex-post settlement")
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot with pending ex-post escrow must be refused")
+	}
+	// Once the buyer reports, the escrow clears and snapshots work again.
+	var txID string
+	for _, ev := range e.Events(0) {
+		if ev.Kind == engine.EventTxSettled {
+			txID = ev.TxID
+		}
+	}
+	if _, err := p.Arbiter.ReportValue(txID, 600, 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatalf("snapshot after report should succeed: %v", err)
+	}
+}
+
+// TestSnapshotExcludesQueuedIntake: a submission still queued at checkpoint
+// time has no events and is not durable; the snapshot must exclude both its
+// ticket and its seq so a post-restore re-submission gets the original
+// ticket ID back.
+func TestSnapshotExcludesQueuedIntake(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 2, Persister: w})
+	first := e.SubmitRegister("b1", 1000) // sub-000001
+	e.TriggerEpoch()
+	queued := e.SubmitRegister("b2", 2000) // sub-000002: queued, no epoch yet
+
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range snap.Tickets {
+		if tk.ID == queued {
+			t.Fatalf("queued ticket %s leaked into the snapshot", queued)
+		}
+	}
+	if snap.SubmitSeq != 1 {
+		t.Fatalf("snapshot submit seq %d counts queued intake, want 1", snap.SubmitSeq)
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop() // flushes the queued registration — but the snapshot predates it
+	w.Close()
+
+	p2, e2, w2, _, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 2}, Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { e2.Stop(); w2.Close() }()
+	if tk, ok := e2.Ticket(first); !ok || tk.Status != engine.TicketDone {
+		t.Fatalf("evented ticket lost: %v", tk)
+	}
+	// b2's registration WAS evented after the snapshot (Stop's final
+	// epoch), so the full-WAL boot replays it; its ticket resolves and is
+	// terminal — never stuck "queued".
+	if tk, ok := e2.Ticket(queued); ok && tk.Status == engine.TicketQueued {
+		t.Fatalf("restored ticket stuck queued: %+v", tk)
+	}
+	_ = p2
+}
+
+// TestSnapshotQueuedResubmissionKeepsTicketID: when the queued submission's
+// events never made it to disk at all, the restored engine hands the
+// re-submission the original ticket ID.
+func TestSnapshotQueuedResubmissionKeepsTicketID(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The persister dies right after the snapshot point: the queued
+	// submission's later events are never written.
+	e := engine.New(p, engine.Config{Shards: 2, Persister: &faultPersister{inner: w, remaining: 3}})
+	e.SubmitRegister("b1", 1000) // sub-000001; epoch -> events 1..3
+	e.TriggerEpoch()
+	queued := e.SubmitRegister("b2", 2000) // sub-000002: queued
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop() // queued reg's events hit the wedged persister and are lost
+	w.Close()
+
+	p2, e2, w2, _, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 2}, Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { e2.Stop(); w2.Close() }()
+	if _, ok := e2.Ticket(queued); ok {
+		t.Fatalf("ticket %s should not survive: its submission was never evented", queued)
+	}
+	if got := e2.SubmitRegister("b2", 2000); got != queued {
+		t.Fatalf("re-submission got ticket %s, want original %s", got, queued)
+	}
+	e2.TriggerEpoch()
+	if tk, _ := e2.Ticket(queued); tk.Status != engine.TicketDone {
+		t.Fatalf("re-driven registration failed: %+v", tk)
+	}
+	if !p2.Arbiter.Ledger.Exists("b2") {
+		t.Fatal("re-driven registration not applied")
+	}
+}

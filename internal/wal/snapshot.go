@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Snapshot files live beside the segments as snapshot-<seq>.json, where
+// <seq> is the checkpoint's TakenAtSeq. They are written atomically
+// (tmp + rename) so a crash mid-write never shadows an older good snapshot.
+
+func snapshotName(seq int) string { return fmt.Sprintf("snapshot-%010d.json", seq) }
+
+// WriteSnapshot persists an engine checkpoint into dir and returns its path.
+func WriteSnapshot(dir string, snap *engine.SnapshotState) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return "", fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	path := filepath.Join(dir, snapshotName(snap.TakenAtSeq))
+	// Unique tmp name: concurrent snapshot requests must not interleave
+	// writes into the same file before the atomic rename.
+	f, err := os.CreateTemp(dir, snapshotName(snap.TakenAtSeq)+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	// Make the rename itself durable — without a directory fsync the
+	// snapshot can vanish on power loss even though its bytes were synced.
+	if d, err := os.Open(dir); err == nil {
+		derr := d.Sync()
+		d.Close()
+		if derr != nil {
+			return "", derr
+		}
+	}
+	return path, nil
+}
+
+// LoadSnapshot returns the newest parseable snapshot in dir, or (nil, nil)
+// when none exists. A corrupt newest snapshot falls back to the one before
+// it — the WAL replays the difference either way.
+func LoadSnapshot(dir string) (*engine.SnapshotState, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var snap engine.SnapshotState
+		if err := json.Unmarshal(raw, &snap); err != nil || snap.Platform == nil {
+			continue // corrupt or half-written; try the previous one
+		}
+		return &snap, nil
+	}
+	return nil, nil
+}

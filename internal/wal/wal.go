@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// SyncPolicy selects when appended records are fsynced. See the package
+// documentation for the trade-offs.
+type SyncPolicy string
+
+// Sync policies.
+const (
+	SyncAlways SyncPolicy = "always"
+	SyncEpoch  SyncPolicy = "epoch"
+	SyncOff    SyncPolicy = "off"
+)
+
+// ParseSyncPolicy validates a policy label (e.g. from a -fsync flag).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncEpoch, SyncOff:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, epoch or off)", s)
+}
+
+// Options configures a WAL.
+type Options struct {
+	// Dir holds the segment and snapshot files; created if absent.
+	Dir string
+	// Policy is the fsync policy (default SyncEpoch).
+	Policy SyncPolicy
+	// SegmentBytes rotates to a fresh segment once the current one exceeds
+	// this size (default 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Policy == "" {
+		o.Policy = SyncEpoch
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Log is an open, appendable WAL. It implements engine.Persister; attach it
+// via engine.Config.Persister. Safe for concurrent use, though the engine's
+// event log already serializes appends.
+type Log struct {
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segBytes int64
+	lastSeq  int
+	err      error // sticky: first append/sync failure wedges the log
+}
+
+func segmentName(firstSeq int) string { return fmt.Sprintf("wal-%010d.seg", firstSeq) }
+
+// syncDir fsyncs a directory so freshly created or renamed entries survive a
+// power loss (file-content fsync alone does not make the directory entry
+// durable on ext4/xfs).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// segmentFiles lists the WAL segments in dir, sorted by name (== first seq,
+// thanks to the zero padding).
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg") {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// Load reads every valid event from the WAL in dir: segments in order, each
+// decoded up to its valid prefix. A torn or corrupt record ends the log —
+// whatever was durably written before it is returned, never an error.
+// A missing or empty directory yields an empty log.
+func Load(dir string) ([]engine.Event, error) {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var events []engine.Event
+	wantNext := 0
+	for _, name := range segs {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		evs, valid := DecodeAll(raw, wantNext)
+		events = append(events, evs...)
+		if valid < len(raw) {
+			// Torn tail: the valid prefix ends here; later segments are
+			// beyond it and cannot be contiguous.
+			break
+		}
+		if len(evs) > 0 {
+			wantNext = evs[len(evs)-1].Seq + 1
+		}
+	}
+	return events, nil
+}
+
+// Open prepares the WAL in opts.Dir for appending: scans existing segments,
+// truncates any torn tail off the last valid one, removes segments beyond
+// the valid prefix, and positions the append cursor after the last durable
+// record. The returned Log expects the next Persist to carry seq LastSeq()+1.
+func Open(opts Options) (*Log, error) {
+	w, _, err := openScan(opts)
+	return w, err
+}
+
+// openScan is Open plus the decoded events — Boot uses it so recovery reads
+// each segment exactly once.
+func openScan(opts Options) (*Log, []engine.Event, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, err := segmentFiles(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	w := &Log{opt: opts}
+	var events []engine.Event
+	appendTo := "" // segment to continue appending into
+	var appendSize int64
+	wantNext := 0
+	for i, name := range segs {
+		path := filepath.Join(opts.Dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		evs, valid := DecodeAll(raw, wantNext)
+		events = append(events, evs...)
+		if len(evs) > 0 {
+			w.lastSeq = evs[len(evs)-1].Seq
+			wantNext = w.lastSeq + 1
+		}
+		if valid < len(raw) {
+			// Torn tail: truncate to the valid prefix and drop everything
+			// beyond it.
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+			}
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(filepath.Join(opts.Dir, later)); err != nil {
+					return nil, nil, fmt.Errorf("wal: drop segment %s beyond valid prefix: %w", later, err)
+				}
+			}
+			appendTo, appendSize = name, int64(valid)
+			break
+		}
+		appendTo, appendSize = name, int64(valid)
+	}
+
+	if appendTo == "" {
+		appendTo = segmentName(w.lastSeq + 1)
+		appendSize = 0
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, appendTo), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := syncDir(opts.Dir); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.f = f
+	w.segBytes = appendSize
+	return w, events, nil
+}
+
+// archiveCoveredSegments renames every segment to <name>.covered[.N],
+// taking it out of the WAL's sight while preserving it for forensics. Used
+// when a snapshot supersedes records the log lost (fsync=off crash, wedged
+// persister): the stale prefix would otherwise collide with seqs the
+// checkpoint already covers. Archive names never overwrite an earlier
+// archive from a previous cycle.
+func archiveCoveredSegments(dir string) error {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range segs {
+		path := filepath.Join(dir, name)
+		dst := path + ".covered"
+		for n := 1; ; n++ {
+			if _, err := os.Stat(dst); os.IsNotExist(err) {
+				break
+			}
+			dst = fmt.Sprintf("%s.covered.%d", path, n)
+		}
+		if err := os.Rename(path, dst); err != nil {
+			return fmt.Errorf("wal: archive stale segment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LastSeq returns the seq of the last durably appended record.
+func (w *Log) LastSeq() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// SkipTo advances the append cursor without writing: the records up to seq
+// are covered by a snapshot and their segments were pruned. It only ever
+// moves forward.
+func (w *Log) SkipTo(seq int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq > w.lastSeq {
+		w.lastSeq = seq
+	}
+}
+
+// Persist implements engine.Persister: frame, append, and fsync per policy.
+// Appends must arrive in seq order with no gaps; a violation (or any write
+// error) wedges the log and every later Persist returns the same error.
+func (w *Log) Persist(ev engine.Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if ev.Seq != w.lastSeq+1 {
+		w.err = fmt.Errorf("wal: out-of-order append: seq %d after %d", ev.Seq, w.lastSeq)
+		return w.err
+	}
+	rec, err := encodeEvent(ev)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		w.err = err
+		return err
+	}
+	w.segBytes += int64(len(rec))
+	w.lastSeq = ev.Seq
+
+	switch w.opt.Policy {
+	case SyncAlways:
+		err = w.f.Sync()
+	case SyncEpoch:
+		if ev.Kind == engine.EventEpochEnd {
+			err = w.f.Sync()
+		}
+	}
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if w.segBytes >= w.opt.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate seals the current segment and opens the next. Caller holds w.mu.
+func (w *Log) rotate() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.opt.Dir, segmentName(w.lastSeq+1)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.opt.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segBytes = 0
+	return nil
+}
+
+// Sync forces an fsync of the current segment regardless of policy.
+func (w *Log) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the current segment.
+func (w *Log) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = fmt.Errorf("wal: closed")
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
