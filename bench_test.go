@@ -295,6 +295,37 @@ func BenchmarkE12DynamicArrival(b *testing.B) {
 	}
 }
 
+// BenchmarkMatchPolicy measures the matching-policy selection cost per
+// epoch: ranking 10k open-request candidates under each policy and
+// splitting at a 64-request round cap — the work selectRound adds to every
+// epoch when a policy or cap is configured.
+func BenchmarkMatchPolicy(b *testing.B) {
+	cands := make([]engine.RequestCandidate, 10_000)
+	for i := range cands {
+		cands[i] = engine.RequestCandidate{
+			RequestID:   fmt.Sprintf("req-%05d", i),
+			Participant: fmt.Sprintf("b%02d", i%17),
+			Priority:    i % 3,
+			FiledEpoch:  uint64(i % 97),
+			FiledSeq:    i + 1,
+			Age:         uint64(i % 11),
+		}
+	}
+	for _, pol := range []engine.MatchPolicy{
+		engine.PolicyFIFO{}, engine.PolicyPriority{}, engine.PolicyAging{AgeBoost: 1},
+	} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				selected, deferred := engine.SelectCandidates(pol, cands, 64)
+				if len(selected) != 64 || len(deferred) != len(cands)-64 {
+					b.Fatalf("bad split: %d/%d", len(selected), len(deferred))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWALAppend measures the durable event log's per-record append cost
 // under each fsync policy (internal/wal). `always` pays one fsync per event,
 // `epoch` amortizes it over the epoch batch (the sync point here is the

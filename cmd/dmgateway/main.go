@@ -46,22 +46,48 @@ func main() {
 	fsync := flag.String("fsync", "epoch", "WAL fsync policy: always | epoch | off")
 	segBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
 	snapOnDrain := flag.Bool("snapshot-on-drain", true, "write a snapshot after draining the engine on shutdown (needs -wal-dir)")
+	pruneOnSnap := flag.Bool("prune-on-snapshot", true, "remove WAL segments fully covered by a written snapshot")
+	policyName := flag.String("policy", "fifo", "matching policy: fifo | priority | aging")
+	ageBoost := flag.Float64("age-boost", 1, "aging policy: score added per epoch an open request waits")
+	epochCap := flag.Int("epoch-cap", 0, "max open requests admitted into each matching round (0 = all)")
+	quotaRPS := flag.Float64("quota-rps", 0, "per-participant admitted requests per second (token bucket, enforced per epoch window; 0 = unlimited)")
+	quotaBurst := flag.Float64("quota-burst", 0, "token-bucket burst capacity (0 = auto)")
+	admitCap := flag.Int("admit-cap", 0, "global requests admitted per epoch window; excess get 429 (0 = unlimited)")
+	maxPending := flag.Int("max-pending", 0, "queue-depth backpressure: reject submissions while this many are queued (0 = unlimited)")
 	flag.Parse()
 
+	policy, err := engine.ParsePolicy(*policyName, *ageBoost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The token bucket refills per epoch, so a requests-per-second quota
+	// translates through the epoch period; with manually driven epochs the
+	// flag acts as a per-epoch quota directly.
+	quotaPerEpoch := *quotaRPS
+	if *epoch > 0 {
+		quotaPerEpoch = *quotaRPS * epoch.Seconds()
+	}
 	cfg := engine.Config{
 		Shards:         *shards,
 		EpochEvery:     *epoch,
 		BatchThreshold: *batch,
+		Policy:         policy,
+		EpochMatchCap:  *epochCap,
+		Admission: engine.AdmissionConfig{
+			QuotaPerEpoch:   quotaPerEpoch,
+			QuotaBurst:      *quotaBurst,
+			EpochRequestCap: *admitCap,
+			MaxPending:      *maxPending,
+		},
 	}
 
 	var (
 		p   *core.Platform
 		eng *engine.Engine
 		w   *wal.Log
-		err error
 	)
 	if *walDir != "" {
-		policy, perr := wal.ParseSyncPolicy(*fsync)
+		syncPolicy, perr := wal.ParseSyncPolicy(*fsync)
 		if perr != nil {
 			log.Fatal(perr)
 		}
@@ -74,12 +100,12 @@ func main() {
 		}
 		var res wal.BootResult
 		p, eng, w, res, err = wal.Boot(core.Options{Design: *design}, cfg,
-			wal.Options{Dir: *walDir, Policy: policy, SegmentBytes: *segBytes})
+			wal.Options{Dir: *walDir, Policy: syncPolicy, SegmentBytes: *segBytes})
 		if err != nil {
 			log.Fatalf("dmgateway: WAL boot: %v", err)
 		}
 		log.Printf("dmgateway: WAL %s: recovered %d events (snapshot seq %d, replayed %d), fsync=%s",
-			*walDir, res.Recovered, res.FromSnapshotSeq, res.Replayed, policy)
+			*walDir, res.Recovered, res.FromSnapshotSeq, res.Replayed, syncPolicy)
 	} else {
 		p, err = core.NewPlatform(core.Options{Design: *design})
 		if err != nil {
@@ -116,6 +142,18 @@ func main() {
 	}
 
 	server := dmms.NewEngineServer(p, eng)
+	// Prune keeps the newest two checkpoints (the older one is the
+	// corruption fallback) and drops segments + snapshots behind them.
+	pruneAfterSnapshot := func() {
+		if !*pruneOnSnap {
+			return
+		}
+		if segs, snaps, err := wal.PruneAfterSnapshot(*walDir, w); err != nil {
+			log.Printf("dmgateway: WAL prune: %v", err)
+		} else if segs > 0 || snaps > 0 {
+			log.Printf("dmgateway: pruned %d covered WAL segment(s) and %d old snapshot(s)", segs, snaps)
+		}
+	}
 	if w != nil {
 		dir := *walDir
 		server.SetSnapshotFunc(func() (string, int, error) {
@@ -124,6 +162,9 @@ func main() {
 				return "", 0, err
 			}
 			path, err := wal.WriteSnapshot(dir, snap)
+			if err == nil {
+				pruneAfterSnapshot()
+			}
 			return path, snap.TakenAtSeq, err
 		})
 	}
@@ -149,6 +190,7 @@ func main() {
 					log.Printf("dmgateway: drain snapshot failed: %v", err)
 				} else {
 					log.Printf("dmgateway: drain snapshot %s (seq %d)", path, snap.TakenAtSeq)
+					pruneAfterSnapshot()
 				}
 			}
 			if err := w.Close(); err != nil {
@@ -157,8 +199,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d on %s",
-		p.Design.Label, *shards, *epoch, *batch, *addr)
+	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d policy=%s epoch-cap=%d quota-rps=%g on %s",
+		p.Design.Label, *shards, *epoch, *batch, policy.Name(), *epochCap, *quotaRPS, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

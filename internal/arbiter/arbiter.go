@@ -204,17 +204,101 @@ func wantKey(w dod.Want) string {
 type MatchResult struct {
 	Transactions []*Transaction
 	Unsatisfied  []string // request IDs with no acceptable mashup
+	// UnmetCols are this round's demand-signal increments: wanted columns no
+	// mashup could supply, counted once per request group. MatchRound folds
+	// them into the arbiter's demand signals itself; MatchRoundFor leaves
+	// that to the caller (see AddUnmet).
+	UnmetCols map[string]int
 }
 
 // MatchRound runs the full Fig. 2 pipeline over all open requests.
 func (a *Arbiter) MatchRound() (*MatchResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	res := &MatchResult{}
+	res := a.matchRoundLocked(nil)
+	for c, n := range res.UnmetCols {
+		a.unmet[c] += n
+	}
+	return res, nil
+}
+
+// MatchRoundFor runs the pipeline over the given open requests only, in the
+// given order — the engine's matching-policy hook: a policy ranks the open
+// requests, a per-epoch cap truncates them, and the surviving IDs are handed
+// here. Unknown or closed IDs are skipped. Unlike MatchRound it does not
+// fold res.UnmetCols into the demand signals: the engine commits them only
+// when the round is actually counted (an aborted round leaves no trace, so
+// WAL replay stays deterministic). A nil slice matches every open request in
+// arrival order, exactly like MatchRound.
+func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ids == nil {
+		return a.matchRoundLocked(nil), nil
+	}
+	// Index only open requests: the requests slice retains settled history,
+	// and a per-round map over it would grow with lifetime volume.
+	byID := map[string]*Request{}
+	for _, r := range a.requests {
+		if r.Open {
+			byID[r.ID] = r
+		}
+	}
+	pool := make([]*Request, 0, len(ids))
+	for _, id := range ids {
+		if r := byID[id]; r != nil {
+			pool = append(pool, r)
+		}
+	}
+	return a.matchRoundLocked(pool), nil
+}
+
+// AddUnmet folds a round's unmet-demand increments into the demand signals
+// opportunistic sellers mine. The engine calls it when committing a counted
+// epoch (live and on WAL replay, from the epoch-end record), so restored
+// demand signals match the original run exactly.
+func (a *Arbiter) AddUnmet(cols map[string]int) {
+	if len(cols) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for c, n := range cols {
+		a.unmet[c] += n
+	}
+}
+
+// UnmetCounts returns a copy of the raw unmet-demand counters (the data
+// behind DemandSignals) for snapshots.
+func (a *Arbiter) UnmetCounts() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.unmet) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(a.unmet))
+	for c, n := range a.unmet {
+		out[c] = n
+	}
+	return out
+}
+
+// matchRoundLocked runs one round over the given request pool (nil = every
+// open request in arrival order). Unmet demand is accumulated into the
+// result, not the arbiter. Caller holds a.mu.
+func (a *Arbiter) matchRoundLocked(pool []*Request) *MatchResult {
+	res := &MatchResult{UnmetCols: map[string]int{}}
+	if pool == nil {
+		for _, r := range a.requests {
+			if r.Open {
+				pool = append(pool, r)
+			}
+		}
+	}
 
 	groups := map[string][]*Request{}
 	var order []string
-	for _, r := range a.requests {
+	for _, r := range pool {
 		if !r.Open {
 			continue
 		}
@@ -227,28 +311,29 @@ func (a *Arbiter) MatchRound() (*MatchResult, error) {
 
 	for _, k := range order {
 		reqs := groups[k]
-		txs, unsat := a.matchGroup(reqs)
+		txs, unsat := a.matchGroup(reqs, res.UnmetCols)
 		res.Transactions = append(res.Transactions, txs...)
 		res.Unsatisfied = append(res.Unsatisfied, unsat...)
 	}
-	return res, nil
+	return res
 }
 
 // matchGroup auctions the best mashup for one group of identical wants.
-func (a *Arbiter) matchGroup(reqs []*Request) ([]*Transaction, []string) {
+// Unmet demand is accumulated into the caller's map.
+func (a *Arbiter) matchGroup(reqs []*Request, unmet map[string]int) ([]*Transaction, []string) {
 	want := reqs[0].Want
 	cands, err := a.dod.Build(want)
 	if err != nil {
-		a.recordUnmet(want.Columns)
+		recordUnmet(unmet, want.Columns)
 		return nil, requestIDs(reqs)
 	}
 	best := a.pickCandidate(cands, reqs)
 	if best == nil {
-		a.recordUnmet(want.Columns)
+		recordUnmet(unmet, want.Columns)
 		return nil, requestIDs(reqs)
 	}
 	if best.Coverage < 1 {
-		a.recordUnmetMissing(want.Columns, best.Rel().Schema)
+		recordUnmetMissing(unmet, want.Columns, best.Rel().Schema)
 	}
 
 	// WTP-Evaluator: each buyer's offer for the chosen mashup. Bids are
@@ -473,16 +558,16 @@ func (a *Arbiter) recordPurchase(buyer string, datasets []string) {
 	}
 }
 
-func (a *Arbiter) recordUnmet(cols []string) {
+func recordUnmet(unmet map[string]int, cols []string) {
 	for _, c := range cols {
-		a.unmet[c]++
+		unmet[c]++
 	}
 }
 
-func (a *Arbiter) recordUnmetMissing(wanted []string, got relation.Schema) {
+func recordUnmetMissing(unmet map[string]int, wanted []string, got relation.Schema) {
 	for _, c := range wanted {
 		if !got.Has(c) {
-			a.unmet[c]++
+			unmet[c]++
 		}
 	}
 }

@@ -135,6 +135,18 @@ func (p *Platform) MatchRound() (*arbiter.MatchResult, error) {
 	return p.Arbiter.MatchRound()
 }
 
+// MatchRoundFor runs one matching round over the given open requests in the
+// given order — the engine's policy-ordered round. Unmet demand from the
+// result is not recorded until the caller commits it via AddUnmet.
+func (p *Platform) MatchRoundFor(ids []string) (*arbiter.MatchResult, error) {
+	return p.Arbiter.MatchRoundFor(ids)
+}
+
+// AddUnmet commits a round's unmet-demand increments to the demand signals.
+func (p *Platform) AddUnmet(cols map[string]int) {
+	p.Arbiter.AddUnmet(cols)
+}
+
 // --- engine hooks ---------------------------------------------------------
 //
 // The concurrent market engine (internal/engine) drives the platform through

@@ -230,7 +230,11 @@ type PlatformSnapshot struct {
 	// History preserves the completed-transaction record (sans mashups);
 	// its ledger effects are already inside Accounts.
 	History []arbiter.ReplayedSettlement `json:"history,omitempty"`
-	NextID  int                          `json:"next_id"`
+	// Unmet carries the demand-signal counters (column -> times wanted but
+	// unsupplied) so the recommendation/negotiation services keep their
+	// signal across a restore.
+	Unmet  map[string]int `json:"unmet,omitempty"`
+	NextID int            `json:"next_id"`
 }
 
 // Snapshot captures the platform checkpoint. Call it from a quiesced point
@@ -272,6 +276,7 @@ func (p *Platform) Snapshot() *PlatformSnapshot {
 		snap.Requests = append(snap.Requests, RequestState{ID: r.ID, Spec: spec})
 	}
 	snap.History = a.HistorySkeletons()
+	snap.Unmet = a.UnmetCounts()
 	snap.NextID = a.ReplayNextID()
 	return snap
 }
@@ -326,6 +331,7 @@ func RestorePlatform(opts Options, snap *PlatformSnapshot) (*Platform, error) {
 		}
 	}
 	p.Arbiter.RestoreHistory(snap.History)
+	p.Arbiter.AddUnmet(snap.Unmet)
 	p.Arbiter.RestoreNextID(snap.NextID)
 	return p, nil
 }

@@ -6,11 +6,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/relation"
 )
+
+// OverloadedError is returned when the server sheds load (HTTP 429 from
+// admission control): back off for RetryAfter before resubmitting.
+type OverloadedError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("dmms: overloaded, retry after %v: %s", e.RetryAfter, e.Msg)
+}
 
 // Client is the Go client for a remote DMMS server — what a seller or buyer
 // management platform embeds when the arbiter runs elsewhere.
@@ -25,11 +38,23 @@ func NewClient(baseURL string) *Client {
 }
 
 func (c *Client) post(path string, body, out any) error {
+	return c.postHeaders(path, body, out, nil)
+}
+
+func (c *Client) postHeaders(path string, body, out any, headers map[string]string) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -55,7 +80,15 @@ func decode(resp *http.Response, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		_ = json.Unmarshal(data, &e)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retry := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+			return &OverloadedError{Msg: e.Error, RetryAfter: retry}
+		}
+		if e.Error != "" {
 			return fmt.Errorf("dmms: %s: %s", resp.Status, e.Error)
 		}
 		return fmt.Errorf("dmms: %s", resp.Status)
@@ -146,6 +179,18 @@ func (c *Client) ShareDatasetAsync(seller, id string, rel *relation.Relation, li
 func (c *Client) SubmitRequestAsync(req RequestReq) (string, error) {
 	var out TicketResp
 	if err := c.post("/async/requests", req, &out); err != nil {
+		return "", err
+	}
+	return out.Ticket, nil
+}
+
+// SubmitRequestAsyncPriority queues a data need under a priority class
+// ("low" | "normal" | "high"), sent as the X-DMMS-Priority header. A 429
+// response surfaces as *OverloadedError with the server's retry-after hint.
+func (c *Client) SubmitRequestAsyncPriority(req RequestReq, priority string) (string, error) {
+	var out TicketResp
+	hdr := map[string]string{PriorityHeader: priority}
+	if err := c.postHeaders("/async/requests", req, &out, hdr); err != nil {
 		return "", err
 	}
 	return out.Ticket, nil

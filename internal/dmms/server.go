@@ -7,7 +7,9 @@ package dmms
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -113,6 +115,29 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// PriorityHeader carries a request's priority class ("low" | "normal" |
+// "high" or an integer) on POST /async/requests; it overrides the JSON
+// body's priority field.
+const PriorityHeader = "X-DMMS-Priority"
+
+// writeSubmitErr maps an engine intake error onto the wire: admission
+// rejections become 429 Too Many Requests with a Retry-After header (whole
+// seconds, rounded up) so well-behaved clients back off; anything else is a
+// plain 400.
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	var oe *engine.OverloadError
+	if errors.As(err, &oe) {
+		secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
 // ParticipantReq registers a buyer or seller account.
 type ParticipantReq struct {
 	Name  string  `json:"name"`
@@ -201,6 +226,9 @@ type RequestReq struct {
 	Task    TaskSpec            `json:"task"`
 	Curve   []CurvePointSpec    `json:"curve"`
 	MinRows int                 `json:"min_rows,omitempty"`
+	// Priority is the request's priority class ("low" | "normal" | "high");
+	// the X-DMMS-Priority header overrides it. Async endpoint only.
+	Priority string `json:"priority,omitempty"`
 }
 
 // buildRequest turns the wire form into the arbiter's Want + WTP-function,
@@ -383,7 +411,12 @@ func (s *Server) handleAsyncParticipants(w http.ResponseWriter, r *http.Request)
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: name is required"))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: s.engine.SubmitRegister(req.Name, req.Funds)})
+	ticket, err := s.engine.SubmitRegister(req.Name, req.Funds)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
 }
 
 func (s *Server) handleAsyncDatasets(w http.ResponseWriter, r *http.Request) {
@@ -397,7 +430,11 @@ func (s *Server) handleAsyncDatasets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ticket := s.engine.SubmitShare(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	ticket, err := s.engine.SubmitShare(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
 }
 
@@ -412,7 +449,21 @@ func (s *Server) handleAsyncRequests(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: s.engine.SubmitRequest(want, f)})
+	label := req.Priority
+	if h := r.Header.Get(PriorityHeader); h != "" {
+		label = h
+	}
+	priority, err := engine.ParsePriority(label)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ticket, err := s.engine.SubmitRequestPriority(want, f, priority)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
 }
 
 func (s *Server) handleTicket(w http.ResponseWriter, r *http.Request) {

@@ -49,8 +49,9 @@
 //	seq          int     total order, 1-based, no gaps
 //	epoch        uint64  epoch that produced the event
 //	kind         string  epoch-start | participant-registered | dataset-shared |
-//	                     request-filed | request-unmet | tx-settled |
-//	                     submission-rejected | epoch-end
+//	                     request-filed | request-unmet | request-rejected |
+//	                     request-aged | tx-settled | submission-rejected |
+//	                     epoch-end
 //	ticket       string  submission ticket, when the event advances one
 //	participant  string  buyer or seller name
 //	dataset      string  dataset ID (dataset-shared)
@@ -63,14 +64,43 @@
 //	datasets     []str   datasets in the sold mashup (tx-settled)
 //	ex_post      bool    settlement is escrow-based, priced on report
 //	sub_kind     string  submission kind (submission-rejected)
+//	priority     int     priority class (request-filed, submission-rejected)
+//	age          uint64  epochs waited when deferred (request-aged)
+//	count        uint64  sheds covered by an aggregate (request-rejected)
+//	unmet_columns map    column -> demand increments this round (epoch-end)
 //	error        string  rejection reason (submission-rejected)
-//	note         string  human-readable detail
+//	note         string  human-readable detail; shed reason (request-rejected)
 //	payload      object  full submission body (dataset-shared, request-filed)
 //
 // The settlement subscriber folds every tx-settled event into a
 // ledger.SettlementBook, which checks conservation (price == arbiter cut +
 // seller cuts) per transaction — the invariant the race tests assert across
 // epochs.
+//
+// # Admission control and matching policy
+//
+// Intake is guarded by an AdmissionController (Config.Admission):
+// per-participant token-bucket quotas and a global per-epoch request cap
+// reject a submission *before* it gets a ticket or an event-log record,
+// returning a typed *OverloadError with a retry-after hint (dmms maps it to
+// HTTP 429 + Retry-After); queue-depth backpressure sheds any submission
+// kind while intake is saturated. Quota and cap rejections are audit-logged
+// as aggregated request-rejected events — one per participant and reason
+// per epoch window, flushed at epoch end, so a rejection flood costs one
+// record per window rather than one per request; buckets refill at every
+// counted epoch end, so the whole admission state is a pure function of the
+// event stream and survives replay.
+//
+// Open requests enter each matching round in the order a MatchPolicy
+// (Config.Policy) assigns: FIFO (arrival), priority classes (the
+// X-DMMS-Priority wire header), or starvation aging, where every epoch
+// waited adds Config-tunable score so no class can starve another forever.
+// Config.EpochMatchCap bounds how many requests a round may admit; a
+// deferred request gets one request-aged event on its first deferral and is
+// re-ranked every epoch. The
+// property-based fairness harness (policy_prop_test.go) pins the invariants:
+// bounded waits under aging, quota accounting, conservation under flood,
+// and byte-identical policy decisions across crash/replay.
 //
 // # Durability
 //

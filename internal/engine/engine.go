@@ -33,6 +33,16 @@ type Config struct {
 	// it attached after the recovered events are seeded, so replay never
 	// re-persists.
 	Persister Persister
+	// Policy orders open requests into matching rounds (nil = FIFO arrival
+	// order). See policy.go.
+	Policy MatchPolicy
+	// EpochMatchCap bounds how many open requests enter each matching
+	// round; the rest are deferred (request-aged events) and re-ranked next
+	// epoch. 0 = no cap.
+	EpochMatchCap int
+	// Admission configures intake admission control (quotas, per-epoch
+	// request cap, queue-depth backpressure). Zero value = admit everything.
+	Admission AdmissionConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +86,12 @@ type Ticket struct {
 	RequestID   string         `json:"request_id,omitempty"` // requests only
 	TxID        string         `json:"tx_id,omitempty"`      // matched requests only
 	Price       float64        `json:"price,omitempty"`      // matched requests only
-	Err         string         `json:"error,omitempty"`
+	// Priority is the request's priority class (requests only).
+	Priority int `json:"priority,omitempty"`
+	// MatchedEpoch is the epoch whose round settled the request; with Epoch
+	// (the filing epoch) it measures how long the request waited.
+	MatchedEpoch uint64 `json:"matched_epoch,omitempty"`
+	Err          string `json:"error,omitempty"`
 }
 
 type submission struct {
@@ -93,8 +108,22 @@ type submission struct {
 	meta   wtp.DatasetMeta
 	terms  license.Terms
 	// request
-	want dod.Want
-	fn   *wtp.Function
+	want     dod.Want
+	fn       *wtp.Function
+	priority int
+}
+
+// reqMeta is the engine-side policy metadata of one open request. FiledSeq
+// is the request-filed event's seq; aged records whether the request's
+// first policy deferral has been audit-logged (at most one request-aged
+// record per request, so a capped backlog cannot amplify the WAL by
+// O(backlog) every epoch). Guarded by epochMu.
+type reqMeta struct {
+	participant string
+	priority    int
+	filedEpoch  uint64
+	filedSeq    int
+	aged        bool
 }
 
 type shard struct {
@@ -104,14 +133,24 @@ type shard struct {
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
-	Epochs        uint64        `json:"epochs"`
-	Submitted     uint64        `json:"submitted"`
-	Applied       uint64        `json:"applied"`
-	Matched       uint64        `json:"matched"`
-	Failed        uint64        `json:"failed"`
-	OpenRequests  int           `json:"open_requests"`
-	Pending       int64         `json:"pending"`
-	Events        int           `json:"events"`
+	Epochs       uint64 `json:"epochs"`
+	Submitted    uint64 `json:"submitted"`
+	Applied      uint64 `json:"applied"`
+	Matched      uint64 `json:"matched"`
+	Failed       uint64 `json:"failed"`
+	OpenRequests int    `json:"open_requests"`
+	Pending      int64  `json:"pending"`
+	Events       int    `json:"events"`
+	// Rejected counts admission-control rejections (quota / epoch cap) —
+	// audit-logged, so the counter survives a restore.
+	Rejected uint64 `json:"rejected,omitempty"`
+	// Shed counts queue-depth backpressure rejections (transient overload
+	// protection, not logged and not durable).
+	Shed uint64 `json:"shed,omitempty"`
+	// Aged counts requests the matching policy's per-epoch cap has
+	// deferred at least once (one request-aged record each).
+	Aged          uint64        `json:"aged,omitempty"`
+	Policy        string        `json:"policy,omitempty"`
 	LastPersisted int           `json:"last_persisted,omitempty"`
 	PersistErr    string        `json:"persist_error,omitempty"`
 	Uptime        time.Duration `json:"uptime"`
@@ -134,9 +173,14 @@ type Engine struct {
 	tmu     sync.Mutex
 	tickets map[string]*Ticket
 
-	epochMu  sync.Mutex // serializes epochs; guards openReqs
+	epochMu  sync.Mutex // serializes epochs; guards openReqs, reqMeta
 	openReqs map[string]string
+	reqMeta  map[string]*reqMeta // request ID -> policy metadata
 	epoch    atomic.Uint64
+
+	policy   MatchPolicy
+	matchCap int
+	adm      *admission // nil when quota/cap admission is disabled
 
 	// bookSeq is the settlement subscriber's high-water mark: the last log
 	// seq folded into the book. Snapshot waits on bookCond until it reaches
@@ -157,6 +201,9 @@ type Engine struct {
 	stApplied   atomic.Uint64
 	stMatched   atomic.Uint64
 	stFailed    atomic.Uint64
+	stRejected  atomic.Uint64 // admission rejections (durable; see replay)
+	stShed      atomic.Uint64 // queue-depth sheds (transient)
+	stAged      atomic.Uint64 // policy deferrals (durable)
 	// stMatchedAtBoot is the replayed-match baseline after a Restore, so
 	// MatchesPerSec reflects this process's rate, not history divided by a
 	// fresh uptime.
@@ -198,6 +245,10 @@ func settlementFromEvent(ev Event) ledger.Settlement {
 // the book from a snapshot skip the already-folded prefix.
 func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.SettlementBook, bookCursor int) *Engine {
 	cfg = cfg.withDefaults()
+	policy := cfg.Policy
+	if policy == nil {
+		policy = PolicyFIFO{}
+	}
 	e := &Engine{
 		platform: p,
 		cfg:      cfg,
@@ -206,6 +257,10 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		shards:   make([]*shard, cfg.Shards),
 		tickets:  map[string]*Ticket{},
 		openReqs: map[string]string{},
+		reqMeta:  map[string]*reqMeta{},
+		policy:   policy,
+		matchCap: cfg.EpochMatchCap,
+		adm:      newAdmission(cfg.Admission, cfg.EpochEvery),
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		started:  time.Now(),
@@ -324,6 +379,10 @@ func (e *Engine) Stats() Stats {
 		OpenRequests:  open,
 		Pending:       e.pending.Load(),
 		Events:        e.log.Len(),
+		Rejected:      e.stRejected.Load(),
+		Shed:          e.stShed.Load(),
+		Aged:          e.stAged.Load(),
+		Policy:        e.policy.Name(),
 		LastPersisted: persisted,
 		Uptime:        up,
 		MatchesPerSec: mps,
@@ -335,21 +394,76 @@ func (e *Engine) Stats() Stats {
 }
 
 // SubmitRegister queues a participant registration and returns its ticket.
-func (e *Engine) SubmitRegister(name string, funds float64) string {
-	return e.enqueue(submission{kind: KindRegister, name: name, funds: funds}, name)
+// Under queue-depth backpressure it returns an *OverloadError instead.
+func (e *Engine) SubmitRegister(name string, funds float64) (string, error) {
+	if err := e.admitDepth(name); err != nil {
+		return "", err
+	}
+	return e.enqueue(submission{kind: KindRegister, name: name, funds: funds}, name), nil
 }
 
 // SubmitShare queues a seller's dataset share and returns its ticket.
+// Under queue-depth backpressure it returns an *OverloadError instead.
 func (e *Engine) SubmitShare(seller string, id catalog.DatasetID, rel *relation.Relation,
-	meta wtp.DatasetMeta, terms license.Terms) string {
+	meta wtp.DatasetMeta, terms license.Terms) (string, error) {
+	if err := e.admitDepth(seller); err != nil {
+		return "", err
+	}
 	return e.enqueue(submission{kind: KindShare, seller: seller, id: id, rel: rel,
-		meta: meta, terms: terms}, seller)
+		meta: meta, terms: terms}, seller), nil
 }
 
-// SubmitRequest queues a buyer's data need and returns its ticket. The
-// request stays open across epochs until a matching round satisfies it.
-func (e *Engine) SubmitRequest(want dod.Want, f *wtp.Function) string {
-	return e.enqueue(submission{kind: KindRequest, want: want, fn: f}, f.Buyer)
+// SubmitRequest queues a buyer's data need at normal priority and returns
+// its ticket. The request stays open across epochs until a matching round
+// satisfies it.
+func (e *Engine) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) {
+	return e.SubmitRequestPriority(want, f, PriorityNormal)
+}
+
+// SubmitRequestPriority queues a buyer's data need under a priority class.
+// Admission control runs before anything is queued or logged: a rejected
+// request gets no ticket and returns a typed *OverloadError carrying a
+// retry-after hint. Quota and epoch-cap rejections are audit-logged as
+// aggregated request-rejected events — one per participant and reason per
+// epoch window, flushed at epoch end — so the shedding path itself never
+// writes to the WAL or contends on the epoch lock.
+func (e *Engine) SubmitRequestPriority(want dod.Want, f *wtp.Function, priority int) (string, error) {
+	if err := e.admitDepth(f.Buyer); err != nil {
+		return "", err
+	}
+	if e.adm != nil {
+		if oerr := e.adm.admitRequest(f.Buyer); oerr != nil {
+			// On ticker-less engines a rejection must kick the epoch loop
+			// itself: it enqueues nothing, the refill the caller is told to
+			// retry against only happens at a counted epoch, and nothing
+			// else would ever reach one while every retry is shed. Ticker
+			// engines get the flush epoch on the next tick instead — an
+			// unconditional kick would let a hammering client drive epochs
+			// (and their WAL records) at its retry rate.
+			if e.cfg.EpochEvery <= 0 {
+				select {
+				case e.kick <- struct{}{}:
+				default:
+				}
+			}
+			return "", oerr
+		}
+	}
+	return e.enqueue(submission{kind: KindRequest, want: want, fn: f, priority: priority}, f.Buyer), nil
+}
+
+// admitDepth applies queue-depth backpressure to every submission kind.
+func (e *Engine) admitDepth(participant string) error {
+	max := e.cfg.Admission.MaxPending
+	if max <= 0 || e.pending.Load() < int64(max) {
+		return nil
+	}
+	e.stShed.Add(1)
+	retry := e.cfg.EpochEvery
+	if retry <= 0 {
+		retry = defaultRetryAfter
+	}
+	return &OverloadError{Reason: OverloadQueueDepth, Participant: participant, RetryAfter: retry}
 }
 
 func (e *Engine) enqueue(s submission, participant string) string {
@@ -357,7 +471,8 @@ func (e *Engine) enqueue(s submission, participant string) string {
 	s.ticket = fmt.Sprintf("sub-%06d", s.seq)
 
 	e.tmu.Lock()
-	e.tickets[s.ticket] = &Ticket{ID: s.ticket, Kind: s.kind, Status: TicketQueued, Participant: participant}
+	e.tickets[s.ticket] = &Ticket{ID: s.ticket, Kind: s.kind, Status: TicketQueued,
+		Participant: participant, Priority: s.priority}
 	e.tmu.Unlock()
 
 	sh := e.shards[shardOf(participant, len(e.shards))]
@@ -405,33 +520,51 @@ func (e *Engine) setTicket(id string, f func(*Ticket)) {
 }
 
 // TriggerEpoch runs one epoch synchronously: drain intake, apply the batch,
-// run a matching round if requests are open, publish events. Epochs with no
-// work are skipped (returns the current epoch number and false). With an
-// empty batch but open requests, the matching round still runs — supply can
-// arrive through the synchronous dmms endpoints, bypassing intake — but a
-// round that matches nothing is not counted as an epoch and publishes no
-// events, so a ticker spinning over starved requests doesn't flood the log.
-// Safe to call concurrently with intake and with the background loop.
+// run a policy-ordered matching round if requests are open, publish events.
+// Epochs with no work are skipped (returns the current epoch number and
+// false). With an empty batch but open requests, the matching round still
+// runs — supply can arrive through the synchronous dmms endpoints, bypassing
+// intake — but a round that matches nothing is not counted as an epoch and
+// publishes no events (its unmet-demand increments are discarded too, so
+// uncounted rounds leave no state the WAL could not replay). The one
+// exception: pending admission-rejection audits force a flush-only counted
+// epoch, because the quota refill they are waiting for only happens at a
+// counted epoch end. Safe to call concurrently with intake and with the
+// background loop.
 func (e *Engine) TriggerEpoch() (uint64, bool) {
 	e.epochMu.Lock()
 	defer e.epochMu.Unlock()
 
 	batch := e.drain()
 	if len(batch) == 0 {
-		if len(e.openReqs) == 0 {
-			return e.epoch.Load(), false
+		if len(e.openReqs) > 0 {
+			// Tentative round at the prospective epoch number: only counted
+			// (and published) when something matches.
+			ids, deferred := e.selectRound(e.epoch.Load() + 1)
+			res, err := e.platform.MatchRoundFor(ids)
+			if err == nil && len(res.Transactions) > 0 {
+				ep := e.epoch.Add(1)
+				e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
+					Note: fmt.Sprintf("0 queued, %d open requests", len(e.openReqs))})
+				e.emitAged(ep, deferred)
+				e.platform.AddUnmet(res.UnmetCols)
+				matched, unmet := e.publishRound(ep, res)
+				e.endEpoch(ep, 0, matched, unmet, res.UnmetCols)
+				return ep, true
+			}
 		}
-		res, err := e.platform.MatchRound()
-		if err != nil || len(res.Transactions) == 0 {
-			return e.epoch.Load(), false
+		// No matchable work — but shed audits pending mean starved clients
+		// are waiting on a quota refill only a counted epoch delivers.
+		// Count a flush-only epoch so an idle market cannot deadlock a
+		// participant whose bucket sits below one token forever.
+		if e.adm != nil && e.adm.hasPendingRejections() {
+			ep := e.epoch.Add(1)
+			e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
+				Note: fmt.Sprintf("0 queued, %d open requests, admission flush", len(e.openReqs))})
+			e.endEpoch(ep, 0, 0, 0, nil)
+			return ep, true
 		}
-		ep := e.epoch.Add(1)
-		e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
-			Note: fmt.Sprintf("0 queued, %d open requests", len(e.openReqs))})
-		matched, unmet := e.publishRound(ep, res)
-		e.log.Append(Event{Epoch: ep, Kind: EventEpochEnd,
-			Note: fmt.Sprintf("applied=0 matched=%d unmet=%d", matched, unmet)})
-		return ep, true
+		return e.epoch.Load(), false
 	}
 
 	ep := e.epoch.Add(1)
@@ -442,12 +575,105 @@ func (e *Engine) TriggerEpoch() (uint64, bool) {
 		e.apply(ep, s)
 	}
 	var matched, unmet int
+	var unmetCols map[string]int
 	if len(e.openReqs) > 0 {
-		matched, unmet = e.clear(ep)
+		matched, unmet, unmetCols = e.clear(ep)
 	}
-	e.log.Append(Event{Epoch: ep, Kind: EventEpochEnd,
-		Note: fmt.Sprintf("applied=%d matched=%d unmet=%d", len(batch), matched, unmet)})
+	e.endEpoch(ep, len(batch), matched, unmet, unmetCols)
 	return ep, true
+}
+
+// endEpoch flushes the window's aggregated admission rejections, publishes
+// the epoch-end record (carrying the round's unmet-demand increments for
+// replay) and refills the admission window. Rejection audit records and
+// the counter bump happen only here, under the epoch lock, so checkpoints
+// capture them as one cut and replay rebuilds the same counter.
+func (e *Engine) endEpoch(ep uint64, applied, matched, unmet int, unmetCols map[string]int) {
+	refill := 1.0
+	if e.adm != nil {
+		for _, r := range e.adm.takePendingRejections() {
+			e.log.Append(Event{Epoch: ep, Kind: EventRequestRejected,
+				Participant: r.participant, Note: r.reason, Count: r.count})
+			e.stRejected.Add(r.count)
+		}
+		refill = e.adm.refillFraction()
+	}
+	if len(unmetCols) == 0 {
+		unmetCols = nil
+	}
+	ev := Event{Epoch: ep, Kind: EventEpochEnd, UnmetColumns: unmetCols,
+		Note: fmt.Sprintf("applied=%d matched=%d unmet=%d", applied, matched, unmet)}
+	if e.adm != nil && refill != 1 {
+		// Record partial refills so replay applies exactly the quanta the
+		// live run earned (a full quantum is the omitted default).
+		ev.QuotaRefill = refill
+	}
+	e.log.Append(ev)
+	if e.adm != nil {
+		e.adm.refill(refill)
+	}
+}
+
+// selectRound ranks the open requests under the matching policy at the
+// given epoch and splits them at the per-epoch cap. A nil ids slice means
+// "every open request in arrival order" (the legacy fast path, used when no
+// policy or cap is configured — the arbiter's own ordering is authoritative
+// there). Caller holds epochMu.
+func (e *Engine) selectRound(ep uint64) (ids []string, deferred []RequestCandidate) {
+	if e.matchCap <= 0 {
+		if _, fifo := e.policy.(PolicyFIFO); fifo {
+			return nil, nil
+		}
+	}
+	cands := make([]RequestCandidate, 0, len(e.openReqs))
+	for reqID, ticket := range e.openReqs {
+		c := RequestCandidate{RequestID: reqID, Ticket: ticket}
+		if m := e.reqMeta[reqID]; m != nil {
+			c.Participant = m.participant
+			c.Priority, c.FiledEpoch, c.FiledSeq = m.priority, m.filedEpoch, m.filedSeq
+		} else {
+			// Pre-policy snapshots carry no meta; the ticket still knows.
+			c.Participant = e.ticketParticipant(ticket)
+		}
+		if ep > c.FiledEpoch {
+			c.Age = ep - c.FiledEpoch
+		}
+		cands = append(cands, c)
+	}
+	selected, deferred := SelectCandidates(e.policy, cands, e.matchCap)
+	ids = make([]string, len(selected))
+	for i, c := range selected {
+		ids[i] = c.RequestID
+	}
+	// Requests filed outside the engine (the synchronous dmms surface on a
+	// non-durable server) have no ticket or policy metadata; they ride
+	// along in every round, outside the cap, so a policy configuration can
+	// never strand them — exactly the pre-policy MatchRound behavior.
+	for _, id := range e.platform.Arbiter.OpenRequests() {
+		if _, tracked := e.openReqs[id]; !tracked {
+			ids = append(ids, id)
+		}
+	}
+	return ids, deferred
+}
+
+// emitAged publishes one request-aged record the first time the policy
+// defers a request past a round. Later deferrals of the same request write
+// nothing — the age keeps deriving from the request-filed record — so a
+// long backlog costs at most one audit record per request over its
+// lifetime, never O(backlog) per epoch.
+func (e *Engine) emitAged(ep uint64, deferred []RequestCandidate) {
+	for _, c := range deferred {
+		m := e.reqMeta[c.RequestID]
+		if m == nil || m.aged {
+			continue
+		}
+		m.aged = true
+		e.stAged.Add(1)
+		e.log.Append(Event{Epoch: ep, Kind: EventRequestAged, Ticket: c.Ticket,
+			RequestID: c.RequestID, Participant: c.Participant, Age: c.Age,
+			Note: fmt.Sprintf("deferred by %s policy", e.policy.Name())})
+	}
 }
 
 // apply replays one submission against the platform, under epochMu.
@@ -458,7 +684,8 @@ func (e *Engine) apply(ep uint64, s submission) {
 			t.Status, t.Epoch, t.Err = TicketFailed, ep, err.Error()
 		})
 		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Ticket: s.ticket,
-			Participant: e.ticketParticipant(s.ticket), SubKind: s.kind, Err: err.Error()})
+			Participant: e.ticketParticipant(s.ticket), SubKind: s.kind,
+			Priority: s.priority, Err: err.Error()})
 	}
 	switch s.kind {
 	case KindRegister:
@@ -484,6 +711,13 @@ func (e *Engine) apply(ep uint64, s submission) {
 			Payload: &Payload{Relation: s.rel, Meta: &meta,
 				License: string(s.terms.Kind), TaxRate: s.terms.ExclusivityTaxRate}})
 	case KindRequest:
+		// Canonical quota consumption happens here, at apply time, so the
+		// bucket level is a pure function of the event stream (exactly one
+		// request-filed or submission-rejected record follows) and replay
+		// reproduces it; the submit-time reservation is released with it.
+		if e.adm != nil {
+			e.adm.commit(s.fn.Buyer)
+		}
 		if !e.platform.HasAccount(s.fn.Buyer) {
 			fail(fmt.Errorf("engine: buyer %q is not registered", s.fn.Buyer))
 			return
@@ -505,19 +739,24 @@ func (e *Engine) apply(ep uint64, s submission) {
 		if spec, ok := core.EncodeRequest(s.want, s.fn); ok {
 			pl = &Payload{Request: spec}
 		}
-		e.log.Append(Event{Epoch: ep, Kind: EventRequestFiled, Ticket: s.ticket,
-			Participant: s.fn.Buyer, RequestID: reqID, Payload: pl})
+		seq := e.log.Append(Event{Epoch: ep, Kind: EventRequestFiled, Ticket: s.ticket,
+			Participant: s.fn.Buyer, RequestID: reqID, Priority: s.priority, Payload: pl})
+		e.reqMeta[reqID] = &reqMeta{participant: s.fn.Buyer, priority: s.priority, filedEpoch: ep, filedSeq: seq}
 	}
 }
 
-// clear runs one arbiter matching round and publishes its outcome.
-func (e *Engine) clear(ep uint64) (matched, unmet int) {
-	res, err := e.platform.MatchRound()
+// clear runs one policy-ordered matching round and publishes its outcome.
+func (e *Engine) clear(ep uint64) (matched, unmet int, unmetCols map[string]int) {
+	ids, deferred := e.selectRound(ep)
+	res, err := e.platform.MatchRoundFor(ids)
 	if err != nil {
 		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Err: "match round: " + err.Error()})
-		return 0, len(e.openReqs)
+		return 0, len(e.openReqs), nil
 	}
-	return e.publishRound(ep, res)
+	e.emitAged(ep, deferred)
+	e.platform.AddUnmet(res.UnmetCols)
+	matched, unmet = e.publishRound(ep, res)
+	return matched, unmet, res.UnmetCols
 }
 
 // publishRound folds one MatchResult into tickets, stats and the event log.
@@ -525,10 +764,11 @@ func (e *Engine) publishRound(ep uint64, res *arbiter.MatchResult) (matched, unm
 	for _, tx := range res.Transactions {
 		ticket := e.openReqs[tx.RequestID]
 		delete(e.openReqs, tx.RequestID)
+		delete(e.reqMeta, tx.RequestID)
 		e.stMatched.Add(1)
 		matched++
 		e.setTicket(ticket, func(t *Ticket) {
-			t.Status, t.TxID, t.Price = TicketDone, tx.ID, tx.Price
+			t.Status, t.TxID, t.Price, t.MatchedEpoch = TicketDone, tx.ID, tx.Price, ep
 		})
 		e.log.Append(Event{Epoch: ep, Kind: EventTxSettled, Ticket: ticket,
 			Participant: tx.Buyer, RequestID: tx.RequestID, TxID: tx.ID,

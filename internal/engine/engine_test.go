@@ -34,6 +34,15 @@ func coverageRequest(buyer string, offer float64) (dod.Want, *wtp.Function) {
 	return want, f
 }
 
+// mustTicket unwraps a Submit* result for tests with no admission control
+// configured (where intake can never reject).
+func mustTicket(id string, err error) string {
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
 func newTestEngine(t *testing.T, cfg Config) (*core.Platform, *Engine) {
 	t.Helper()
 	p, err := core.NewPlatform(core.Options{Design: "posted-baseline"})
@@ -79,7 +88,7 @@ func TestEngineConcurrentEpochs(t *testing.T) {
 	var initial ledger.Currency
 	var regs []string
 	for b := 0; b < buyers; b++ {
-		regs = append(regs, e.SubmitRegister(fmt.Sprintf("buyer%d", b), funds))
+		regs = append(regs, mustTicket(e.SubmitRegister(fmt.Sprintf("buyer%d", b), funds)))
 		initial += ledger.FromFloat(funds)
 	}
 	if _, ran := e.TriggerEpoch(); !ran {
@@ -98,9 +107,9 @@ func TestEngineConcurrentEpochs(t *testing.T) {
 				defer wg.Done()
 				name := fmt.Sprintf("seller%d", s)
 				id := catalog.DatasetID(fmt.Sprintf("%s/wave%d", name, wave))
-				tk := e.SubmitShare(name, id, testRelation(string(id), 20),
+				tk := mustTicket(e.SubmitShare(name, id, testRelation(string(id), 20),
 					wtp.DatasetMeta{Dataset: string(id), HasProvenance: true},
-					license.Terms{Kind: license.Open})
+					license.Terms{Kind: license.Open}))
 				mu.Lock()
 				requests = append(requests, tk)
 				mu.Unlock()
@@ -111,7 +120,7 @@ func TestEngineConcurrentEpochs(t *testing.T) {
 			go func(b int) {
 				defer wg.Done()
 				want, fn := coverageRequest(fmt.Sprintf("buyer%d", b), 150)
-				tk := e.SubmitRequest(want, fn)
+				tk := mustTicket(e.SubmitRequest(want, fn))
 				mu.Lock()
 				requests = append(requests, tk)
 				mu.Unlock()
@@ -172,9 +181,9 @@ func TestEngineTickerEpochs(t *testing.T) {
 	e.Start()
 	defer e.Stop()
 
-	regTicket := e.SubmitRegister("b1", 5000)
-	shareTicket := e.SubmitShare("s1", "s1/d1", testRelation("s1/d1", 10),
-		wtp.DatasetMeta{Dataset: "s1/d1"}, license.Terms{Kind: license.Open})
+	regTicket := mustTicket(e.SubmitRegister("b1", 5000))
+	shareTicket := mustTicket(e.SubmitShare("s1", "s1/d1", testRelation("s1/d1", 10),
+		wtp.DatasetMeta{Dataset: "s1/d1"}, license.Terms{Kind: license.Open}))
 	waitTerminal(t, e, []string{regTicket, shareTicket}, 2*time.Second)
 
 	var tickets []string
@@ -186,7 +195,7 @@ func TestEngineTickerEpochs(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 4; j++ {
 				want, fn := coverageRequest("b1", 120)
-				tk := e.SubmitRequest(want, fn)
+				tk := mustTicket(e.SubmitRequest(want, fn))
 				mu.Lock()
 				tickets = append(tickets, tk)
 				mu.Unlock()
@@ -216,12 +225,12 @@ func TestEngineRequestWaitsForSupply(t *testing.T) {
 	_, e := newTestEngine(t, Config{Shards: 2})
 	defer e.Stop()
 
-	reg := e.SubmitRegister("b1", 1000)
+	reg := mustTicket(e.SubmitRegister("b1", 1000))
 	e.TriggerEpoch()
 	waitTerminal(t, e, []string{reg}, time.Second)
 
 	want, fn := coverageRequest("b1", 200)
-	reqTicket := e.SubmitRequest(want, fn)
+	reqTicket := mustTicket(e.SubmitRequest(want, fn))
 	e.TriggerEpoch()
 	tk, _ := e.Ticket(reqTicket)
 	if tk.Status != TicketApplied {
@@ -254,9 +263,9 @@ func TestEngineRejections(t *testing.T) {
 	defer e.Stop()
 
 	want, fn := coverageRequest("ghost", 100)
-	ghost := e.SubmitRequest(want, fn)
-	ok := e.SubmitRegister("b1", 100)
-	dup := e.SubmitRegister("b1", 100)
+	ghost := mustTicket(e.SubmitRequest(want, fn))
+	ok := mustTicket(e.SubmitRegister("b1", 100))
+	dup := mustTicket(e.SubmitRegister("b1", 100))
 	e.TriggerEpoch()
 
 	if tk, _ := e.Ticket(ghost); tk.Status != TicketFailed {

@@ -22,7 +22,21 @@ const (
 	EventRequestUnmet  EventKind = "request-unmet"
 	EventTxSettled     EventKind = "tx-settled"
 	EventRejected      EventKind = "submission-rejected"
-	EventEpochEnd      EventKind = "epoch-end"
+	// EventRequestRejected is the aggregated audit record of admission
+	// rejections (quota or epoch cap): one record per participant and
+	// reason per epoch window, flushed at epoch end with the shed count.
+	// Rejected requests never enter intake and have no tickets, and the
+	// shedding path itself writes nothing — a flood of rejections costs
+	// one log record per window, not one per request. Queue-depth sheds
+	// are not logged at all.
+	EventRequestRejected EventKind = "request-rejected"
+	// EventRequestAged records the first time the matching policy's
+	// per-epoch cap defers an open request past a round, carrying its age
+	// in epochs. Later deferrals of the same request are not re-logged (at
+	// most one record per request, so a standing backlog cannot amplify
+	// the WAL every epoch).
+	EventRequestAged EventKind = "request-aged"
+	EventEpochEnd    EventKind = "epoch-end"
 )
 
 // Payload carries the full submission body of an event, so a write-ahead log
@@ -59,6 +73,23 @@ type Event struct {
 	Satisfaction float64            `json:"satisfaction,omitempty"`
 	Datasets     []string           `json:"datasets,omitempty"`
 	ExPost       bool               `json:"ex_post,omitempty"`
+	// Priority is the request's priority class (request-filed).
+	Priority int `json:"priority,omitempty"`
+	// Age is how many epochs the request had waited when the policy
+	// deferred it (request-aged).
+	Age uint64 `json:"age,omitempty"`
+	// Count is the number of shed requests an aggregated request-rejected
+	// record covers.
+	Count uint64 `json:"count,omitempty"`
+	// UnmetColumns carries the round's demand-signal increments on
+	// epoch-end records, so Restore rebuilds the arbiter's unmet counters
+	// without re-running matching.
+	UnmetColumns map[string]int `json:"unmet_columns,omitempty"`
+	// QuotaRefill is the fraction of the per-epoch quota this epoch end
+	// refilled (epoch-end; omitted = full quantum). Ticker engines earn
+	// refills by elapsed wall time, and replay applies the recorded
+	// fraction instead of re-deriving it from a clock.
+	QuotaRefill float64 `json:"quota_refill,omitempty"`
 	// SubKind records the submission kind on rejection events, where it
 	// cannot be inferred from the event kind; replay rebuilds the failed
 	// ticket from it.
@@ -86,6 +117,12 @@ type Persister interface {
 // pruned WAL: events 1..base are no longer held, and cursors older than base
 // resume at base+1.
 type EventLog struct {
+	// appendMu serializes the whole append path (seq assignment + persist +
+	// publish), so persists reach the WAL in exact seq order while the
+	// persister's fsync runs *outside* mu — readers (Since/WaitAfter) are
+	// never stalled behind a disk sync. Lock order: appendMu before mu.
+	appendMu sync.Mutex
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	base   int // seq of the last event no longer held (0 = complete log)
@@ -112,6 +149,8 @@ func NewEventLogAt(base int) *EventLog {
 // considered persisted (a restore seeds the log from the WAL itself);
 // subsequent appends are forwarded synchronously, in order.
 func (l *EventLog) SetPersister(p Persister) {
+	l.appendMu.Lock()
+	defer l.appendMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.persister = p
@@ -136,18 +175,36 @@ func (l *EventLog) durable() bool {
 
 // Append assigns the next sequence number, forwards the event to the
 // persister (if any), stores it and wakes blocked consumers. It returns the
-// assigned sequence number. The persist happens under the log lock so the
-// WAL order is exactly the log order.
+// assigned sequence number. appendMu serializes appends, so the WAL order is
+// exactly the log order and write-ahead semantics hold (the event becomes
+// visible only after the persist returns) — but the persist itself, fsync
+// included, runs outside the reader lock, so -fsync always no longer stalls
+// Since/WaitAfter consumers for the duration of the sync.
 func (l *EventLog) Append(e Event) int {
+	l.appendMu.Lock()
+	defer l.appendMu.Unlock()
+
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	e.Seq = l.base + len(l.events) + 1
 	if e.At.IsZero() {
 		e.At = time.Now()
 	}
-	if l.persister != nil && l.perr == nil {
-		if err := l.persister.Persist(e); err != nil {
-			l.perr = err
+	p := l.persister
+	if l.perr != nil {
+		p = nil // wedged: the durable prefix must stay a prefix
+	}
+	l.mu.Unlock()
+
+	var perr error
+	if p != nil {
+		perr = p.Persist(e)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p != nil {
+		if perr != nil {
+			l.perr = perr
 		} else {
 			l.persisted = e.Seq
 		}
@@ -161,6 +218,8 @@ func (l *EventLog) Append(e Event) int {
 // persister (they came from the WAL in the first place). Events must be
 // contiguous starting at base+1.
 func (l *EventLog) seed(events []Event) error {
+	l.appendMu.Lock()
+	defer l.appendMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.events) != 0 {

@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the admission-control and matching-policy layer: who gets
+// *into* the market (AdmissionController: per-participant token-bucket
+// quotas, a global per-epoch request cap, queue-depth backpressure) and in
+// what order open requests get *through* it (MatchPolicy: FIFO, priority
+// classes, starvation aging). Both sides are driven by epochs, not
+// wall-clock time, so every decision is a pure function of the durable
+// event stream and replays deterministically (see replay.go).
+
+// Priority classes. A request's class is fixed at submission (dmms carries
+// it in the X-DMMS-Priority header); higher clears first under the priority
+// and aging policies. FIFO ignores it.
+const (
+	PriorityLow    = 0
+	PriorityNormal = 1
+	PriorityHigh   = 2
+)
+
+// ParsePriority maps a wire-level priority label ("low" | "normal" | "high",
+// or the equivalent integer) to a priority class. Integers outside the
+// named range are rejected: an unbounded client-chosen class would defeat
+// the aging policy's bounded-wait guarantee (a priority of 10^6 could never
+// be out-aged).
+func ParsePriority(s string) (int, error) {
+	switch s {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < PriorityLow || n > PriorityHigh {
+		return 0, fmt.Errorf("engine: unknown priority %q (want low, normal or high)", s)
+	}
+	return n, nil
+}
+
+// RequestCandidate is the matching policy's view of one open request at
+// selection time. FiledSeq (the event seq of the request-filed record) is
+// the total-order tiebreak, so selection is deterministic across replays.
+type RequestCandidate struct {
+	RequestID   string
+	Ticket      string
+	Participant string
+	Priority    int
+	FiledEpoch  uint64
+	FiledSeq    int
+	// Age is how many epochs the request has already waited (selection
+	// epoch minus FiledEpoch), computed by the engine.
+	Age uint64
+}
+
+// MatchPolicy ranks open requests for admission into a matching round.
+// Higher scores clear first; ties break on FiledSeq (older submission
+// wins), then RequestID. Policies must be pure functions of the candidate —
+// the engine snapshots no policy-internal state.
+type MatchPolicy interface {
+	Name() string
+	Score(c RequestCandidate) float64
+}
+
+// PolicyFIFO clears requests in arrival order, ignoring class and age.
+type PolicyFIFO struct{}
+
+// Name implements MatchPolicy.
+func (PolicyFIFO) Name() string { return "fifo" }
+
+// Score implements MatchPolicy: all candidates tie, so FiledSeq decides.
+func (PolicyFIFO) Score(RequestCandidate) float64 { return 0 }
+
+// PolicyPriority clears strictly by priority class, FIFO within a class. A
+// saturating stream of high-class requests starves lower classes forever —
+// that is the failure mode PolicyAging exists to bound.
+type PolicyPriority struct{}
+
+// Name implements MatchPolicy.
+func (PolicyPriority) Name() string { return "priority" }
+
+// Score implements MatchPolicy.
+func (PolicyPriority) Score(c RequestCandidate) float64 { return float64(c.Priority) }
+
+// PolicyAging is priority with starvation aging: every epoch a request
+// waits adds AgeBoost to its score, so any request eventually outranks
+// every fresh arrival regardless of class. Once a request has aged past
+// (maxClass-minClass)/AgeBoost epochs, no later submission can ever be
+// ranked above it, which bounds its wait by that gap plus the drain time of
+// the backlog already ahead of it — the invariant the property harness
+// (policy_prop_test.go) checks.
+type PolicyAging struct {
+	// AgeBoost is the score added per epoch waited (default 1).
+	AgeBoost float64
+}
+
+// Name implements MatchPolicy.
+func (PolicyAging) Name() string { return "aging" }
+
+func (p PolicyAging) boost() float64 {
+	if p.AgeBoost > 0 {
+		return p.AgeBoost
+	}
+	return 1
+}
+
+// Score implements MatchPolicy.
+func (p PolicyAging) Score(c RequestCandidate) float64 {
+	return float64(c.Priority) + p.boost()*float64(c.Age)
+}
+
+// ParsePolicy maps a -policy flag value to a MatchPolicy. ageBoost only
+// applies to "aging" (0 means the default boost of 1).
+func ParsePolicy(name string, ageBoost float64) (MatchPolicy, error) {
+	switch name {
+	case "", "fifo":
+		return PolicyFIFO{}, nil
+	case "priority":
+		return PolicyPriority{}, nil
+	case "aging":
+		return PolicyAging{AgeBoost: ageBoost}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown matching policy %q (want fifo, priority or aging)", name)
+}
+
+// SelectCandidates ranks candidates under the policy (score descending,
+// FiledSeq then RequestID ascending on ties) and splits them at cap: the
+// first cap candidates enter the matching round, the rest are deferred to a
+// later epoch. cap <= 0 selects everything. The input slice is not mutated.
+func SelectCandidates(p MatchPolicy, cands []RequestCandidate, cap int) (selected, deferred []RequestCandidate) {
+	ranked := make([]RequestCandidate, len(cands))
+	copy(ranked, cands)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := p.Score(ranked[i]), p.Score(ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		if ranked[i].FiledSeq != ranked[j].FiledSeq {
+			return ranked[i].FiledSeq < ranked[j].FiledSeq
+		}
+		return ranked[i].RequestID < ranked[j].RequestID
+	})
+	if cap <= 0 || cap >= len(ranked) {
+		return ranked, nil
+	}
+	return ranked[:cap], ranked[cap:]
+}
+
+// --- admission control -----------------------------------------------------
+
+// Overload reasons carried by OverloadError.
+const (
+	OverloadQuota      = "participant-quota"
+	OverloadEpochCap   = "epoch-request-cap"
+	OverloadQueueDepth = "queue-depth"
+)
+
+// OverloadError is the typed rejection the intake path returns when
+// admission control sheds a submission. dmms maps it to HTTP 429 with a
+// Retry-After header derived from RetryAfter.
+type OverloadError struct {
+	Reason      string // OverloadQuota | OverloadEpochCap | OverloadQueueDepth
+	Participant string
+	// RetryAfter hints when capacity should free up: the epoch period when
+	// the engine runs on a ticker, else a conservative default.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded (%s, participant %q): retry after %v",
+		e.Reason, e.Participant, e.RetryAfter)
+}
+
+// AdmissionConfig tunes intake admission control. The zero value disables
+// it entirely (every submission is admitted).
+type AdmissionConfig struct {
+	// QuotaPerEpoch is the per-participant token-bucket refill: request
+	// admissions earned per counted epoch. 0 = unlimited.
+	QuotaPerEpoch float64
+	// QuotaBurst is the bucket capacity (0 = max(QuotaPerEpoch, 1)).
+	QuotaBurst float64
+	// EpochRequestCap bounds total request admissions per epoch window
+	// across all participants. 0 = unlimited.
+	EpochRequestCap int
+	// MaxPending is queue-depth backpressure: submissions of any kind are
+	// rejected while more than this many are queued in intake. 0 = unlimited.
+	MaxPending int
+}
+
+func (c AdmissionConfig) enabled() bool {
+	return c.QuotaPerEpoch > 0 || c.EpochRequestCap > 0
+}
+
+func (c AdmissionConfig) burst() float64 {
+	if c.QuotaBurst > 0 {
+		return c.QuotaBurst
+	}
+	if c.QuotaPerEpoch > 1 {
+		return c.QuotaPerEpoch
+	}
+	return 1
+}
+
+// defaultRetryAfter is the Retry-After hint when no epoch ticker is
+// configured (threshold- or manually-driven epochs).
+const defaultRetryAfter = time.Second
+
+// bucketState is one participant's token bucket. tokens is the canonical,
+// replayable level: it is consumed when the admitted request is *applied*
+// (and on replay, when its request-filed or submission-rejected event is
+// processed) and refilled at epoch end — both under the epoch lock, in
+// event order. reserved tracks admissions still queued in intake, so the
+// admission check cannot over-admit between epochs; reservations are
+// transient and never snapshotted (queued intake is not durable).
+type bucketState struct {
+	tokens   float64
+	reserved float64
+}
+
+// rejKey groups shed requests for the aggregated audit record.
+type rejKey struct{ participant, reason string }
+
+// rejRecord is one flushed audit aggregate: how many requests one
+// participant had shed for one reason since the last counted epoch.
+type rejRecord struct {
+	participant string
+	reason      string
+	count       uint64
+}
+
+// minRefillFraction floors the recorded refill quantum so it never rounds
+// to the JSON zero value (which replay reads as "full quantum").
+const minRefillFraction = 0.001
+
+// admission is the engine's AdmissionController instance.
+type admission struct {
+	cfg        AdmissionConfig
+	epochEvery time.Duration
+	retryAfter time.Duration
+
+	mu            sync.Mutex
+	buckets       map[string]*bucketState
+	epochAdmitted int // requests applied in the current epoch window
+	epochReserved int // admitted but still queued
+	lastRefill    time.Time
+	// pendingRej accumulates quota/cap rejections between counted epochs;
+	// endEpoch flushes them as one request-rejected record per key, so the
+	// shedding hot path never writes to the WAL or touches the epoch lock
+	// (overload protection must not amplify writes).
+	pendingRej map[rejKey]uint64
+}
+
+// newAdmission builds a controller, or nil when the config disables
+// quota/cap admission (queue-depth backpressure is handled by the engine
+// directly and needs no controller state).
+func newAdmission(cfg AdmissionConfig, epochEvery time.Duration) *admission {
+	if !cfg.enabled() {
+		return nil
+	}
+	retry := epochEvery
+	if retry <= 0 {
+		retry = defaultRetryAfter
+	}
+	return &admission{cfg: cfg, epochEvery: epochEvery, retryAfter: retry,
+		lastRefill: time.Now(),
+		buckets:    map[string]*bucketState{}, pendingRej: map[rejKey]uint64{}}
+}
+
+func (a *admission) bucket(participant string) *bucketState {
+	b, ok := a.buckets[participant]
+	if !ok {
+		b = &bucketState{tokens: a.cfg.burst()}
+		a.buckets[participant] = b
+	}
+	return b
+}
+
+// admitRequest decides one request submission and reserves its capacity.
+// Rejections consume nothing; they are queued for the aggregated audit
+// record the next counted epoch flushes.
+func (a *admission) admitRequest(participant string) *OverloadError {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cap := a.cfg.EpochRequestCap; cap > 0 && a.epochAdmitted+a.epochReserved >= cap {
+		a.pendingRej[rejKey{participant, OverloadEpochCap}]++
+		return &OverloadError{Reason: OverloadEpochCap, Participant: participant, RetryAfter: a.retryAfter}
+	}
+	if a.cfg.QuotaPerEpoch > 0 {
+		b := a.bucket(participant)
+		if b.tokens-b.reserved < 1 {
+			a.pendingRej[rejKey{participant, OverloadQuota}]++
+			return &OverloadError{Reason: OverloadQuota, Participant: participant, RetryAfter: a.retryAfter}
+		}
+		b.reserved++
+	}
+	a.epochReserved++
+	return nil
+}
+
+// hasPendingRejections reports whether shed audits await an epoch flush —
+// the liveness signal: starved clients are waiting on a refill only a
+// counted epoch delivers, so the engine counts a flush-only epoch when no
+// other work exists.
+func (a *admission) hasPendingRejections() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pendingRej) > 0
+}
+
+// takePendingRejections drains the accumulated shed counts in a
+// deterministic order (participant, then reason) for the epoch-end flush.
+func (a *admission) takePendingRejections() []rejRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.pendingRej) == 0 {
+		return nil
+	}
+	out := make([]rejRecord, 0, len(a.pendingRej))
+	for k, n := range a.pendingRej {
+		out = append(out, rejRecord{participant: k.participant, reason: k.reason, count: n})
+		delete(a.pendingRej, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].participant != out[j].participant {
+			return out[i].participant < out[j].participant
+		}
+		return out[i].reason < out[j].reason
+	})
+	return out
+}
+
+// commit consumes the canonical capacity of one admitted request at apply
+// time (under the epoch lock).
+func (a *admission) commit(participant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.QuotaPerEpoch > 0 {
+		b := a.bucket(participant)
+		b.tokens--
+		if b.reserved > 0 {
+			b.reserved--
+		}
+	}
+	a.epochAdmitted++
+	if a.epochReserved > 0 {
+		a.epochReserved--
+	}
+}
+
+// replayCommit mirrors commit for a replayed request-filed (or apply-time
+// rejected request) event: canonical consumption without a reservation.
+func (a *admission) replayCommit(participant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.QuotaPerEpoch > 0 {
+		a.bucket(participant).tokens--
+	}
+	a.epochAdmitted++
+}
+
+// refillFraction computes this epoch's live refill quantum: the fraction of
+// the configured ticker period that actually elapsed since the last refill,
+// capped at 1 — so batch-threshold epochs firing faster than the ticker
+// cannot multiply a requests-per-second quota. Engines without a ticker
+// (manual or threshold-only epochs) refill a full quantum per counted
+// epoch. The engine records the fraction on the epoch-end event, so replay
+// applies exactly the refills the live run earned.
+func (a *admission) refillFraction() float64 {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.epochEvery <= 0 {
+		a.lastRefill = now
+		return 1
+	}
+	f := float64(now.Sub(a.lastRefill)) / float64(a.epochEvery)
+	a.lastRefill = now
+	if f > 1 {
+		return 1
+	}
+	if f < minRefillFraction {
+		return minRefillFraction
+	}
+	return f
+}
+
+// refill runs at every counted epoch end (live after appending the
+// epoch-end record, on replay when processing it): buckets earn the given
+// fraction of their per-epoch quota up to the burst cap and the epoch
+// admission window resets.
+func (a *admission) refill(fraction float64) {
+	if fraction <= 0 {
+		fraction = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.QuotaPerEpoch > 0 {
+		burst := a.cfg.burst()
+		for _, b := range a.buckets {
+			b.tokens += a.cfg.QuotaPerEpoch * fraction
+			if b.tokens > burst {
+				b.tokens = burst
+			}
+		}
+	}
+	a.epochAdmitted = 0
+}
+
+// snapshotState captures the canonical (durable) admission state for an
+// engine checkpoint. Reservations are deliberately excluded: queued intake
+// is not durable and re-submissions consume again.
+func (a *admission) snapshotState() (buckets map[string]float64, epochAdmitted int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.buckets) > 0 {
+		buckets = make(map[string]float64, len(a.buckets))
+		for p, b := range a.buckets {
+			buckets[p] = b.tokens
+		}
+	}
+	return buckets, a.epochAdmitted
+}
+
+// restoreState seeds the canonical admission state from a checkpoint.
+func (a *admission) restoreState(buckets map[string]float64, epochAdmitted int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for p, tokens := range buckets {
+		a.buckets[p] = &bucketState{tokens: tokens}
+	}
+	a.epochAdmitted = epochAdmitted
+}

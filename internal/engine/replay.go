@@ -31,10 +31,35 @@ type Counters struct {
 	Failed    uint64 `json:"failed"`
 }
 
+// RequestMetaState is the durable policy metadata of one open request.
+// Aged records that the request's first policy deferral was already
+// audit-logged, so a restore does not log it twice.
+type RequestMetaState struct {
+	RequestID   string `json:"request_id"`
+	Participant string `json:"participant,omitempty"`
+	Priority    int    `json:"priority,omitempty"`
+	FiledEpoch  uint64 `json:"filed_epoch,omitempty"`
+	FiledSeq    int    `json:"filed_seq,omitempty"`
+	Aged        bool   `json:"aged,omitempty"`
+}
+
+// PolicyState is the durable slice of the admission/matching-policy layer:
+// per-request policy metadata, canonical token-bucket levels, the epoch
+// admission window and the audit counters. Everything here is also a pure
+// function of the event stream; snapshots carry it so a pruned WAL can
+// still boot into identical policy decisions.
+type PolicyState struct {
+	Requests      []RequestMetaState `json:"requests,omitempty"`
+	Buckets       map[string]float64 `json:"buckets,omitempty"`
+	EpochAdmitted int                `json:"epoch_admitted,omitempty"`
+	Rejected      uint64             `json:"rejected,omitempty"`
+	Aged          uint64             `json:"aged,omitempty"`
+}
+
 // SnapshotState is a point-in-time engine checkpoint: the platform snapshot
 // plus the engine's own registries (tickets, open-request ownership, epoch
-// and submission counters) and the settlement book. Restores seed from it
-// and replay only log events with Seq > TakenAtSeq.
+// and submission counters), the settlement book and the policy layer.
+// Restores seed from it and replay only log events with Seq > TakenAtSeq.
 type SnapshotState struct {
 	TakenAt    time.Time              `json:"taken_at"`
 	TakenAtSeq int                    `json:"taken_at_seq"`
@@ -45,6 +70,7 @@ type SnapshotState struct {
 	OpenReqs   map[string]string      `json:"open_reqs,omitempty"` // request ID -> ticket
 	Settles    []ledger.Settlement    `json:"settlements,omitempty"`
 	Counters   Counters               `json:"counters"`
+	Policy     *PolicyState           `json:"policy,omitempty"`
 }
 
 // Snapshot captures a consistent checkpoint. It holds the epoch lock, so no
@@ -124,6 +150,21 @@ func (e *Engine) Snapshot() (*SnapshotState, error) {
 		}
 	}
 	snap.Counters.Submitted = uint64(len(snap.Tickets))
+
+	ps := &PolicyState{Rejected: e.stRejected.Load(), Aged: e.stAged.Load()}
+	for id := range e.openReqs {
+		if m := e.reqMeta[id]; m != nil {
+			ps.Requests = append(ps.Requests, RequestMetaState{
+				RequestID: id, Participant: m.participant, Priority: m.priority,
+				FiledEpoch: m.filedEpoch, FiledSeq: m.filedSeq, Aged: m.aged,
+			})
+		}
+	}
+	sort.Slice(ps.Requests, func(i, j int) bool { return ps.Requests[i].RequestID < ps.Requests[j].RequestID })
+	if e.adm != nil {
+		ps.Buckets, ps.EpochAdmitted = e.adm.snapshotState()
+	}
+	snap.Policy = ps
 	return snap, nil
 }
 
@@ -212,6 +253,19 @@ func Restore(p *core.Platform, cfg Config, snap *SnapshotState, events []Event) 
 		for id, ticket := range snap.OpenReqs {
 			e.openReqs[id] = ticket
 		}
+		if ps := snap.Policy; ps != nil {
+			for _, rm := range ps.Requests {
+				e.reqMeta[rm.RequestID] = &reqMeta{
+					participant: rm.Participant, priority: rm.Priority,
+					filedEpoch: rm.FiledEpoch, filedSeq: rm.FiledSeq, aged: rm.Aged,
+				}
+			}
+			e.stRejected.Store(ps.Rejected)
+			e.stAged.Store(ps.Aged)
+			if e.adm != nil {
+				e.adm.restoreState(ps.Buckets, ps.EpochAdmitted)
+			}
+		}
 	}
 
 	// Replay the tail onto the platform and the engine registries.
@@ -282,11 +336,17 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 
 	case EventRequestFiled:
 		ensureTicket(KindRequest)
+		// Replay mirrors apply(): exactly one canonical quota consumption
+		// per admitted request, in event order.
+		if e.adm != nil {
+			e.adm.replayCommit(ev.Participant)
+		}
 		if ev.Payload == nil || ev.Payload.Request == nil {
 			// Code-task request: not durable. The ticket survives but its
 			// request is gone; mark it failed so pollers see a terminal state.
 			e.setTicket(ev.Ticket, func(t *Ticket) {
-				t.Status, t.Epoch, t.Err = TicketFailed, ev.Epoch, "engine: request not replayable (code task)"
+				t.Status, t.Epoch, t.Priority = TicketFailed, ev.Epoch, ev.Priority
+				t.Err = "engine: request not replayable (code task)"
 			})
 			c.Failed++
 			return nil
@@ -300,8 +360,9 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 		}
 		c.Applied++
 		e.openReqs[ev.RequestID] = ev.Ticket
+		e.reqMeta[ev.RequestID] = &reqMeta{participant: ev.Participant, priority: ev.Priority, filedEpoch: ev.Epoch, filedSeq: ev.Seq}
 		e.setTicket(ev.Ticket, func(t *Ticket) {
-			t.Status, t.Epoch, t.RequestID = TicketApplied, ev.Epoch, ev.RequestID
+			t.Status, t.Epoch, t.RequestID, t.Priority = TicketApplied, ev.Epoch, ev.RequestID, ev.Priority
 		})
 
 	case EventTxSettled:
@@ -320,21 +381,49 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 		}
 		c.Matched++
 		delete(e.openReqs, ev.RequestID)
+		delete(e.reqMeta, ev.RequestID)
 		ensureTicket(KindRequest)
 		e.setTicket(ev.Ticket, func(t *Ticket) {
-			t.Status, t.TxID, t.Price = TicketDone, ev.TxID, ev.Price
+			t.Status, t.TxID, t.Price, t.MatchedEpoch = TicketDone, ev.TxID, ev.Price, ev.Epoch
 		})
 
 	case EventRejected:
 		if ev.Ticket != "" {
 			ensureTicket(ev.SubKind)
+			if ev.SubKind == KindRequest && e.adm != nil {
+				// The request was admitted and consumed quota before apply
+				// rejected it — same accounting as the live path.
+				e.adm.replayCommit(ev.Participant)
+			}
 			c.Failed++
 			e.setTicket(ev.Ticket, func(t *Ticket) {
-				t.Status, t.Epoch, t.Err = TicketFailed, ev.Epoch, ev.Err
+				t.Status, t.Epoch, t.Err, t.Priority = TicketFailed, ev.Epoch, ev.Err, ev.Priority
 			})
 		}
 
-	case EventEpochStart, EventEpochEnd, EventRequestUnmet:
+	case EventRequestRejected:
+		if ev.Count > 0 {
+			e.stRejected.Add(ev.Count)
+		} else {
+			e.stRejected.Add(1) // pre-aggregation records: one each
+		}
+
+	case EventRequestAged:
+		e.stAged.Add(1)
+		if m := e.reqMeta[ev.RequestID]; m != nil {
+			m.aged = true // first deferral already logged; never log it twice
+		}
+
+	case EventEpochEnd:
+		// The epoch boundary: demand-signal increments commit and the
+		// admission window refills by the recorded quantum, exactly like
+		// the live endEpoch (0 = the omitted full-quantum default).
+		e.platform.AddUnmet(ev.UnmetColumns)
+		if e.adm != nil {
+			e.adm.refill(ev.QuotaRefill)
+		}
+
+	case EventEpochStart, EventRequestUnmet:
 		// Structural markers; no platform mutation to replay.
 	}
 	return nil

@@ -1,0 +1,103 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// TestDemandSignalsSurviveRestore: the unmet-demand counters — the signal
+// the recommendation and opportunistic-seller services mine — are committed
+// with each epoch-end record and re-seeded on replay, so a rebooted arbiter
+// sees exactly the demand the original run accumulated.
+func TestDemandSignalsSurviveRestore(t *testing.T) {
+	basePlat, baseEng, dir := runUninterrupted(t, SyncEpoch)
+	live := basePlat.Arbiter.DemandSignals()
+	if len(live) == 0 {
+		t.Fatal("script produced no unmet demand; the test needs a starved column")
+	}
+
+	p2, e2, w2, _, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	e2.Stop()
+
+	restored := p2.Arbiter.DemandSignals()
+	if !reflect.DeepEqual(live, restored) {
+		t.Fatalf("demand signals diverged after restore:\nlive:     %+v\nrestored: %+v", live, restored)
+	}
+
+	// The restored signal feeds the recommendation path: an opportunistic
+	// seller is offered the hottest unmet column and supplies it.
+	hottest := restored[0].Column
+	id, err := p2.Arbiter.AskOpportunisticSeller("s3", func(col string) *relation.Relation {
+		if col != hottest {
+			return nil
+		}
+		r := relation.New("opportunistic", relation.NewSchema(relation.Col(col, relation.KindInt)))
+		for i := 0; i < 5; i++ {
+			r.MustAppend(relation.Int(int64(i)))
+		}
+		return r
+	})
+	if err != nil {
+		t.Fatalf("opportunistic seller not fed by restored demand: %v", err)
+	}
+	if _, err := p2.Arbiter.Catalog.Get(id); err != nil {
+		t.Fatalf("opportunistic dataset not shared: %v", err)
+	}
+	_ = baseEng
+}
+
+// TestDemandSignalsSurviveSnapshotRestore: signals also ride the checkpoint
+// (PlatformSnapshot.Unmet) when the WAL prefix is pruned away.
+func TestDemandSignalsSurviveSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+	driveAll(t, e)
+	e.Stop()
+
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Platform.Unmet) == 0 {
+		t.Fatal("checkpoint dropped the unmet counters")
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.PruneCovered(snap.TakenAtSeq); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.FromSnapshotSeq == 0 {
+		t.Fatal("boot ignored the snapshot")
+	}
+	e2.Stop()
+	if !reflect.DeepEqual(p.Arbiter.DemandSignals(), p2.Arbiter.DemandSignals()) {
+		t.Fatalf("snapshot-restored demand signals diverged:\nlive:     %+v\nrestored: %+v",
+			p.Arbiter.DemandSignals(), p2.Arbiter.DemandSignals())
+	}
+}

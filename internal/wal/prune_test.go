@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// TestPruneAfterSnapshotReboots: with tiny segments, checkpoint mid-script,
+// prune the covered segments, finish the run, reboot — recovery must start
+// from the snapshot, replay only the surviving tail, and match the
+// uninterrupted state byte for byte.
+func TestPruneAfterSnapshotReboots(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+
+	var watermark int
+	for i, epoch := range script() {
+		for _, o := range epoch {
+			submitOp(e, o)
+		}
+		e.TriggerEpoch()
+		if i == 2 { // checkpoint + prune after epoch 3
+			snap, err := e.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := WriteSnapshot(dir, snap); err != nil {
+				t.Fatal(err)
+			}
+			watermark = snap.TakenAtSeq
+			before, _ := segmentFiles(dir)
+			if len(before) < 2 {
+				t.Fatalf("workload too small to rotate segments: %v", before)
+			}
+			n, err := w.PruneCovered(watermark)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("no covered segments pruned")
+			}
+			after, _ := segmentFiles(dir)
+			if len(after) != len(before)-n {
+				t.Fatalf("pruned %d but %d -> %d segments", n, len(before), len(after))
+			}
+			// The surviving prefix must still cover everything past the
+			// watermark: the first remaining segment starts at or below it.
+			if first := segmentFirstSeq(after[0]); first > watermark+1 {
+				t.Fatalf("prune cut into uncovered records: first segment starts at %d, watermark %d", first, watermark)
+			}
+		}
+	}
+	e.Stop()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	baseStrong := fingerprint(t, p, e, true)
+
+	// Reboot from snapshot + pruned log.
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("boot over pruned log: %v", err)
+	}
+	defer w2.Close()
+	if res.FromSnapshotSeq != watermark {
+		t.Fatalf("boot ignored the snapshot: %+v", res)
+	}
+	if res.Recovered == 0 || res.Recovered >= e.Log().LastSeq() {
+		t.Fatalf("pruned boot should recover only the tail: %+v (log head %d)", res, e.Log().LastSeq())
+	}
+	e2.Stop()
+	if got := fingerprint(t, p2, e2, true); string(got) != string(baseStrong) {
+		t.Fatalf("pruned reboot diverged:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+	}
+
+	// Events below the pruned base are compacted; the served suffix is
+	// contiguous up to the original head.
+	evs := e2.Events(0)
+	if len(evs) == 0 {
+		t.Fatal("no events served after pruned boot")
+	}
+	if evs[0].Seq == 1 {
+		t.Fatal("pruned boot still serves the full history — nothing was compacted")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in served events at %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if got, want := evs[len(evs)-1].Seq, e.Log().LastSeq(); got != want {
+		t.Fatalf("served head %d, want %d", got, want)
+	}
+}
+
+// TestPruneAfterSnapshotKeepsCorruptionFallback: the safe prune helper
+// keeps the newest two snapshots and the segments the older one needs, so
+// the newest checkpoint going corrupt still boots — the fallback
+// LoadSnapshot documents. Snapshots behind the fallback are deleted.
+func TestPruneAfterSnapshotKeepsCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
+
+	checkpoint := func() {
+		snap, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WriteSnapshot(dir, snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := PruneAfterSnapshot(dir, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, epoch := range script() {
+		for _, o := range epoch {
+			submitOp(e, o)
+		}
+		e.TriggerEpoch()
+		if i >= 1 { // checkpoint + prune after epochs 2..5
+			checkpoint()
+		}
+	}
+	e.Stop()
+	w.Close()
+	baseStrong := fingerprint(t, p, e, true)
+
+	snaps, _ := snapshotFiles(dir)
+	if len(snaps) != 2 {
+		t.Fatalf("prune should keep exactly the newest two snapshots, have %v", snaps)
+	}
+	// Corrupt the newest snapshot: boot must fall back to the older one
+	// and replay the difference from the retained segments.
+	if err := os.WriteFile(filepath.Join(dir, snaps[0]), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 4}, Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("boot with corrupt newest snapshot: %v", err)
+	}
+	defer w2.Close()
+	if res.FromSnapshotSeq != snapshotSeq(snaps[1]) {
+		t.Fatalf("boot used watermark %d, want fallback %d", res.FromSnapshotSeq, snapshotSeq(snaps[1]))
+	}
+	if res.Replayed == 0 {
+		t.Fatal("fallback boot replayed nothing — the retained segments were not used")
+	}
+	e2.Stop()
+	if got := fingerprint(t, p2, e2, true); string(got) != string(baseStrong) {
+		t.Fatalf("fallback boot diverged:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+	}
+}
+
+// TestPruneKeepsActiveSegment: pruning at the log head must never remove
+// the active append segment, and appends afterwards still land and recover.
+func TestPruneKeepsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(p, engine.Config{Shards: 2, Persister: w})
+	driveAll(t, e)
+
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.PruneCovered(snap.TakenAtSeq); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentFiles(dir)
+	if len(segs) == 0 {
+		t.Fatal("prune removed the active append segment")
+	}
+
+	// The log is still appendable after the prune.
+	reg := mustTicket(e.SubmitRegister("b9", 700))
+	e.TriggerEpoch()
+	if tk, _ := e.Ticket(reg); tk.Status != engine.TicketDone {
+		t.Fatalf("post-prune registration failed: %+v", tk)
+	}
+	e.Stop()
+	w.Close()
+
+	p2, e2, w2, _, err := Boot(core.Options{Design: testDesign},
+		engine.Config{Shards: 2}, Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("boot after prune+append: %v", err)
+	}
+	defer func() { e2.Stop(); w2.Close() }()
+	if !p2.Arbiter.Ledger.Exists("b9") {
+		t.Fatal("post-prune registration lost on reboot")
+	}
+}

@@ -74,6 +74,15 @@ func script() [][]op {
 	}
 }
 
+// mustTicket unwraps a Submit* result for scripts with no admission control
+// configured (where intake can never reject).
+func mustTicket(id string, err error) string {
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
 func scriptRelation(name string, rows int) *relation.Relation {
 	r := relation.New(name, relation.NewSchema(
 		relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
@@ -86,10 +95,10 @@ func scriptRelation(name string, rows int) *relation.Relation {
 func submitOp(e *engine.Engine, o op) string {
 	switch o.kind {
 	case "register":
-		return e.SubmitRegister(o.name, o.funds)
+		return mustTicket(e.SubmitRegister(o.name, o.funds))
 	case "share":
-		return e.SubmitShare(o.name, catalog.DatasetID(o.ds), scriptRelation(o.ds, o.rows),
-			wtp.DatasetMeta{Dataset: o.ds, HasProvenance: true}, license.Terms{Kind: license.Open})
+		return mustTicket(e.SubmitShare(o.name, catalog.DatasetID(o.ds), scriptRelation(o.ds, o.rows),
+			wtp.DatasetMeta{Dataset: o.ds, HasProvenance: true}, license.Terms{Kind: license.Open}))
 	case "request":
 		want := dod.Want{Columns: o.cols}
 		f := &wtp.Function{
@@ -97,7 +106,7 @@ func submitOp(e *engine.Engine, o op) string {
 			Task:  wtp.CoverageTask{Columns: o.cols, WantRows: 1},
 			Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: o.offer}},
 		}
-		return e.SubmitRequest(want, f)
+		return mustTicket(e.SubmitRequest(want, f))
 	}
 	panic("unknown op kind " + o.kind)
 }
@@ -186,10 +195,25 @@ func fingerprint(t *testing.T, p *core.Platform, e *engine.Engine, withEpochs bo
 		snap.TakenAtSeq = 0
 		for i := range snap.Tickets {
 			snap.Tickets[i].Epoch = 0
+			snap.Tickets[i].MatchedEpoch = 0
 		}
 		for i := range snap.Settles {
 			snap.Settles[i].Epoch = 0
 		}
+		if snap.Policy != nil {
+			// Re-driven filings land in later epochs at later event seqs;
+			// like the epoch tags, the filing coordinates are the only
+			// policy fields mid-epoch crashes may move.
+			for i := range snap.Policy.Requests {
+				snap.Policy.Requests[i].FiledEpoch = 0
+				snap.Policy.Requests[i].FiledSeq = 0
+			}
+		}
+		// Demand signals commit with the epoch-end record; a torn epoch
+		// loses its round's increments (and a re-driven run may count a
+		// different number of rounds), so they are only byte-comparable at
+		// epoch boundaries.
+		snap.Platform.Unmet = nil
 	}
 	var history []string
 	for _, tx := range p.Arbiter.History() {
@@ -510,7 +534,7 @@ func TestBootArchivesStaleLogBehindSnapshot(t *testing.T) {
 	}
 
 	// New work gets post-watermark seqs and survives another restart.
-	reg := e2.SubmitRegister("b9", 700)
+	reg := mustTicket(e2.SubmitRegister("b9", 700))
 	e2.TriggerEpoch()
 	if tk, _ := e2.Ticket(reg); tk.Status != engine.TicketDone {
 		t.Fatalf("post-archive registration failed: %+v", tk)
@@ -624,9 +648,9 @@ func TestSnapshotExcludesQueuedIntake(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(p, engine.Config{Shards: 2, Persister: w})
-	first := e.SubmitRegister("b1", 1000) // sub-000001
+	first := mustTicket(e.SubmitRegister("b1", 1000)) // sub-000001
 	e.TriggerEpoch()
-	queued := e.SubmitRegister("b2", 2000) // sub-000002: queued, no epoch yet
+	queued := mustTicket(e.SubmitRegister("b2", 2000)) // sub-000002: queued, no epoch yet
 
 	snap, err := e.Snapshot()
 	if err != nil {
@@ -682,7 +706,7 @@ func TestSnapshotQueuedResubmissionKeepsTicketID(t *testing.T) {
 	e := engine.New(p, engine.Config{Shards: 2, Persister: &faultPersister{inner: w, remaining: 3}})
 	e.SubmitRegister("b1", 1000) // sub-000001; epoch -> events 1..3
 	e.TriggerEpoch()
-	queued := e.SubmitRegister("b2", 2000) // sub-000002: queued
+	queued := mustTicket(e.SubmitRegister("b2", 2000)) // sub-000002: queued
 	snap, err := e.Snapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -702,7 +726,7 @@ func TestSnapshotQueuedResubmissionKeepsTicketID(t *testing.T) {
 	if _, ok := e2.Ticket(queued); ok {
 		t.Fatalf("ticket %s should not survive: its submission was never evented", queued)
 	}
-	if got := e2.SubmitRegister("b2", 2000); got != queued {
+	if got := mustTicket(e2.SubmitRegister("b2", 2000)); got != queued {
 		t.Fatalf("re-submission got ticket %s, want original %s", got, queued)
 	}
 	e2.TriggerEpoch()

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/engine"
@@ -16,6 +17,38 @@ import (
 // (tmp + rename) so a crash mid-write never shadows an older good snapshot.
 
 func snapshotName(seq int) string { return fmt.Sprintf("snapshot-%010d.json", seq) }
+
+// snapshotSeq parses the watermark a snapshot file name encodes; 0 when the
+// name is malformed.
+func snapshotSeq(name string) int {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// snapshotFiles lists snapshot file names in dir, newest (highest seq)
+// first. A missing directory yields an empty list.
+func snapshotFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
 
 // WriteSnapshot persists an engine checkpoint into dir and returns its path.
 func WriteSnapshot(dir string, snap *engine.SnapshotState) (string, error) {
@@ -68,21 +101,10 @@ func WriteSnapshot(dir string, snap *engine.SnapshotState) (string, error) {
 // when none exists. A corrupt newest snapshot falls back to the one before
 // it — the WAL replays the difference either way.
 func LoadSnapshot(dir string) (*engine.SnapshotState, error) {
-	entries, err := os.ReadDir(dir)
+	names, err := snapshotFiles(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
 		return nil, err
 	}
-	var names []string
-	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json") {
-			names = append(names, name)
-		}
-	}
-	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	for _, name := range names {
 		raw, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -95,4 +117,39 @@ func LoadSnapshot(dir string) (*engine.SnapshotState, error) {
 		return &snap, nil
 	}
 	return nil, nil
+}
+
+// PruneAfterSnapshot bounds WAL-directory growth after a successful
+// checkpoint without giving up LoadSnapshot's corruption fallback: segments
+// are pruned only up to the *second*-newest snapshot's watermark — so the
+// newest snapshot going corrupt still leaves a fallback checkpoint plus
+// every segment it needs to replay forward — and snapshot files older than
+// that fallback are deleted. With fewer than two snapshots nothing is
+// removed (the first checkpoint cycle keeps the full log as its own
+// fallback). Returns how many segments and snapshots were removed.
+func PruneAfterSnapshot(dir string, w *Log) (segments, snapshots int, err error) {
+	names, err := snapshotFiles(dir)
+	if err != nil || len(names) < 2 {
+		return 0, 0, err
+	}
+	fallback := snapshotSeq(names[1])
+	if segments, err = w.PruneCovered(fallback); err != nil {
+		return segments, 0, err
+	}
+	for _, name := range names[2:] {
+		// A concurrent prune may already have removed it; idempotent.
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return segments, snapshots, fmt.Errorf("wal: prune snapshot %s: %w", name, err)
+		}
+		snapshots++
+	}
+	if snapshots > 0 {
+		if err := syncDir(dir); err != nil {
+			return segments, snapshots, err
+		}
+	}
+	return segments, snapshots, nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -60,6 +61,7 @@ type Log struct {
 
 	mu       sync.Mutex
 	f        *os.File
+	curName  string // name of the active append segment
 	segBytes int64
 	lastSeq  int
 	err      error // sticky: first append/sync failure wedges the log
@@ -198,6 +200,7 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 		return nil, nil, err
 	}
 	w.f = f
+	w.curName = appendTo
 	w.segBytes = appendSize
 	return w, events, nil
 }
@@ -301,7 +304,8 @@ func (w *Log) rotate() error {
 	if err := w.f.Close(); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(w.opt.Dir, segmentName(w.lastSeq+1)),
+	name := segmentName(w.lastSeq + 1)
+	f, err := os.OpenFile(filepath.Join(w.opt.Dir, name),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -311,8 +315,62 @@ func (w *Log) rotate() error {
 		return err
 	}
 	w.f = f
+	w.curName = name
 	w.segBytes = 0
 	return nil
+}
+
+// segmentFirstSeq parses the first-record seq a segment name encodes
+// ("wal-%010d.seg"); 0 when the name is malformed.
+func segmentFirstSeq(name string) int {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// PruneCovered removes sealed WAL segments made fully redundant by a
+// snapshot at the given watermark seq: a segment is dropped when every
+// record it holds has seq <= watermark (i.e. the next segment starts at or
+// below watermark+1). The active append segment is never removed, so the
+// log always stays appendable and the [watermark+1, head] suffix stays
+// replayable. Returns how many segments were removed. Call it after
+// WriteSnapshot succeeds; wal.Boot handles the resulting pruned prefix
+// (recovery starts from the snapshot and replays only the surviving tail).
+func (w *Log) PruneCovered(watermark int) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("wal: prune on closed log")
+	}
+	segs, err := segmentFiles(w.opt.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, name := range segs {
+		if name == w.curName || i+1 >= len(segs) {
+			break
+		}
+		if segmentFirstSeq(segs[i+1]) > watermark+1 {
+			break // this segment holds records past the watermark
+		}
+		if err := os.Remove(filepath.Join(w.opt.Dir, name)); err != nil {
+			if os.IsNotExist(err) {
+				continue // a concurrent prune got there first; idempotent
+			}
+			return removed, fmt.Errorf("wal: prune segment %s: %w", name, err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(w.opt.Dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }
 
 // Sync forces an fsync of the current segment regardless of policy.
