@@ -31,7 +31,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmms"
 	"repro/internal/engine"
-	"repro/internal/market"
 	"repro/internal/wal"
 )
 
@@ -90,13 +89,6 @@ func main() {
 		syncPolicy, perr := wal.ParseSyncPolicy(*fsync)
 		if perr != nil {
 			log.Fatal(perr)
-		}
-		// Ex-post designs settle via POST /report, which is neither
-		// evented nor replayable yet (see ROADMAP): escrowed deposits
-		// would brick snapshots and a post-report crash could fail replay.
-		// Refuse the combination up front instead of wedging later.
-		if d, err := market.StandardDesigns().Get(*design); err == nil && d.Elicitation == market.ElicitExPost {
-			log.Fatalf("dmgateway: -wal-dir does not support ex-post design %q yet (reporting is not event-logged)", *design)
 		}
 		var res wal.BootResult
 		p, eng, w, res, err = wal.Boot(core.Options{Design: *design}, cfg,
@@ -171,6 +163,7 @@ func main() {
 
 	srv := &http.Server{Addr: *addr, Handler: server}
 	done := make(chan struct{})
+	exitCode := 0
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
@@ -184,13 +177,32 @@ func main() {
 		eng.Stop()
 		if w != nil {
 			if *snapOnDrain {
-				if snap, err := eng.Snapshot(); err != nil {
-					log.Printf("dmgateway: drain snapshot refused: %v", err)
-				} else if path, err := wal.WriteSnapshot(*walDir, snap); err != nil {
-					log.Printf("dmgateway: drain snapshot failed: %v", err)
-				} else {
+				writeDrain := func() error {
+					snap, err := eng.Snapshot()
+					if err != nil {
+						return err
+					}
+					path, err := wal.WriteSnapshot(*walDir, snap)
+					if err != nil {
+						return err
+					}
 					log.Printf("dmgateway: drain snapshot %s (seq %d)", path, snap.TakenAtSeq)
 					pruneAfterSnapshot()
+					return nil
+				}
+				if err := writeDrain(); err != nil {
+					// A refused checkpoint must not be silently lost: retry
+					// once after a flush epoch and exit nonzero if the
+					// checkpoint still cannot be written, so supervisors see
+					// the failed drain. The retry covers transient snapshot
+					// write failures; a wedged WAL stays wedged and reaches
+					// the nonzero exit.
+					log.Printf("dmgateway: drain snapshot refused: %v; retrying after a flush epoch", err)
+					eng.TriggerEpoch()
+					if err := writeDrain(); err != nil {
+						log.Printf("dmgateway: drain snapshot failed after retry: %v", err)
+						exitCode = 1
+					}
 				}
 			}
 			if err := w.Close(); err != nil {
@@ -205,4 +217,7 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
 }

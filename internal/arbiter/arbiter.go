@@ -27,7 +27,6 @@ import (
 	"repro/internal/market"
 	"repro/internal/policy"
 	"repro/internal/profile"
-	"repro/internal/provenance"
 	"repro/internal/relation"
 	"repro/internal/wtp"
 )
@@ -59,6 +58,11 @@ type Transaction struct {
 	ArbiterCut   float64
 	SellerCuts   map[string]float64
 	ExPost       bool
+	// ExPostShares are the per-owner revenue fractions fixed at delivery
+	// time from the mashup's provenance (ex-post sales only). The buyer's
+	// later report settles by these, live and on WAL replay alike, so the
+	// split never depends on in-memory provenance that a restart loses.
+	ExPostShares map[string]float64
 }
 
 // Arbiter wires the catalog, metadata engine, index builder, DoD engine,
@@ -83,8 +87,13 @@ type Arbiter struct {
 	// shareOrder records dataset IDs in ingestion order; snapshot/restore
 	// replays shares in this order so profile indexing is deterministic.
 	shareOrder []string
-	requests   []*Request
-	history    []*Transaction
+	// reqByID indexes every request ever filed (settled included) for O(1)
+	// ID lookups and duplicate checks; openList holds the open ones in
+	// filing order, compacted lazily, so per-round cost tracks the open set
+	// instead of the full request history.
+	reqByID  map[string]*Request
+	openList []*Request
+	history  []*Transaction
 	// unmet tracks wanted columns no mashup could supply — the demand
 	// signal opportunistic sellers mine (paper §7.1).
 	unmet map[string]int
@@ -97,11 +106,15 @@ type Arbiter struct {
 	rng    uint64
 }
 
+// exPostState tracks one delivered-but-unreported ex-post sale. fracs are
+// the owner revenue fractions fixed at delivery (see Transaction.
+// ExPostShares); they are durable (tx-settled events and snapshots carry
+// them), so report settlement is identical before and after a restart.
 type exPostState struct {
 	tx      *Transaction
 	deposit ledger.Currency
 	buyer   string
-	anno    *provenance.Annotated
+	fracs   map[string]float64
 }
 
 // New creates an arbiter running the given market design.
@@ -116,6 +129,7 @@ func New(design *market.Design) (*Arbiter, error) {
 		Licenses:      license.NewManager(),
 		ix:            index.Build(index.DefaultConfig(), nil),
 		metas:         map[string]wtp.DatasetMeta{},
+		reqByID:       map[string]*Request{},
 		unmet:         map[string]int{},
 		purchases:     map[string]map[string]int{},
 		pendingExPost: map[string]*exPostState{},
@@ -189,8 +203,33 @@ func (a *Arbiter) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) 
 	defer a.mu.Unlock()
 	a.nextID++
 	id := fmt.Sprintf("req-%04d", a.nextID)
-	a.requests = append(a.requests, &Request{ID: id, Want: want, WTP: f, Open: true})
+	a.fileRequestLocked(&Request{ID: id, Want: want, WTP: f, Open: true})
 	return id, nil
+}
+
+// fileRequestLocked indexes a newly filed request. Caller holds a.mu.
+func (a *Arbiter) fileRequestLocked(r *Request) {
+	a.reqByID[r.ID] = r
+	a.openList = append(a.openList, r)
+}
+
+// openLocked compacts settled requests out of openList and returns the open
+// requests in filing order. Caller holds a.mu. Compaction keeps the slice
+// proportional to the open set, so every matching round — MatchRound and
+// MatchRoundFor alike — costs O(open), not O(lifetime requests).
+func (a *Arbiter) openLocked() []*Request {
+	kept := a.openList[:0]
+	for _, r := range a.openList {
+		if r.Open {
+			kept = append(kept, r)
+		}
+	}
+	// Release the dropped tail so settled requests do not pin memory.
+	for i := len(kept); i < len(a.openList); i++ {
+		a.openList[i] = nil
+	}
+	a.openList = kept
+	return kept
 }
 
 // wantKey normalizes a Want so buyers with the same need share an auction.
@@ -236,17 +275,9 @@ func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
 	if ids == nil {
 		return a.matchRoundLocked(nil), nil
 	}
-	// Index only open requests: the requests slice retains settled history,
-	// and a per-round map over it would grow with lifetime volume.
-	byID := map[string]*Request{}
-	for _, r := range a.requests {
-		if r.Open {
-			byID[r.ID] = r
-		}
-	}
 	pool := make([]*Request, 0, len(ids))
 	for _, id := range ids {
-		if r := byID[id]; r != nil {
+		if r := a.reqByID[id]; r != nil && r.Open {
 			pool = append(pool, r)
 		}
 	}
@@ -289,11 +320,7 @@ func (a *Arbiter) UnmetCounts() map[string]int {
 func (a *Arbiter) matchRoundLocked(pool []*Request) *MatchResult {
 	res := &MatchResult{UnmetCols: map[string]int{}}
 	if pool == nil {
-		for _, r := range a.requests {
-			if r.Open {
-				pool = append(pool, r)
-			}
-		}
+		pool = a.openLocked()
 	}
 
 	groups := map[string][]*Request{}
@@ -478,7 +505,9 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 	}
 
 	if a.Design.Elicitation == market.ElicitExPost {
-		// Deliver now against an escrowed deposit; settle on report.
+		// Deliver now against an escrowed deposit; settle on report. The
+		// revenue fractions are fixed here, while the mashup's provenance
+		// is in hand, and travel on the tx-settled event and in snapshots.
 		mech, _ := a.Design.Mechanism.(market.ExPost)
 		dep := ledger.FromFloat(mech.Deposit)
 		if dep == 0 {
@@ -488,7 +517,8 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 			return nil, err
 		}
 		tx.ExPost = true
-		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: buyer, anno: cand.Anno}
+		tx.ExPostShares = a.Design.RevenueFractions(cand.Anno, a.ownersOf(cand.Datasets), nil)
+		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: buyer, fracs: tx.ExPostShares}
 		a.recordPurchase(buyer, cand.Datasets)
 		a.history = append(a.history, tx)
 		a.issueLicenses(cand.Datasets, buyer, sale.Price)
@@ -500,7 +530,7 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 	}
 	owners := a.ownersOf(cand.Datasets)
 	split := a.Design.ShareRevenue(sale.Price, cand.Anno, owners, nil)
-	if err := a.paySplit(txID, split); err != nil {
+	if err := a.paySplit(txID, a.Ledger.Escrowed(txID), split.SellerCut); err != nil {
 		return nil, err
 	}
 	tx.ArbiterCut = split.ArbiterCut
@@ -513,16 +543,18 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 	return tx, nil
 }
 
-// paySplit settles an escrow: the full escrow is released to the arbiter
-// account, which then fans the seller cuts out. The arbiter's fee is what
-// remains after the fan-out.
-func (a *Arbiter) paySplit(escrowID string, split market.RevenueSplit) error {
-	remaining := a.Ledger.Escrowed(escrowID)
-	if err := a.Ledger.Release(escrowID, ArbiterAccount, remaining, "settlement"); err != nil {
+// paySplit settles an escrow: `pay` of the held amount is released to the
+// arbiter account (the ledger refunds the remainder to the funder), which
+// then fans the seller cuts out. The arbiter's fee is what remains after
+// the fan-out. Up-front settlements pass the full escrow; ex-post report
+// settlement — live and on WAL replay — passes the reported amount capped
+// by the deposit.
+func (a *Arbiter) paySplit(escrowID string, pay ledger.Currency, sellerCuts map[string]float64) error {
+	if err := a.Ledger.Release(escrowID, ArbiterAccount, pay, "settlement"); err != nil {
 		return err
 	}
-	for _, s := range market.SortedPlayers(split.SellerCut) {
-		amt := ledger.FromFloat(split.SellerCut[s])
+	for _, s := range market.SortedPlayers(sellerCuts) {
+		amt := ledger.FromFloat(sellerCuts[s])
 		if amt <= 0 {
 			continue
 		}
@@ -572,48 +604,87 @@ func recordUnmetMissing(unmet map[string]int, wanted []string, got relation.Sche
 	}
 }
 
+// stepRNG advances the arbiter's deterministic audit RNG (xorshift64) one
+// step and returns the new state. Only report settlement consumes it, live
+// and on replay alike, so the state is a pure function of how many reports
+// have settled — snapshots carry it (core.PlatformSnapshot.Rng) and replay
+// re-steps it, keeping post-restore audit decisions identical to an
+// uninterrupted run. Caller holds a.mu.
+func (a *Arbiter) stepRNG() uint64 {
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	return a.rng
+}
+
+// ReportOutcome is the durable outcome of one ex-post report settlement —
+// everything the engine logs on a value-reported event so WAL replay can
+// reproduce the transfers micro-unit exactly without re-running the audit.
+type ReportOutcome struct {
+	TxID       string
+	RequestID  string
+	Buyer      string
+	Paid       float64
+	Audited    bool
+	ArbiterCut float64
+	SellerCuts map[string]float64
+}
+
 // ReportValue settles a pending ex-post transaction with the buyer's
-// reported value (paper §3.2.2.2). The arbiter audits with the mechanism's
-// probability (deterministic pseudo-randomness keyed by transaction);
-// audited under-reports pay the shortfall plus penalty.
+// reported value (paper §3.2.2.2), returning the amount paid. See
+// SettleReport for the full outcome.
 func (a *Arbiter) ReportValue(txID string, reported, trueValue float64) (float64, error) {
+	out, err := a.SettleReport(txID, reported, trueValue)
+	return out.Paid, err
+}
+
+// SettleReport settles a pending ex-post transaction with the buyer's
+// reported value. The arbiter audits with the mechanism's probability
+// (deterministic pseudo-randomness keyed by report order); audited
+// under-reports pay the shortfall plus penalty, capped by the escrowed
+// deposit. The returned outcome carries the realized transfers for the
+// engine's value-reported event-log record.
+func (a *Arbiter) SettleReport(txID string, reported, trueValue float64) (ReportOutcome, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st, ok := a.pendingExPost[txID]
 	if !ok {
-		return 0, fmt.Errorf("arbiter: no pending ex-post transaction %q", txID)
+		return ReportOutcome{}, fmt.Errorf("arbiter: no pending ex-post transaction %q", txID)
 	}
 	mech, _ := a.Design.Mechanism.(market.ExPost)
-	a.rng ^= a.rng << 13
-	a.rng ^= a.rng >> 7
-	a.rng ^= a.rng << 17
-	audited := float64(a.rng%10000)/10000 < mech.AuditProb
+	audited := float64(a.stepRNG()%10000)/10000 < mech.AuditProb
 	outs, _ := mech.RunAudited(
 		[]market.Bid{{Buyer: st.buyer, Offer: reported, True: trueValue}},
 		func(int) bool { return audited })
 	pay := ledger.FromFloat(outs[0].Sale.Price)
+	if pay < 0 {
+		// A report of negative realized value pays nothing (ExPost.Run
+		// clamps identically); the whole deposit is refunded. Settling —
+		// rather than erroring out after the RNG step — keeps every audit
+		// RNG step paired with a logged value-reported record, which WAL
+		// replay depends on.
+		pay = 0
+	}
 	if pay > st.deposit {
 		pay = st.deposit
 	}
-	if err := a.Ledger.Release(txID, ArbiterAccount, pay, "ex-post settlement"); err != nil {
-		return 0, err
-	}
-	owners := a.ownersOf(st.tx.Datasets)
-	split := a.Design.ShareRevenue(pay.Float(), st.anno, owners, nil)
-	for _, s := range market.SortedPlayers(split.SellerCut) {
-		amt := ledger.FromFloat(split.SellerCut[s])
-		if amt <= 0 {
-			continue
-		}
-		if err := a.Ledger.Transfer(ArbiterAccount, s, amt, "ex-post share "+txID); err != nil {
-			return 0, err
-		}
+	split := a.Design.ShareFractions(pay.Float(), st.fracs)
+	if err := a.paySplit(txID, pay, split.SellerCut); err != nil {
+		return ReportOutcome{}, err
 	}
 	st.tx.Price = pay.Float()
 	st.tx.ArbiterCut = split.ArbiterCut
 	st.tx.SellerCuts = split.SellerCut
 	delete(a.pendingExPost, txID)
-	return pay.Float(), nil
+	return ReportOutcome{
+		TxID:       txID,
+		RequestID:  st.tx.RequestID,
+		Buyer:      st.buyer,
+		Paid:       pay.Float(),
+		Audited:    audited,
+		ArbiterCut: split.ArbiterCut,
+		SellerCuts: split.SellerCut,
+	}, nil
 }
 
 // History returns completed transactions.
@@ -629,11 +700,10 @@ func (a *Arbiter) History() []*Transaction {
 func (a *Arbiter) OpenRequests() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var out []string
-	for _, r := range a.requests {
-		if r.Open {
-			out = append(out, r.ID)
-		}
+	open := a.openLocked()
+	out := make([]string, len(open))
+	for i, r := range open {
+		out[i] = r.ID
 	}
 	return out
 }

@@ -26,11 +26,10 @@ import (
 func (a *Arbiter) OpenRequestStates() []Request {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var out []Request
-	for _, r := range a.requests {
-		if r.Open {
-			out = append(out, *r)
-		}
+	open := a.openLocked()
+	out := make([]Request, len(open))
+	for i, r := range open {
+		out[i] = *r
 	}
 	return out
 }
@@ -51,13 +50,89 @@ func (a *Arbiter) MetaFor(id string) wtp.DatasetMeta {
 }
 
 // PendingExPostCount reports how many delivered-but-unpaid ex-post
-// transactions are outstanding. Their deposits live in ledger escrow, which
-// snapshots do not capture — Engine.Snapshot refuses a checkpoint while any
-// are pending.
+// transactions are outstanding. Their escrowed deposits travel in snapshots
+// as PendingEscrows and clear when the buyer's value report settles.
 func (a *Arbiter) PendingExPostCount() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.pendingExPost)
+}
+
+// PendingEscrow is the durable form of one delivered-but-unreported ex-post
+// transaction: the escrowed deposit and who funded it. Snapshots carry the
+// pending set (core.PlatformSnapshot.PendingExPost) so a checkpoint taken
+// while deposits are outstanding restores them exactly.
+type PendingEscrow struct {
+	TxID    string          `json:"tx_id"`
+	Buyer   string          `json:"buyer"`
+	Deposit ledger.Currency `json:"deposit"`
+	// Shares are the delivery-time revenue fractions the report settles by
+	// (see Transaction.ExPostShares).
+	Shares map[string]float64 `json:"shares,omitempty"`
+}
+
+// PendingEscrows returns the pending ex-post set in TxID order for
+// snapshots.
+func (a *Arbiter) PendingEscrows() []PendingEscrow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PendingEscrow, 0, len(a.pendingExPost))
+	for txID, st := range a.pendingExPost {
+		out = append(out, PendingEscrow{TxID: txID, Buyer: st.buyer, Deposit: st.deposit, Shares: st.fracs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TxID < out[j].TxID })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// RestorePendingEscrows re-seeds the pending ex-post set from a snapshot:
+// the ledger escrow is recreated without debiting the buyer (snapshot
+// balances were taken after the original Hold), and the pending entry is
+// wired to the restored history transaction so a later report updates it in
+// place. Call after RestoreHistory.
+func (a *Arbiter) RestorePendingEscrows(pes []PendingEscrow) error {
+	if len(pes) == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byTx := make(map[string]*Transaction, len(a.history))
+	for _, tx := range a.history {
+		byTx[tx.ID] = tx
+	}
+	for _, pe := range pes {
+		tx, ok := byTx[pe.TxID]
+		if !ok {
+			return fmt.Errorf("arbiter: pending escrow %s has no history transaction", pe.TxID)
+		}
+		if err := a.Ledger.RestoreEscrow(pe.TxID, pe.Buyer, pe.Deposit); err != nil {
+			return fmt.Errorf("arbiter: restore escrow %s: %w", pe.TxID, err)
+		}
+		a.pendingExPost[pe.TxID] = &exPostState{tx: tx, deposit: pe.Deposit, buyer: pe.Buyer, fracs: pe.Shares}
+	}
+	return nil
+}
+
+// RngState reads the audit RNG for snapshots; RestoreRngState reinstates it
+// so post-restore audit decisions match the uninterrupted run.
+func (a *Arbiter) RngState() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rng
+}
+
+// RestoreRngState reinstates a snapshotted audit RNG. A zero state is
+// ignored: xorshift64 never reaches zero from the nonzero seed, so zero
+// only means the snapshot predates RNG capture.
+func (a *Arbiter) RestoreRngState(s uint64) {
+	if s == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rng = s
 }
 
 // ReplayNextID reads the request/transaction ID counter for snapshots.
@@ -102,13 +177,11 @@ func (a *Arbiter) RestoreRequest(id string, want dod.Want, f *wtp.Function) erro
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for _, r := range a.requests {
-		if r.ID == id {
-			return fmt.Errorf("arbiter: request %q already filed", id)
-		}
+	if a.reqByID[id] != nil {
+		return fmt.Errorf("arbiter: request %q already filed", id)
 	}
 	a.bumpNextID(id)
-	a.requests = append(a.requests, &Request{ID: id, Want: want, WTP: f, Open: true})
+	a.fileRequestLocked(&Request{ID: id, Want: want, WTP: f, Open: true})
 	return nil
 }
 
@@ -126,6 +199,9 @@ type ReplayedSettlement struct {
 	Satisfaction float64            `json:"satisfaction,omitempty"`
 	Datasets     []string           `json:"datasets,omitempty"`
 	ExPost       bool               `json:"ex_post,omitempty"`
+	// ExPostShares are the delivery-time revenue fractions (ex-post sales
+	// only) the later report settles by; see Transaction.ExPostShares.
+	ExPostShares map[string]float64 `json:"ex_post_shares,omitempty"`
 }
 
 // HistorySkeletons returns the completed-transaction history in its durable
@@ -145,6 +221,7 @@ func (a *Arbiter) HistorySkeletons() []ReplayedSettlement {
 			Satisfaction: tx.Satisfaction,
 			Datasets:     tx.Datasets,
 			ExPost:       tx.ExPost,
+			ExPostShares: tx.ExPostShares,
 		})
 	}
 	return out
@@ -173,6 +250,7 @@ func (a *Arbiter) RestoreHistory(skels []ReplayedSettlement) {
 			ArbiterCut:   rs.ArbiterCut,
 			SellerCuts:   cuts,
 			ExPost:       rs.ExPost,
+			ExPostShares: rs.ExPostShares,
 		})
 	}
 }
@@ -181,16 +259,14 @@ func (a *Arbiter) RestoreHistory(skels []ReplayedSettlement) {
 // closes the request, repeats the escrow hold / release / revenue fan-out
 // with the logged amounts (micro-unit identical to the original run),
 // re-issues licenses and records the purchase. Ex-post sales re-escrow the
-// deposit and return to the pending set, though without provenance
-// annotations (the mashup is not logged), so a later ReportValue splits
-// revenue by dataset owners only.
+// deposit and return to the pending set with the logged delivery-time
+// revenue fractions, so a later report splits exactly as the uninterrupted
+// run would have.
 func (a *Arbiter) ReplaySettlement(rs ReplayedSettlement) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for _, r := range a.requests {
-		if r.ID == rs.RequestID {
-			r.Open = false
-		}
+	if r := a.reqByID[rs.RequestID]; r != nil {
+		r.Open = false
 	}
 	a.bumpNextID(rs.TxID)
 
@@ -213,29 +289,15 @@ func (a *Arbiter) ReplaySettlement(rs ReplayedSettlement) error {
 			return err
 		}
 		tx.ExPost = true
-		a.pendingExPost[rs.TxID] = &exPostState{tx: tx, deposit: dep, buyer: rs.Buyer}
+		tx.ExPostShares = rs.ExPostShares
+		a.pendingExPost[rs.TxID] = &exPostState{tx: tx, deposit: dep, buyer: rs.Buyer, fracs: rs.ExPostShares}
 	} else {
 		price := ledger.FromFloat(rs.Price)
 		if err := a.Ledger.Hold(rs.TxID, rs.Buyer, price, "purchase (replay)"); err != nil {
 			return err
 		}
-		remaining := a.Ledger.Escrowed(rs.TxID)
-		if err := a.Ledger.Release(rs.TxID, ArbiterAccount, remaining, "settlement"); err != nil {
+		if err := a.paySplit(rs.TxID, a.Ledger.Escrowed(rs.TxID), rs.SellerCuts); err != nil {
 			return err
-		}
-		sellers := make([]string, 0, len(rs.SellerCuts))
-		for s := range rs.SellerCuts {
-			sellers = append(sellers, s)
-		}
-		sort.Strings(sellers)
-		for _, s := range sellers {
-			amt := ledger.FromFloat(rs.SellerCuts[s])
-			if amt <= 0 {
-				continue
-			}
-			if err := a.Ledger.Transfer(ArbiterAccount, s, amt, "revenue share "+rs.TxID); err != nil {
-				return err
-			}
 		}
 		tx.ArbiterCut = rs.ArbiterCut
 		for s, c := range rs.SellerCuts {
@@ -246,5 +308,44 @@ func (a *Arbiter) ReplaySettlement(rs ReplayedSettlement) error {
 	a.issueLicenses(rs.Datasets, rs.Buyer, rs.Price)
 	a.recordPurchase(rs.Buyer, rs.Datasets)
 	a.history = append(a.history, tx)
+	return nil
+}
+
+// ReplayedReport is the durable skeleton of one ex-post report settlement,
+// as carried by a value-reported event: the realized payment and revenue
+// fan-out SettleReport moved through the ledger.
+type ReplayedReport struct {
+	TxID       string             `json:"tx_id"`
+	Paid       float64            `json:"paid"`
+	ArbiterCut float64            `json:"arbiter_cut,omitempty"`
+	SellerCuts map[string]float64 `json:"seller_cuts,omitempty"`
+}
+
+// ReplayReport re-applies one report settlement from the durable event log:
+// the escrow release and revenue fan-out repeat with the logged amounts
+// (micro-unit identical to the original run — the audit is never re-run),
+// the pending entry clears, and the audit RNG steps exactly once so live
+// reports after the replayed prefix see the same audit schedule the
+// uninterrupted run would have.
+func (a *Arbiter) ReplayReport(rr ReplayedReport) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.pendingExPost[rr.TxID]
+	if !ok {
+		return fmt.Errorf("arbiter: no pending ex-post transaction %q", rr.TxID)
+	}
+	a.stepRNG()
+	pay := ledger.FromFloat(rr.Paid)
+	if err := a.paySplit(rr.TxID, pay, rr.SellerCuts); err != nil {
+		return err
+	}
+	st.tx.Price = rr.Paid
+	st.tx.ArbiterCut = rr.ArbiterCut
+	cuts := make(map[string]float64, len(rr.SellerCuts))
+	for s, c := range rr.SellerCuts {
+		cuts[s] = c
+	}
+	st.tx.SellerCuts = cuts
+	delete(a.pendingExPost, rr.TxID)
 	return nil
 }

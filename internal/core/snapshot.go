@@ -230,6 +230,17 @@ type PlatformSnapshot struct {
 	// History preserves the completed-transaction record (sans mashups);
 	// its ledger effects are already inside Accounts.
 	History []arbiter.ReplayedSettlement `json:"history,omitempty"`
+	// PendingExPost carries delivered-but-unreported ex-post escrows: the
+	// deposits are held outside every account balance, so the checkpoint
+	// must name them explicitly or restore would destroy the money. Restore
+	// re-seeds the ledger escrow and the arbiter's pending set, and the
+	// buyer's later value report settles against them exactly as if the
+	// process had never restarted.
+	PendingExPost []arbiter.PendingEscrow `json:"pending_ex_post,omitempty"`
+	// Rng is the arbiter's audit-RNG state, stepped once per settled report;
+	// carrying it keeps post-restore audit decisions identical to the
+	// uninterrupted run.
+	Rng uint64 `json:"rng,omitempty"`
 	// Unmet carries the demand-signal counters (column -> times wanted but
 	// unsupplied) so the recommendation/negotiation services keep their
 	// signal across a restore.
@@ -276,8 +287,10 @@ func (p *Platform) Snapshot() *PlatformSnapshot {
 		snap.Requests = append(snap.Requests, RequestState{ID: r.ID, Spec: spec})
 	}
 	snap.History = a.HistorySkeletons()
+	snap.PendingExPost = a.PendingEscrows()
 	snap.Unmet = a.UnmetCounts()
 	snap.NextID = a.ReplayNextID()
+	snap.Rng = a.RngState()
 	return snap
 }
 
@@ -331,9 +344,27 @@ func RestorePlatform(opts Options, snap *PlatformSnapshot) (*Platform, error) {
 		}
 	}
 	p.Arbiter.RestoreHistory(snap.History)
+	if err := p.Arbiter.RestorePendingEscrows(snap.PendingExPost); err != nil {
+		return nil, err
+	}
 	p.Arbiter.AddUnmet(snap.Unmet)
 	p.Arbiter.RestoreNextID(snap.NextID)
+	p.Arbiter.RestoreRngState(snap.Rng)
 	return p, nil
+}
+
+// SettleReport settles a pending ex-post transaction with the buyer's
+// reported value and returns the realized outcome — the engine's hook for
+// logging value-reported events.
+func (p *Platform) SettleReport(txID string, reported, trueValue float64) (arbiter.ReportOutcome, error) {
+	return p.Arbiter.SettleReport(txID, reported, trueValue)
+}
+
+// ReplayReport re-applies one report settlement from a durable event — the
+// platform-level hook the engine's replay path calls for value-reported
+// records.
+func (p *Platform) ReplayReport(rr arbiter.ReplayedReport) error {
+	return p.Arbiter.ReplayReport(rr)
 }
 
 // ReplaySettlement re-applies one settled sale from a durable event — the

@@ -3,6 +3,7 @@ package dmms
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,13 @@ import (
 	"repro/internal/engine"
 	"repro/internal/relation"
 )
+
+// ErrSyncDisabled is returned when a synchronous mutation (Register,
+// ShareDataset, SubmitRequest, Report, Match) hits a WAL-backed server,
+// which only accepts mutations through the async, event-logged surface.
+// Match with errors.Is and switch to the *Async methods; the wrapped
+// message carries the server's guidance text.
+var ErrSyncDisabled = errors.New("dmms: synchronous mutations disabled on durable server")
 
 // OverloadedError is returned when the server sheds load (HTTP 429 from
 // admission control): back off for RetryAfter before resubmitting.
@@ -87,6 +95,9 @@ func decode(resp *http.Response, out any) error {
 				retry = time.Duration(secs) * time.Second
 			}
 			return &OverloadedError{Msg: e.Error, RetryAfter: retry}
+		}
+		if resp.StatusCode == http.StatusConflict && resp.Header.Get(SyncDisabledHeader) != "" {
+			return fmt.Errorf("%w: %s", ErrSyncDisabled, e.Error)
 		}
 		if e.Error != "" {
 			return fmt.Errorf("dmms: %s: %s", resp.Status, e.Error)
@@ -191,6 +202,18 @@ func (c *Client) SubmitRequestAsyncPriority(req RequestReq, priority string) (st
 	var out TicketResp
 	hdr := map[string]string{PriorityHeader: priority}
 	if err := c.postHeaders("/async/requests", req, &out, hdr); err != nil {
+		return "", err
+	}
+	return out.Ticket, nil
+}
+
+// ReportAsync queues an ex-post value report and returns its ticket; the
+// settlement runs in an epoch and is published as a value-reported event.
+// Poll the ticket for the realized payment (Ticket.Price).
+func (c *Client) ReportAsync(txID string, reported, trueValue float64) (string, error) {
+	var out TicketResp
+	req := ReportReq{TxID: txID, Reported: reported, TrueValue: trueValue}
+	if err := c.post("/async/report", req, &out); err != nil {
 		return "", err
 	}
 	return out.Ticket, nil

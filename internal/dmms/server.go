@@ -66,6 +66,7 @@ func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /async/participants", s.withEngine(s.handleAsyncParticipants))
 	s.mux.HandleFunc("POST /async/datasets", s.withEngine(s.handleAsyncDatasets))
 	s.mux.HandleFunc("POST /async/requests", s.withEngine(s.handleAsyncRequests))
+	s.mux.HandleFunc("POST /async/report", s.withEngine(s.handleAsyncReport))
 	s.mux.HandleFunc("GET /async/tickets/{id}", s.withEngine(s.handleTicket))
 	s.mux.HandleFunc("GET /events", s.withEngine(s.handleEvents))
 	s.mux.HandleFunc("POST /epoch", s.withEngine(s.handleEpoch))
@@ -84,6 +85,9 @@ func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 func (s *Server) syncMutation(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.engine != nil && s.engine.Durable() {
+			// The marker header lets clients branch on the refusal
+			// (ErrSyncDisabled) instead of string-matching the guidance.
+			w.Header().Set(SyncDisabledHeader, "1")
 			writeErr(w, http.StatusConflict, fmt.Errorf(
 				"dmms: this server is WAL-backed; synchronous mutations bypass the durable event log — use the /async endpoints"))
 			return
@@ -119,6 +123,10 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // "high" or an integer) on POST /async/requests; it overrides the JSON
 // body's priority field.
 const PriorityHeader = "X-DMMS-Priority"
+
+// SyncDisabledHeader marks a 409 as "synchronous mutations disabled on this
+// WAL-backed server"; the client maps it to ErrSyncDisabled.
+const SyncDisabledHeader = "X-DMMS-Sync-Disabled"
 
 // writeSubmitErr maps an engine intake error onto the wire: admission
 // rejections become 429 Too Many Requests with a Retry-After header (whole
@@ -459,6 +467,27 @@ func (s *Server) handleAsyncRequests(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ticket, err := s.engine.SubmitRequestPriority(want, f, priority)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+// handleAsyncReport queues an ex-post value report through the engine, so
+// the settlement is epoch-applied and event-logged (value-reported) — the
+// only report path a durable server accepts.
+func (s *Server) handleAsyncReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TxID == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: tx_id is required"))
+		return
+	}
+	ticket, err := s.engine.SubmitReport(req.TxID, req.Reported, req.TrueValue)
 	if err != nil {
 		writeSubmitErr(w, err)
 		return

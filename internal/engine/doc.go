@@ -50,8 +50,8 @@
 //	epoch        uint64  epoch that produced the event
 //	kind         string  epoch-start | participant-registered | dataset-shared |
 //	                     request-filed | request-unmet | request-rejected |
-//	                     request-aged | tx-settled | submission-rejected |
-//	                     epoch-end
+//	                     request-aged | tx-settled | value-reported |
+//	                     submission-rejected | epoch-end
 //	ticket       string  submission ticket, when the event advances one
 //	participant  string  buyer or seller name
 //	dataset      string  dataset ID (dataset-shared)
@@ -63,6 +63,9 @@
 //	satisfaction float64 WTP satisfaction achieved (tx-settled)
 //	datasets     []str   datasets in the sold mashup (tx-settled)
 //	ex_post      bool    settlement is escrow-based, priced on report
+//	ex_post_shares map  owner -> revenue fraction fixed at delivery (tx-settled)
+//	reported     float64 buyer's reported realized value (value-reported)
+//	audited      bool    arbiter verified the report (value-reported)
 //	sub_kind     string  submission kind (submission-rejected)
 //	priority     int     priority class (request-filed, submission-rejected)
 //	age          uint64  epochs waited when deferred (request-aged)
@@ -117,7 +120,11 @@
 // Snapshot checkpoints (Engine.Snapshot + core.PlatformSnapshot) let Restore
 // start from a watermark instead of seq 1; the in-memory log is still
 // re-seeded with the full recovered history so subscriber cursors resume
-// without gaps. The only non-durable submissions are requests whose WTP task
-// is an in-process code package (wtp.FuncTask) — they cannot be serialized
-// and are failed on replay.
+// without gaps. Ex-post settlement is durable end to end: deliveries fix
+// their revenue fractions on the tx-settled record, SubmitReport settles the
+// escrow through a value-reported record, snapshots carry outstanding
+// escrows (and the audit RNG), and replay repeats the logged transfers
+// without re-running the audit. The only non-durable submissions are
+// requests whose WTP task is an in-process code package (wtp.FuncTask) —
+// they cannot be serialized and are failed on replay.
 package engine

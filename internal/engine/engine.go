@@ -74,6 +74,11 @@ const (
 	KindRegister SubmissionKind = "register"
 	KindShare    SubmissionKind = "share"
 	KindRequest  SubmissionKind = "request"
+	// KindReport is a buyer's ex-post value report: it settles a pending
+	// escrow-backed transaction in the epoch runner, so the settlement is
+	// event-logged (value-reported) and survives replay like every other
+	// mutation.
+	KindReport SubmissionKind = "report"
 )
 
 // Ticket is the pollable state of one submission.
@@ -111,6 +116,10 @@ type submission struct {
 	want     dod.Want
 	fn       *wtp.Function
 	priority int
+	// report
+	reportTx  string
+	reported  float64
+	trueValue float64
 }
 
 // reqMeta is the engine-side policy metadata of one open request. FiledSeq
@@ -185,10 +194,13 @@ type Engine struct {
 	// bookSeq is the settlement subscriber's high-water mark: the last log
 	// seq folded into the book. Snapshot waits on bookCond until it reaches
 	// the log head, so checkpoints include every settlement the log already
-	// carries.
+	// carries. bookDone flips when the subscriber exits (it drains
+	// everything present at log close first); only then may Snapshot fold a
+	// remaining tail itself without double-recording.
 	bookMu   sync.Mutex
 	bookCond *sync.Cond
 	bookSeq  int
+	bookDone bool
 
 	kick    chan struct{}
 	stop    chan struct{}
@@ -222,8 +234,12 @@ func New(p *core.Platform, cfg Config) *Engine {
 	return e
 }
 
-// settlementFromEvent derives the book entry for one tx-settled event — the
-// single translation both the live subscriber and replay use.
+// settlementFromEvent derives the book entry for one tx-settled or
+// value-reported event — the single translation both the live subscriber and
+// replay use. An ex-post sale books twice: the delivery (tx-settled,
+// ExPost=true, cuts not yet final, excluded from conservation) and the
+// report settlement (value-reported, booked as final with the realized
+// price and fan-out).
 func settlementFromEvent(ev Event) ledger.Settlement {
 	cuts := make(map[string]ledger.Currency, len(ev.SellerCuts))
 	for s, c := range ev.SellerCuts {
@@ -236,7 +252,7 @@ func settlementFromEvent(ev Event) ledger.Settlement {
 		Price:      ledger.FromFloat(ev.Price),
 		ArbiterCut: ledger.FromFloat(ev.ArbiterCut),
 		SellerCuts: cuts,
-		ExPost:     ev.ExPost,
+		ExPost:     ev.ExPost && ev.Kind != EventValueReported,
 	}
 }
 
@@ -275,12 +291,18 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 	e.consWG.Add(1)
 	go func() {
 		defer e.consWG.Done()
+		defer func() {
+			e.bookMu.Lock()
+			e.bookDone = true
+			e.bookCond.Broadcast()
+			e.bookMu.Unlock()
+		}()
 		cursor := bookCursor
 		for {
 			evs, open := e.log.WaitAfter(cursor)
 			for _, ev := range evs {
 				cursor = ev.Seq
-				if ev.Kind == EventTxSettled {
+				if ev.Kind == EventTxSettled || ev.Kind == EventValueReported {
 					e.book.Record(settlementFromEvent(ev))
 				}
 			}
@@ -399,7 +421,7 @@ func (e *Engine) SubmitRegister(name string, funds float64) (string, error) {
 	if err := e.admitDepth(name); err != nil {
 		return "", err
 	}
-	return e.enqueue(submission{kind: KindRegister, name: name, funds: funds}, name), nil
+	return e.enqueue(submission{kind: KindRegister, name: name, funds: funds}, name, name), nil
 }
 
 // SubmitShare queues a seller's dataset share and returns its ticket.
@@ -410,7 +432,7 @@ func (e *Engine) SubmitShare(seller string, id catalog.DatasetID, rel *relation.
 		return "", err
 	}
 	return e.enqueue(submission{kind: KindShare, seller: seller, id: id, rel: rel,
-		meta: meta, terms: terms}, seller), nil
+		meta: meta, terms: terms}, seller, seller), nil
 }
 
 // SubmitRequest queues a buyer's data need at normal priority and returns
@@ -449,7 +471,22 @@ func (e *Engine) SubmitRequestPriority(want dod.Want, f *wtp.Function, priority 
 			return "", oerr
 		}
 	}
-	return e.enqueue(submission{kind: KindRequest, want: want, fn: f, priority: priority}, f.Buyer), nil
+	return e.enqueue(submission{kind: KindRequest, want: want, fn: f, priority: priority}, f.Buyer, f.Buyer), nil
+}
+
+// SubmitReport queues a buyer's ex-post value report against a delivered
+// transaction and returns its ticket. The settlement runs in the epoch
+// runner and is published as a value-reported event, so on durable engines
+// the report flows through the WAL like every other mutation. The ticket's
+// participant is filled with the paying buyer at apply time (the report is
+// addressed by transaction, which also picks its intake shard). Under
+// queue-depth backpressure it returns an *OverloadError instead.
+func (e *Engine) SubmitReport(txID string, reported, trueValue float64) (string, error) {
+	if err := e.admitDepth(""); err != nil {
+		return "", err
+	}
+	return e.enqueue(submission{kind: KindReport, reportTx: txID,
+		reported: reported, trueValue: trueValue}, txID, ""), nil
 }
 
 // admitDepth applies queue-depth backpressure to every submission kind.
@@ -466,7 +503,10 @@ func (e *Engine) admitDepth(participant string) error {
 	return &OverloadError{Reason: OverloadQueueDepth, Participant: participant, RetryAfter: retry}
 }
 
-func (e *Engine) enqueue(s submission, participant string) string {
+// enqueue queues one submission. shardKey picks the intake shard (the
+// participant for ordinary submissions, the transaction ID for reports);
+// participant is what the ticket records.
+func (e *Engine) enqueue(s submission, shardKey, participant string) string {
 	s.seq = e.seq.Add(1)
 	s.ticket = fmt.Sprintf("sub-%06d", s.seq)
 
@@ -475,7 +515,7 @@ func (e *Engine) enqueue(s submission, participant string) string {
 		Participant: participant, Priority: s.priority}
 	e.tmu.Unlock()
 
-	sh := e.shards[shardOf(participant, len(e.shards))]
+	sh := e.shards[shardOf(shardKey, len(e.shards))]
 	sh.mu.Lock()
 	sh.queue = append(sh.queue, s)
 	sh.mu.Unlock()
@@ -742,6 +782,22 @@ func (e *Engine) apply(ep uint64, s submission) {
 		seq := e.log.Append(Event{Epoch: ep, Kind: EventRequestFiled, Ticket: s.ticket,
 			Participant: s.fn.Buyer, RequestID: reqID, Priority: s.priority, Payload: pl})
 		e.reqMeta[reqID] = &reqMeta{participant: s.fn.Buyer, priority: s.priority, filedEpoch: ep, filedSeq: seq}
+	case KindReport:
+		out, err := e.platform.SettleReport(s.reportTx, s.reported, s.trueValue)
+		if err != nil {
+			fail(err)
+			return
+		}
+		e.stApplied.Add(1)
+		e.setTicket(s.ticket, func(t *Ticket) {
+			t.Status, t.Epoch, t.TxID, t.Price = TicketDone, ep, out.TxID, out.Paid
+			t.Participant = out.Buyer
+		})
+		e.log.Append(Event{Epoch: ep, Kind: EventValueReported, Ticket: s.ticket,
+			Participant: out.Buyer, RequestID: out.RequestID, TxID: out.TxID,
+			Price: out.Paid, ArbiterCut: out.ArbiterCut, SellerCuts: out.SellerCuts,
+			Reported: s.reported, Audited: out.Audited, ExPost: true,
+			Note: fmt.Sprintf("reported=%.2f paid=%.2f audited=%v", s.reported, out.Paid, out.Audited)})
 	}
 }
 
@@ -774,8 +830,8 @@ func (e *Engine) publishRound(ep uint64, res *arbiter.MatchResult) (matched, unm
 			Participant: tx.Buyer, RequestID: tx.RequestID, TxID: tx.ID,
 			Price: tx.Price, ArbiterCut: tx.ArbiterCut, SellerCuts: tx.SellerCuts,
 			Satisfaction: tx.Satisfaction, Datasets: tx.Datasets,
-			ExPost: tx.ExPost,
-			Note:   fmt.Sprintf("datasets=%v satisfaction=%.2f", tx.Datasets, tx.Satisfaction)})
+			ExPost: tx.ExPost, ExPostShares: tx.ExPostShares,
+			Note: fmt.Sprintf("datasets=%v satisfaction=%.2f", tx.Datasets, tx.Satisfaction)})
 	}
 	for _, reqID := range res.Unsatisfied {
 		if ticket, ok := e.openReqs[reqID]; ok {

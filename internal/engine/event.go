@@ -36,7 +36,14 @@ const (
 	// most one record per request, so a standing backlog cannot amplify
 	// the WAL every epoch).
 	EventRequestAged EventKind = "request-aged"
-	EventEpochEnd    EventKind = "epoch-end"
+	// EventValueReported records the settlement of an ex-post transaction on
+	// the buyer's value report: the realized payment (escrow-capped, audit
+	// effects applied) and the revenue fan-out. It carries everything replay
+	// needs to repeat the transfers micro-unit exactly without re-running
+	// the audit; the audit RNG is re-stepped instead, so later live reports
+	// keep the uninterrupted run's schedule.
+	EventValueReported EventKind = "value-reported"
+	EventEpochEnd      EventKind = "epoch-end"
 )
 
 // Payload carries the full submission body of an event, so a write-ahead log
@@ -73,6 +80,18 @@ type Event struct {
 	Satisfaction float64            `json:"satisfaction,omitempty"`
 	Datasets     []string           `json:"datasets,omitempty"`
 	ExPost       bool               `json:"ex_post,omitempty"`
+	// ExPostShares are the per-owner revenue fractions fixed at delivery
+	// (tx-settled, ex-post sales only); the later value-reported settlement
+	// distributes by them, so replayed pendings split exactly like live
+	// ones.
+	ExPostShares map[string]float64 `json:"ex_post_shares,omitempty"`
+	// Reported is the buyer's reported realized value (value-reported);
+	// Price carries what was actually paid after audit and escrow cap.
+	Reported float64 `json:"reported,omitempty"`
+	// Audited records whether the arbiter verified the report
+	// (value-reported) — transparency only; replay applies the logged
+	// amounts either way.
+	Audited bool `json:"audited,omitempty"`
 	// Priority is the request's priority class (request-filed).
 	Priority int `json:"priority,omitempty"`
 	// Age is how many epochs the request had waited when the policy

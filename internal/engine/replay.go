@@ -83,11 +83,12 @@ type SnapshotState struct {
 // ticket IDs back).
 //
 // A checkpoint must never claim state it cannot restore, so Snapshot fails
-// instead of silently losing data when (a) the WAL is wedged or behind the
-// log head — the checkpoint would cover events lost on restart — or (b)
-// ex-post settlements are pending: their deposits live in ledger escrow,
-// which the platform snapshot does not capture. Case (b) clears as soon as
-// the buyers report (Arbiter.ReportValue); retry then.
+// instead of silently losing data when the WAL is wedged or behind the log
+// head — the checkpoint would cover events lost on restart. Pending ex-post
+// settlements do not refuse anymore: their escrowed deposits are serialized
+// into the platform snapshot (core.PlatformSnapshot.PendingExPost) and
+// restored exactly, so a checkpoint can be taken while buyers still owe
+// their value reports.
 func (e *Engine) Snapshot() (*SnapshotState, error) {
 	e.epochMu.Lock()
 	defer e.epochMu.Unlock()
@@ -102,14 +103,23 @@ func (e *Engine) Snapshot() (*SnapshotState, error) {
 			return nil, fmt.Errorf("engine: snapshot refused, WAL at seq %d behind log head %d", persisted, seq)
 		}
 	}
-	if n := e.platform.Arbiter.PendingExPostCount(); n > 0 {
-		return nil, fmt.Errorf("engine: snapshot refused, %d ex-post settlement(s) pending (escrowed deposits are not checkpointable; retry after the buyers report)", n)
-	}
 	// Appends only happen under epochMu, so the log cannot advance while we
-	// wait for the book to absorb everything up to seq.
+	// wait for the book to absorb everything up to seq. Once the subscriber
+	// has exited (bookDone — it drains everything present at log close
+	// first), any remaining gap can only be post-close appends — e.g. a
+	// post-drain flush epoch before a retried drain snapshot — which are
+	// folded here instead of waiting forever.
 	e.bookMu.Lock()
-	for e.bookSeq < seq {
+	for e.bookSeq < seq && !e.bookDone {
 		e.bookCond.Wait()
+	}
+	if e.bookSeq < seq {
+		for _, ev := range e.log.Since(e.bookSeq) {
+			if ev.Kind == EventTxSettled || ev.Kind == EventValueReported {
+				e.book.Record(settlementFromEvent(ev))
+			}
+		}
+		e.bookSeq = seq
 	}
 	e.bookMu.Unlock()
 
@@ -376,6 +386,7 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 			Satisfaction: ev.Satisfaction,
 			Datasets:     ev.Datasets,
 			ExPost:       ev.ExPost,
+			ExPostShares: ev.ExPostShares,
 		}); err != nil {
 			return err
 		}
@@ -385,6 +396,22 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 		ensureTicket(KindRequest)
 		e.setTicket(ev.Ticket, func(t *Ticket) {
 			t.Status, t.TxID, t.Price, t.MatchedEpoch = TicketDone, ev.TxID, ev.Price, ev.Epoch
+		})
+
+	case EventValueReported:
+		if err := e.platform.ReplayReport(arbiter.ReplayedReport{
+			TxID:       ev.TxID,
+			Paid:       ev.Price,
+			ArbiterCut: ev.ArbiterCut,
+			SellerCuts: ev.SellerCuts,
+		}); err != nil {
+			return err
+		}
+		c.Applied++
+		ensureTicket(KindReport)
+		e.setTicket(ev.Ticket, func(t *Ticket) {
+			t.Status, t.Epoch, t.TxID, t.Price = TicketDone, ev.Epoch, ev.TxID, ev.Price
+			t.Participant = ev.Participant
 		})
 
 	case EventRejected:

@@ -213,6 +213,29 @@ func (l *Ledger) Release(escrowID, to string, amount Currency, memo string) erro
 	return nil
 }
 
+// RestoreEscrow re-seeds an escrow entry from a snapshot without debiting
+// the funding account. Snapshot balances are captured after the original
+// Hold already moved the deposit out of the funder's balance, so the held
+// amount exists nowhere else in the checkpoint; restore must recreate the
+// escrow directly or the money would be destroyed.
+func (l *Ledger) RestoreEscrow(escrowID, from string, amount Currency) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative escrow %s", amount)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[from]; !ok {
+		return fmt.Errorf("ledger: account %q not open", from)
+	}
+	if _, ok := l.escrow[escrowID]; ok {
+		return fmt.Errorf("ledger: escrow %q already held", escrowID)
+	}
+	l.escrow[escrowID] = amount
+	l.escrowBy[escrowID] = from
+	l.append(KindEscrow, from, escrowID, amount, "escrow restored")
+	return nil
+}
+
 // Escrowed returns the amount held in an escrow (0 when absent).
 func (l *Ledger) Escrowed(escrowID string) Currency {
 	l.mu.Lock()

@@ -88,16 +88,26 @@ type RevenueSplit struct {
 // Allocator (with the provenance-derived value function when vf is nil) and
 // then forwarded to each dataset's owner.
 func (d *Design) ShareRevenue(total float64, anno *provenance.Annotated, owners map[string]string, vf ValueFunc) RevenueSplit {
-	split := RevenueSplit{SellerCut: map[string]float64{}}
 	if total <= 0 {
-		return split
+		return RevenueSplit{SellerCut: map[string]float64{}}
 	}
-	split.ArbiterCut = total * d.ArbiterFee
-	pool := total - split.ArbiterCut
+	return d.ShareFractions(total, d.RevenueFractions(anno, owners, vf))
+}
+
+// RevenueFractions computes the normalized per-owner fractions of the
+// post-fee revenue pool from provenance lineage — the allocation step of
+// ShareRevenue, independent of the sale amount. Ex-post settlement fixes
+// these fractions at delivery time (when the mashup's provenance is in
+// hand) and persists them, so the split applied when the buyer later
+// reports is a pure function of durable state. Returns nil when no lineage
+// players exist (the arbiter then keeps the whole amount).
+func (d *Design) RevenueFractions(anno *provenance.Annotated, owners map[string]string, vf ValueFunc) map[string]float64 {
+	if anno == nil {
+		return nil
+	}
 	players := anno.Datasets()
 	if len(players) == 0 {
-		split.ArbiterCut = total
-		return split
+		return nil
 	}
 	if vf == nil {
 		vf = RowCountValue(anno)
@@ -110,16 +120,36 @@ func (d *Design) ShareRevenue(total float64, anno *provenance.Annotated, owners 
 	if wsum == 0 {
 		// Nothing had marginal value; split uniformly so sellers are still
 		// compensated for participation.
-		u := Uniform{}.Allocate(players, vf)
-		weights = u
+		weights = Uniform{}.Allocate(players, vf)
 		wsum = 1
 	}
+	fracs := map[string]float64{}
 	for _, ds := range players {
 		owner := owners[ds]
 		if owner == "" {
 			owner = ds
 		}
-		split.SellerCut[owner] += pool * weights[ds] / wsum
+		fracs[owner] += weights[ds] / wsum
+	}
+	return fracs
+}
+
+// ShareFractions divides one sale's revenue by pre-computed owner
+// fractions: the arbiter takes its fee and each owner receives its fraction
+// of the remaining pool. With no fractions the arbiter keeps everything.
+func (d *Design) ShareFractions(total float64, fracs map[string]float64) RevenueSplit {
+	split := RevenueSplit{SellerCut: map[string]float64{}}
+	if total <= 0 {
+		return split
+	}
+	split.ArbiterCut = total * d.ArbiterFee
+	pool := total - split.ArbiterCut
+	if len(fracs) == 0 {
+		split.ArbiterCut = total
+		return split
+	}
+	for owner, f := range fracs {
+		split.SellerCut[owner] = pool * f
 	}
 	return split
 }

@@ -14,7 +14,7 @@ import (
 // with each epoch-end record and re-seeded on replay, so a rebooted arbiter
 // sees exactly the demand the original run accumulated.
 func TestDemandSignalsSurviveRestore(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, SyncEpoch)
+	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncEpoch)
 	live := basePlat.Arbiter.DemandSignals()
 	if len(live) == 0 {
 		t.Fatal("script produced no unmet demand; the test needs a starved column")
@@ -68,7 +68,7 @@ func TestDemandSignalsSurviveSnapshotRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
-	driveAll(t, e)
+	driveAll(t, e, script())
 	e.Stop()
 
 	snap, err := e.Snapshot()

@@ -3,6 +3,8 @@ package wal
 import (
 	"encoding/json"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // FuzzWALDecode throws arbitrary bytes at the record decoder. Invariants:
@@ -29,6 +31,17 @@ func FuzzWALDecode(f *testing.F) {
 	flipped := append([]byte{}, clean...)
 	flipped[5] ^= 0xff // CRC byte
 	f.Add(flipped)
+	// A value-reported settlement record — the ex-post report shape with
+	// its fan-out maps and audit fields.
+	vr, err := encodeEvent(engine.Event{Seq: 1, Epoch: 3, Kind: engine.EventValueReported,
+		Ticket: "sub-000007", Participant: "b1", RequestID: "req-0003", TxID: "tx-0004",
+		Price: 480, ArbiterCut: 48, SellerCuts: map[string]float64{"s1": 288, "s2": 144},
+		Reported: 480, Audited: true, ExPost: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(vr)
+	f.Add(vr[:len(vr)-7]) // torn mid-payload value-reported record
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		evs, valid := DecodeAll(raw, 0)

@@ -186,7 +186,7 @@ func TestPruneKeepsActiveSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(p, engine.Config{Shards: 2, Persister: w})
-	driveAll(t, e)
+	driveAll(t, e, script())
 
 	snap, err := e.Snapshot()
 	if err != nil {

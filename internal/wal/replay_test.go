@@ -31,13 +31,19 @@ const testDesign = "posted-baseline"
 
 // op is one scripted submission.
 type op struct {
-	kind  string // "register" | "share" | "request"
+	kind  string // "register" | "share" | "request" | "report"
 	name  string
 	funds float64
 	ds    string
 	rows  int
 	offer float64
 	cols  []string
+	// report: ref is the 0-based global index of the request op whose
+	// settled transaction the report targets (resolved through its ticket,
+	// so the script never hard-codes transaction IDs).
+	ref      int
+	reported float64
+	trueVal  float64
 }
 
 // script is the deterministic workload: epochs of ops covering
@@ -70,6 +76,39 @@ func script() [][]op {
 		{ // epoch 5: a below-posted-price offer (stays open) and a match
 			{kind: "request", name: "b4", offer: 80, cols: []string{"a", "b"}},
 			{kind: "request", name: "b1", offer: 200, cols: []string{"a", "b"}},
+		},
+	}
+}
+
+// expostScript is the ex-post workload: deliveries against escrowed
+// deposits, an under-reported value that may be audited, an honest report,
+// and one delivery whose buyer never reports — its escrow must survive
+// every crash, snapshot and reboot intact.
+func expostScript() [][]op {
+	return [][]op{
+		{ // epoch 1: funding + supply
+			{kind: "register", name: "b1", funds: 5000},
+			{kind: "register", name: "b2", funds: 8000},
+			{kind: "share", name: "s1", ds: "s1/d0", rows: 20},
+		},
+		{ // epoch 2: two ex-post deliveries (deposits escrowed)
+			{kind: "request", name: "b1", offer: 300, cols: []string{"a", "b"}},
+			{kind: "request", name: "b2", offer: 450, cols: []string{"a", "b"}},
+		},
+		{ // epoch 3: b1 under-reports; more supply arrives
+			{kind: "report", ref: 3, reported: 250, trueVal: 320},
+			{kind: "share", name: "s2", ds: "s2/d0", rows: 25},
+		},
+		{ // epoch 4: b2 reports honestly; two more deliveries — one whose
+			// buyer never reports, one reported next epoch
+			{kind: "report", ref: 4, reported: 440, trueVal: 440},
+			{kind: "request", name: "b1", offer: 200, cols: []string{"a", "b"}},
+			{kind: "request", name: "b2", offer: 220, cols: []string{"a", "b"}},
+		},
+		{ // epoch 5: a worthless-data report (clamps to zero, full refund)
+			// and a late registration keeping a trailing epoch
+			{kind: "report", ref: 9, reported: -60, trueVal: -60},
+			{kind: "register", name: "b3", funds: 1000},
 		},
 	}
 }
@@ -107,6 +146,19 @@ func submitOp(e *engine.Engine, o op) string {
 			Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: o.offer}},
 		}
 		return mustTicket(e.SubmitRequest(want, f))
+	case "report":
+		tk, _ := e.Ticket(expectedTicket(o.ref))
+		if tk.TxID == "" {
+			// Re-driving after a crash that lost the delivery but kept the
+			// filing: the open request settles at the next counted epoch, so
+			// flush one before the report can address its transaction.
+			e.TriggerEpoch()
+			tk, _ = e.Ticket(expectedTicket(o.ref))
+		}
+		if tk.TxID == "" {
+			panic(fmt.Sprintf("report ref %d has no settled transaction", o.ref))
+		}
+		return mustTicket(e.SubmitReport(tk.TxID, o.reported, o.trueVal))
 	}
 	panic("unknown op kind " + o.kind)
 }
@@ -135,10 +187,10 @@ func (f *faultPersister) Persist(ev engine.Event) error {
 
 // driveAll submits every scripted op in order, triggering one epoch per
 // group, and asserts ticket IDs land as expected.
-func driveAll(t *testing.T, e *engine.Engine) {
+func driveAll(t *testing.T, e *engine.Engine, sc [][]op) {
 	t.Helper()
 	k := 0
-	for _, epoch := range script() {
+	for _, epoch := range sc {
 		for _, o := range epoch {
 			if got, want := submitOp(e, o), expectedTicket(k); got != want {
 				t.Fatalf("submission %d got ticket %s, want %s", k, got, want)
@@ -153,17 +205,26 @@ func driveAll(t *testing.T, e *engine.Engine) {
 // survived in the durable log are skipped, lost ones are resubmitted (and
 // must receive their original ticket IDs). Epochs re-trigger only from the
 // first incomplete one — triggering a fully durable epoch again would clear
-// later requests earlier than the original run did. A final trigger flushes
-// requests whose filing was durable but whose settlement was lost.
-func redrive(t *testing.T, e *engine.Engine) {
+// later requests earlier than the original run did. A fully durable group
+// that still holds applied-but-open request tickets lost its settlement
+// records to the crash; a flush epoch settles them before any later group
+// resubmits, so re-driven filings see the same request/transaction ID
+// sequence the baseline assigned (genuinely open requests match nothing in
+// the flush, which therefore does not count an epoch). A final trigger
+// flushes whatever the last group left pending.
+func redrive(t *testing.T, e *engine.Engine, sc [][]op) {
 	t.Helper()
 	k := 0
 	triggering := false
-	for _, epoch := range script() {
+	for _, epoch := range sc {
+		openInGroup := false
 		for _, o := range epoch {
 			id := expectedTicket(k)
 			k++
 			if tk, ok := e.Ticket(id); ok && (tk.Status.Terminal() || tk.Status == engine.TicketApplied) {
+				if tk.Status == engine.TicketApplied {
+					openInGroup = true
+				}
 				continue // durable: already applied or terminally failed
 			}
 			if got := submitOp(e, o); got != id {
@@ -171,7 +232,7 @@ func redrive(t *testing.T, e *engine.Engine) {
 			}
 			triggering = true
 		}
-		if triggering {
+		if triggering || openInGroup {
 			e.TriggerEpoch()
 		}
 	}
@@ -233,19 +294,19 @@ func fingerprint(t *testing.T, p *core.Platform, e *engine.Engine, withEpochs bo
 
 // runUninterrupted drives the full script against a WAL-backed engine with
 // no fault and returns the platform, engine and the closed WAL's directory.
-func runUninterrupted(t *testing.T, policy SyncPolicy) (*core.Platform, *engine.Engine, string) {
+func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy) (*core.Platform, *engine.Engine, string) {
 	t.Helper()
 	dir := t.TempDir()
 	w, err := Open(Options{Dir: dir, Policy: policy})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	p, err := core.NewPlatform(core.Options{Design: design})
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
-	driveAll(t, e)
+	driveAll(t, e, sc)
 	e.Stop()
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
@@ -256,104 +317,145 @@ func runUninterrupted(t *testing.T, policy SyncPolicy) (*core.Platform, *engine.
 	return p, e, dir
 }
 
-// TestCrashReplayDeterminism is the harness the issue asks for, table-driven
-// over fsync policies. For each policy it computes the uninterrupted
-// baseline, then crashes the persister at every epoch boundary (strong
-// assertion: byte-identical state, epochs included) and at mid-epoch seqs
-// (epoch-insensitive assertion), reboots from the WAL and re-drives the lost
-// part of the script.
+// crashMatrix computes the uninterrupted baseline for one design + script,
+// then crashes the persister at every epoch boundary (strong assertion:
+// byte-identical state, epochs included) and at mid-epoch seqs — including
+// every seq around settlement records (tx-settled and value-reported), so
+// a crash between a settlement's WAL append and the surrounding records is
+// always exercised — reboots from the durable prefix and re-drives the lost
+// part of the script (epoch-insensitive assertion).
+func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy) {
+	t.Helper()
+	basePlat, baseEng, _ := runUninterrupted(t, design, sc, policy)
+	baseStrong := fingerprint(t, basePlat, baseEng, true)
+	baseWeak := fingerprint(t, basePlat, baseEng, false)
+	baseSupply := basePlat.Arbiter.Ledger.TotalSupply()
+
+	// Crash points from the baseline's event stream: every epoch-end seq is
+	// a boundary; seqs just inside an epoch and around every settlement
+	// record check the mid-epoch story. 0 = nothing durable at all.
+	events := baseEng.Events(0)
+	var boundaries []int
+	var interesting []int
+	for _, ev := range events {
+		if ev.Kind == engine.EventEpochEnd {
+			boundaries = append(boundaries, ev.Seq)
+		}
+		if ev.Kind == engine.EventTxSettled || ev.Kind == engine.EventValueReported {
+			interesting = append(interesting, ev.Seq-1, ev.Seq, ev.Seq+1)
+		}
+	}
+	if len(boundaries) != len(sc) {
+		t.Fatalf("baseline ran %d epochs, want %d", len(boundaries), len(sc))
+	}
+	isBoundary := map[int]bool{0: true}
+	seen := map[int]bool{0: true}
+	crashPoints := []int{0}
+	for _, b := range boundaries {
+		isBoundary[b] = true
+		seen[b] = true
+		crashPoints = append(crashPoints, b)
+	}
+	for _, b := range boundaries {
+		interesting = append(interesting, b-1, b+2)
+	}
+	for _, mid := range interesting {
+		if mid > 0 && mid < len(events) && !seen[mid] {
+			seen[mid] = true
+			crashPoints = append(crashPoints, mid)
+		}
+	}
+
+	for _, crashAfter := range crashPoints {
+		name := fmt.Sprintf("crash@%d", crashAfter)
+		if isBoundary[crashAfter] {
+			name += "-boundary"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Open(Options{Dir: dir, Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.NewPlatform(core.Options{Design: design})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := engine.New(p, engine.Config{Shards: 4,
+				Persister: &faultPersister{inner: w, remaining: crashAfter}})
+			driveAll(t, e, sc)
+			if crashAfter < len(events) {
+				if _, perr := e.Log().Persisted(); perr == nil {
+					t.Fatal("fault persister never fired")
+				}
+			}
+			e.Stop()
+			w.Close()
+
+			// Reboot from the durable prefix and finish the script.
+			p2, e2, w2, res, err := Boot(core.Options{Design: design},
+				engine.Config{Shards: 4}, Options{Dir: dir, Policy: policy})
+			if err != nil {
+				t.Fatalf("boot: %v", err)
+			}
+			defer w2.Close()
+			if res.Recovered != crashAfter {
+				t.Fatalf("recovered %d events, want %d durable", res.Recovered, crashAfter)
+			}
+			if got := p2.Arbiter.Ledger.TotalSupply(); got > baseSupply {
+				t.Fatalf("money created by replay: supply %v > baseline %v", got, baseSupply)
+			}
+			redrive(t, e2, sc)
+			e2.Stop()
+
+			if isBoundary[crashAfter] {
+				got := fingerprint(t, p2, e2, true)
+				if string(got) != string(baseStrong) {
+					t.Fatalf("epoch-boundary crash diverged from uninterrupted run:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+				}
+			} else {
+				got := fingerprint(t, p2, e2, false)
+				if string(got) != string(baseWeak) {
+					t.Fatalf("mid-epoch crash diverged (epoch-insensitive):\n--- baseline\n%s\n--- restarted\n%s", baseWeak, got)
+				}
+			}
+			// Escrow conservation: balances plus escrowed deposits add up to
+			// exactly the baseline supply once the script is complete.
+			if got := p2.Arbiter.Ledger.TotalSupply(); got != baseSupply {
+				t.Fatalf("supply diverged after redrive: %v, want %v", got, baseSupply)
+			}
+			if i := p2.Arbiter.Ledger.VerifyChain(); i >= 0 {
+				t.Fatalf("audit chain corrupted at entry %d after replay", i)
+			}
+			if !e2.Settlements().Conserved() {
+				t.Fatal("settlement conservation violated after replay")
+			}
+		})
+	}
+}
+
+// TestCrashReplayDeterminism is the crash/replay harness, table-driven over
+// fsync policies on the up-front (posted-price) script.
 func TestCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
 		t.Run(string(policy), func(t *testing.T) {
-			basePlat, baseEng, _ := runUninterrupted(t, policy)
-			baseStrong := fingerprint(t, basePlat, baseEng, true)
-			baseWeak := fingerprint(t, basePlat, baseEng, false)
+			crashMatrix(t, testDesign, script(), policy)
+		})
+	}
+}
 
-			// Crash points from the baseline's event stream: every
-			// epoch-end seq is a boundary; seqs just inside an epoch check
-			// the mid-epoch story. 0 = nothing durable at all.
-			events := baseEng.Events(0)
-			var boundaries []int
-			for _, ev := range events {
-				if ev.Kind == engine.EventEpochEnd {
-					boundaries = append(boundaries, ev.Seq)
-				}
-			}
-			if len(boundaries) != len(script()) {
-				t.Fatalf("baseline ran %d epochs, want %d", len(boundaries), len(script()))
-			}
-			isBoundary := map[int]bool{0: true}
-			crashPoints := []int{0}
-			for _, b := range boundaries {
-				isBoundary[b] = true
-				crashPoints = append(crashPoints, b)
-			}
-			for _, b := range boundaries {
-				for _, mid := range []int{b - 1, b + 2} {
-					if mid > 0 && mid < len(events) && !isBoundary[mid] {
-						crashPoints = append(crashPoints, mid)
-					}
-				}
-			}
-
-			for _, crashAfter := range crashPoints {
-				name := fmt.Sprintf("crash@%d", crashAfter)
-				if isBoundary[crashAfter] {
-					name += "-boundary"
-				}
-				t.Run(name, func(t *testing.T) {
-					dir := t.TempDir()
-					w, err := Open(Options{Dir: dir, Policy: policy})
-					if err != nil {
-						t.Fatal(err)
-					}
-					p, err := core.NewPlatform(core.Options{Design: testDesign})
-					if err != nil {
-						t.Fatal(err)
-					}
-					e := engine.New(p, engine.Config{Shards: 4,
-						Persister: &faultPersister{inner: w, remaining: crashAfter}})
-					driveAll(t, e)
-					if crashAfter < len(events) {
-						if _, perr := e.Log().Persisted(); perr == nil {
-							t.Fatal("fault persister never fired")
-						}
-					}
-					e.Stop()
-					w.Close()
-
-					// Reboot from the durable prefix and finish the script.
-					p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
-						engine.Config{Shards: 4}, Options{Dir: dir, Policy: policy})
-					if err != nil {
-						t.Fatalf("boot: %v", err)
-					}
-					defer w2.Close()
-					if res.Recovered != crashAfter {
-						t.Fatalf("recovered %d events, want %d durable", res.Recovered, crashAfter)
-					}
-					redrive(t, e2)
-					e2.Stop()
-
-					if isBoundary[crashAfter] {
-						got := fingerprint(t, p2, e2, true)
-						if string(got) != string(baseStrong) {
-							t.Fatalf("epoch-boundary crash diverged from uninterrupted run:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
-						}
-					} else {
-						got := fingerprint(t, p2, e2, false)
-						if string(got) != string(baseWeak) {
-							t.Fatalf("mid-epoch crash diverged (epoch-insensitive):\n--- baseline\n%s\n--- restarted\n%s", baseWeak, got)
-						}
-					}
-					if i := p2.Arbiter.Ledger.VerifyChain(); i >= 0 {
-						t.Fatalf("audit chain corrupted at entry %d after replay", i)
-					}
-					if !e2.Settlements().Conserved() {
-						t.Fatal("settlement conservation violated after replay")
-					}
-				})
-			}
+// TestExPostCrashReplayDeterminism runs the crash matrix over the ex-post
+// design: deliveries escrow deposits, value reports settle them through the
+// durable log, and one escrow stays pending to the end. Crash points cover
+// every epoch boundary and every seq around the value-reported records —
+// the "persister dies between the report's append and the next apply"
+// story — and the matrix asserts escrow conservation and byte-identical
+// settlement streams (the fingerprint embeds the settlement book) across
+// every reboot.
+func TestExPostCrashReplayDeterminism(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch} {
+		t.Run(string(policy), func(t *testing.T) {
+			crashMatrix(t, "expost-audited", expostScript(), policy)
 		})
 	}
 }
@@ -361,7 +463,7 @@ func TestCrashReplayDeterminism(t *testing.T) {
 // TestCleanRestartIsByteIdentical: a full run, a clean shutdown, a reboot
 // from the WAL with nothing to re-drive — the strongest determinism claim.
 func TestCleanRestartIsByteIdentical(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, SyncEpoch)
+	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncEpoch)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
 
 	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
@@ -446,7 +548,7 @@ func TestSnapshotRestartIsByteIdentical(t *testing.T) {
 // TestBootTruncatesCorruptTail: a bit-flipped final record must not be fatal
 // on boot — the reader truncates it and the lost suffix can be re-driven.
 func TestBootTruncatesCorruptTail(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, SyncAlways)
+	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncAlways)
 	baseWeak := fingerprint(t, basePlat, baseEng, false)
 
 	segs, err := segmentFiles(dir)
@@ -472,7 +574,7 @@ func TestBootTruncatesCorruptTail(t *testing.T) {
 	if res.Recovered != baseEng.Log().LastSeq()-1 {
 		t.Fatalf("recovered %d events, want %d (one truncated)", res.Recovered, baseEng.Log().LastSeq()-1)
 	}
-	redrive(t, e2)
+	redrive(t, e2, script())
 	e2.Stop()
 	if got := fingerprint(t, p2, e2, false); string(got) != string(baseWeak) {
 		t.Fatalf("corrupt-tail reboot diverged:\n--- baseline\n%s\n--- restarted\n%s", baseWeak, got)
@@ -495,7 +597,7 @@ func TestBootArchivesStaleLogBehindSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(p, engine.Config{Shards: 4, Persister: w})
-	driveAll(t, e)
+	driveAll(t, e, script())
 	e.Stop()
 	snap, err := e.Snapshot()
 	if err != nil {
@@ -591,45 +693,97 @@ func TestSnapshotRefusedWhenWedged(t *testing.T) {
 	}
 }
 
-// TestSnapshotRefusedWhileExPostPending: ex-post deposits live in ledger
-// escrow, which snapshots do not capture — a checkpoint taken while one is
-// outstanding would silently destroy the deposit on restore, so Snapshot
-// must refuse until the buyer reports.
-func TestSnapshotRefusedWhileExPostPending(t *testing.T) {
+// TestSnapshotCarriesExPostEscrow: a checkpoint taken while ex-post
+// settlements are pending serializes the escrowed deposits (it used to be
+// refused outright); a boot from that snapshot restores the escrow exactly
+// — money conserved to the micro-unit — and the buyer's later async report
+// settles against the restored escrow as if the process never restarted.
+func TestSnapshotCarriesExPostEscrow(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := core.NewPlatform(core.Options{Design: "expost-audited"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := engine.New(p, engine.Config{Shards: 2})
-	defer e.Stop()
-	e.SubmitRegister("b1", 5000)
-	e.SubmitShare("s1", "s1/d0", scriptRelation("s1/d0", 20),
-		wtp.DatasetMeta{Dataset: "s1/d0", HasProvenance: true}, license.Terms{Kind: license.Open})
+	e := engine.New(p, engine.Config{Shards: 2, Persister: w})
+	mustTicket(e.SubmitRegister("b1", 5000))
+	mustTicket(e.SubmitShare("s1", "s1/d0", scriptRelation("s1/d0", 20),
+		wtp.DatasetMeta{Dataset: "s1/d0", HasProvenance: true}, license.Terms{Kind: license.Open}))
 	e.TriggerEpoch()
-	e.SubmitRequest(dod.Want{Columns: []string{"a", "b"}}, &wtp.Function{
+	mustTicket(e.SubmitRequest(dod.Want{Columns: []string{"a", "b"}}, &wtp.Function{
 		Buyer: "b1",
 		Task:  wtp.CoverageTask{Columns: []string{"a", "b"}, WantRows: 1},
 		Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 600}},
-	})
+	}))
 	e.TriggerEpoch()
-	if p.Arbiter.PendingExPostCount() == 0 {
-		t.Fatal("expected a pending ex-post settlement")
+	if p.Arbiter.PendingExPostCount() != 1 {
+		t.Fatalf("expected 1 pending ex-post settlement, have %d", p.Arbiter.PendingExPostCount())
 	}
-	if _, err := e.Snapshot(); err == nil {
-		t.Fatal("snapshot with pending ex-post escrow must be refused")
-	}
-	// Once the buyer reports, the escrow clears and snapshots work again.
 	var txID string
 	for _, ev := range e.Events(0) {
 		if ev.Kind == engine.EventTxSettled {
 			txID = ev.TxID
 		}
 	}
-	if _, err := p.Arbiter.ReportValue(txID, 600, 600); err != nil {
+	deposit := p.Arbiter.Ledger.Escrowed(txID)
+	if deposit == 0 {
+		t.Fatalf("no escrow held for %s", txID)
+	}
+	supply := p.Arbiter.Ledger.TotalSupply()
+
+	// The checkpoint must succeed with the deposit outstanding and carry it.
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot with pending ex-post escrow refused: %v", err)
+	}
+	if len(snap.Platform.PendingExPost) != 1 || snap.Platform.PendingExPost[0].Deposit != deposit {
+		t.Fatalf("snapshot escrow capture wrong: %+v", snap.Platform.PendingExPost)
+	}
+	if _, err := WriteSnapshot(dir, snap); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Snapshot(); err != nil {
-		t.Fatalf("snapshot after report should succeed: %v", err)
+	e.Stop()
+	w.Close()
+	baseStrong := fingerprint(t, p, e, true)
+
+	p2, e2, w2, res, err := Boot(core.Options{Design: "expost-audited"},
+		engine.Config{Shards: 2}, Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("boot with pending escrow: %v", err)
+	}
+	defer w2.Close()
+	if res.FromSnapshotSeq == 0 {
+		t.Fatal("boot ignored the snapshot")
+	}
+	if got := p2.Arbiter.Ledger.Escrowed(txID); got != deposit {
+		t.Fatalf("escrow restored as %v, want %v", got, deposit)
+	}
+	if got := p2.Arbiter.Ledger.TotalSupply(); got != supply {
+		t.Fatalf("supply after restore %v, want %v", got, supply)
+	}
+	if got := fingerprint(t, p2, e2, true); string(got) != string(baseStrong) {
+		t.Fatalf("escrow-carrying snapshot boot diverged:\n--- baseline\n%s\n--- restarted\n%s", baseStrong, got)
+	}
+
+	// The report settles against the restored escrow through the async path.
+	rt := mustTicket(e2.SubmitReport(txID, 480, 480))
+	e2.TriggerEpoch()
+	tk, _ := e2.Ticket(rt)
+	if tk.Status != engine.TicketDone || tk.Price <= 0 {
+		t.Fatalf("report on restored escrow failed: %+v", tk)
+	}
+	if p2.Arbiter.PendingExPostCount() != 0 || p2.Arbiter.Ledger.Escrowed(txID) != 0 {
+		t.Fatal("escrow not cleared by the report")
+	}
+	if got := p2.Arbiter.Ledger.TotalSupply(); got != supply {
+		t.Fatalf("supply after report %v, want %v", got, supply)
+	}
+	e2.Stop()
+	if !e2.Settlements().Conserved() {
+		t.Fatal("settlement conservation violated after report")
 	}
 }
 
