@@ -227,7 +227,22 @@ func BenchmarkAblationShapleySamples(b *testing.B) {
 // the sharded intake (threshold-kicked epochs clear them in the background),
 // then final epochs drain the tail. The custom matches/sec metric is the
 // number the ROADMAP's scaling PRs track.
+//
+// The coverage variant is the cheap-build baseline; the transform-heavy
+// variants make the Mashup Builder the dominant epoch cost (many distinct
+// want groups over transform-materialized columns, with fresh shares
+// continuously invalidating the candidate cache) and contrast synchronous
+// in-round builds against the async DoD builder pool, whose build stage
+// overlaps the per-group beam searches (build-ms/epoch is accounted to the
+// workers either way; with the pool the epoch only waits for the slowest
+// group instead of the sum).
 func BenchmarkEngineThroughput(b *testing.B) {
+	b.Run("coverage", benchCoverageThroughput)
+	b.Run("transform-heavy/sync", func(b *testing.B) { benchTransformHeavy(b, 0) })
+	b.Run("transform-heavy/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4) })
+}
+
+func benchCoverageThroughput(b *testing.B) {
 	const buyers = 16
 	p, err := core.NewPlatform(core.Options{Design: "posted-baseline"})
 	if err != nil {
@@ -281,6 +296,110 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
 	b.ReportMetric(float64(st.Epochs), "epochs")
+}
+
+// benchTransformHeavy drives the registered-transform-heavy workload: 6
+// distinct want groups, each satisfied only through columns that transform
+// registration materialized, while every 64th submission shares a fresh
+// dataset — bumping the catalog version and forcing all groups to rebuild.
+func benchTransformHeavy(b *testing.B, workers int) {
+	const (
+		buyers = 16
+		groups = 6
+		bases  = 4
+	)
+	p, err := core.NewPlatform(core.Options{Design: "posted-baseline"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 128, DoDWorkers: workers})
+	defer eng.Stop()
+	for i := 0; i < buyers; i++ {
+		if _, err := eng.SubmitRegister(fmt.Sprintf("b%02d", i), 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mkRel := func(id string, rows int) *relation.Relation {
+		r := relation.New(id, relation.NewSchema(
+			relation.Col("a", relation.KindInt), relation.Col("c", relation.KindFloat)))
+		for i := 0; i < rows; i++ {
+			r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*0.5))
+		}
+		return r
+	}
+	for s := 0; s < bases; s++ {
+		id := fmt.Sprintf("s%d/base", s)
+		if _, err := eng.SubmitShare(fmt.Sprintf("s%d", s), catalog.DatasetID(id), mkRel(id, 60),
+			wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.TriggerEpoch()
+	// Negotiation learned one transform per (dataset, group): each
+	// registration materializes the derived column and re-indexes, so every
+	// group's builds search a transform-widened join graph.
+	for s := 0; s < bases; s++ {
+		for g := 0; g < groups; g++ {
+			g := g
+			p.Arbiter.DoD().RegisterTransform(
+				catalog.DatasetID(fmt.Sprintf("s%d/base", s)), "c", fmt.Sprintf("t%d", g),
+				&dod.Transform{
+					Name: fmt.Sprintf("aff%d", g),
+					Kind: relation.KindFloat,
+					Fn: func(v relation.Value) relation.Value {
+						if v.IsNull() || !v.IsNumeric() {
+							return relation.Null()
+						}
+						return relation.Float(v.AsFloat()*float64(g+2) + 1)
+					},
+				})
+		}
+	}
+	eng.Start()
+
+	var submitted, shareSeq atomic.Int64
+	var worker atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buyer := fmt.Sprintf("b%02d", worker.Add(1)%buyers)
+		for pb.Next() {
+			n := submitted.Add(1)
+			if n%64 == 0 {
+				// Fresh supply: joins into the graph and invalidates every
+				// cached candidate set.
+				id := fmt.Sprintf("x%d/d", shareSeq.Add(1))
+				_, _ = eng.SubmitShare("s0", catalog.DatasetID(id), mkRel(id, 30),
+					wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open})
+			}
+			col := fmt.Sprintf("t%d", n%groups)
+			_, _ = eng.SubmitRequest(
+				dod.Want{Columns: []string{"a", col}},
+				&wtp.Function{
+					Buyer: buyer,
+					Task:  wtp.CoverageTask{Columns: []string{"a", col}, WantRows: 1},
+					Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 150}},
+				})
+		}
+	})
+	for eng.Stats().Matched < uint64(b.N) {
+		eng.TriggerEpoch()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Matched != uint64(b.N) {
+		b.Fatalf("matched %d of %d requests", st.Matched, b.N)
+	}
+	if !eng.Settlements().Conserved() {
+		b.Fatal("settlement conservation violated")
+	}
+	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
+	b.ReportMetric(float64(st.Epochs), "epochs")
+	if st.Epochs > 0 {
+		b.ReportMetric(st.BuildMillis/float64(st.Epochs), "build-ms/epoch")
+	}
+	b.ReportMetric(float64(st.CacheHits), "cache-hits")
 }
 
 func BenchmarkE11ExPostAudits(b *testing.B) {

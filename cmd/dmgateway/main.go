@@ -15,16 +15,21 @@
 // Usage:
 //
 //	dmgateway -addr :8080 -design posted-baseline -epoch 250ms -batch 64 \
-//	          -shards 8 -wal-dir /var/lib/dmms/wal -fsync epoch -snapshot-on-drain
+//	          -shards 8 -dod-workers 4 -quota-rps 50 -quota-override etl=500:1000 \
+//	          -wal-dir /var/lib/dmms/wal -fsync epoch -snapshot-on-drain
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +38,73 @@ import (
 	"repro/internal/engine"
 	"repro/internal/wal"
 )
+
+// quotaOverrideEntry is one parsed -quota-override value (rates still in
+// requests/sec; translated per epoch once the ticker period is known).
+type quotaOverrideEntry struct {
+	rps   float64
+	burst float64
+}
+
+// quotaOverrideFlag collects repeatable -quota-override name=rps[:burst]
+// values.
+type quotaOverrideFlag map[string]quotaOverrideEntry
+
+func (q *quotaOverrideFlag) String() string {
+	if q == nil || len(*q) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(*q))
+	for name, o := range *q {
+		parts = append(parts, fmt.Sprintf("%s=%g:%g", name, o.rps, o.burst))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (q *quotaOverrideFlag) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("quota-override %q: want name=rps[:burst]", v)
+	}
+	rpsStr, burstStr, hasBurst := strings.Cut(spec, ":")
+	rps, err := strconv.ParseFloat(rpsStr, 64)
+	if err != nil || rps < 0 {
+		// Only an explicit 0 means exempt; a negative rate is almost
+		// certainly a typo that would silently unthrottle the participant.
+		return fmt.Errorf("quota-override %q: rps must be >= 0 (0 = exempt)", v)
+	}
+	var burst float64
+	if hasBurst {
+		if burst, err = strconv.ParseFloat(burstStr, 64); err != nil || burst < 0 {
+			return fmt.Errorf("quota-override %q: burst must be >= 0", v)
+		}
+	}
+	if *q == nil {
+		*q = quotaOverrideFlag{}
+	}
+	(*q)[name] = quotaOverrideEntry{rps: rps, burst: burst}
+	return nil
+}
+
+// toConfig translates the per-second override rates through the epoch
+// period, exactly like the global -quota-rps flag: with a ticker the bucket
+// refills per epoch, so rps x epoch-seconds; with manual epochs the rate
+// acts per epoch directly. Burst stays absolute (tokens).
+func (q quotaOverrideFlag) toConfig(epoch time.Duration) map[string]engine.QuotaOverride {
+	if len(q) == 0 {
+		return nil
+	}
+	out := make(map[string]engine.QuotaOverride, len(q))
+	for name, o := range q {
+		perEpoch := o.rps
+		if epoch > 0 {
+			perEpoch = o.rps * epoch.Seconds()
+		}
+		out[name] = engine.QuotaOverride{PerEpoch: perEpoch, Burst: o.burst}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,6 +125,9 @@ func main() {
 	quotaBurst := flag.Float64("quota-burst", 0, "token-bucket burst capacity (0 = auto)")
 	admitCap := flag.Int("admit-cap", 0, "global requests admitted per epoch window; excess get 429 (0 = unlimited)")
 	maxPending := flag.Int("max-pending", 0, "queue-depth backpressure: reject submissions while this many are queued (0 = unlimited)")
+	dodWorkers := flag.Int("dod-workers", 0, "async DoD builder pool size: mashup builds run on this many workers so epochs only price pre-built candidates (0 = build inline in the round)")
+	var overrides quotaOverrideFlag
+	flag.Var(&overrides, "quota-override", "per-participant quota override name=rps[:burst], overriding -quota-rps/-quota-burst for that participant (rps 0 = exempt); repeatable")
 	flag.Parse()
 
 	policy, err := engine.ParsePolicy(*policyName, *ageBoost)
@@ -72,9 +147,11 @@ func main() {
 		BatchThreshold: *batch,
 		Policy:         policy,
 		EpochMatchCap:  *epochCap,
+		DoDWorkers:     *dodWorkers,
 		Admission: engine.AdmissionConfig{
 			QuotaPerEpoch:   quotaPerEpoch,
 			QuotaBurst:      *quotaBurst,
+			Overrides:       overrides.toConfig(*epoch),
 			EpochRequestCap: *admitCap,
 			MaxPending:      *maxPending,
 		},
@@ -211,8 +288,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d policy=%s epoch-cap=%d quota-rps=%g on %s",
-		p.Design.Label, *shards, *epoch, *batch, policy.Name(), *epochCap, *quotaRPS, *addr)
+	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d policy=%s epoch-cap=%d quota-rps=%g dod-workers=%d on %s",
+		p.Design.Label, *shards, *epoch, *batch, policy.Name(), *epochCap, *quotaRPS, *dodWorkers, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

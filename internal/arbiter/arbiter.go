@@ -13,8 +13,6 @@ package arbiter
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -170,19 +168,38 @@ func (a *Arbiter) ShareDataset(seller string, id catalog.DatasetID, rel *relatio
 	meta.Dataset = string(id)
 	a.metas[string(id)] = meta
 	a.shareOrder = append(a.shareOrder, string(id))
-	a.ix.Add(profile.Profile(string(id), rel))
+	// Index through the DoD engine's mutation seam: worker-goroutine builds
+	// never see a half-indexed dataset, and the catalog version bump marks
+	// every cached candidate set stale.
+	a.dod.MutateCatalog(func() bool {
+		a.ix.Add(profile.Profile(string(id), rel))
+		return true
+	})
 	a.Ledger.Note(fmt.Sprintf("dataset %s shared by %s (%d rows, license %s)", id, seller, rel.NumRows(), terms.Kind))
 	return nil
 }
 
 // UpdateDataset records a new version and re-indexes.
 func (a *Arbiter) UpdateDataset(id catalog.DatasetID, rel *relation.Relation, comment string) error {
-	if _, err := a.Catalog.Update(id, rel, comment); err != nil {
-		return err
-	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.ix.Add(profile.Profile(string(id), rel))
+	// Both the catalog content swap and the re-index happen inside the
+	// build/mutate seam: an in-flight build can never read the new rows
+	// through the old index (or under the old version stamp), and the
+	// version bump inside MutateCatalog is what keeps a prebuilt mashup of
+	// the old version from ever settling — price-time validity checks
+	// compare against the bumped version and rebuild.
+	var uerr error
+	a.dod.MutateCatalog(func() bool {
+		if _, uerr = a.Catalog.Update(id, rel, comment); uerr != nil {
+			return false // nothing applied; keep the cache warm
+		}
+		a.ix.Add(profile.Profile(string(id), rel))
+		return true
+	})
+	if uerr != nil {
+		return uerr
+	}
 	if m, ok := a.metas[string(id)]; ok {
 		m.UpdatedAt = time.Now()
 		a.metas[string(id)] = m
@@ -233,11 +250,9 @@ func (a *Arbiter) openLocked() []*Request {
 }
 
 // wantKey normalizes a Want so buyers with the same need share an auction.
-func wantKey(w dod.Want) string {
-	cols := append([]string(nil), w.Columns...)
-	sort.Strings(cols)
-	return strings.Join(cols, ",")
-}
+// The same key addresses the DoD engine's candidate cache, so a prebuilt
+// CandidateSet maps straight onto the group that will price it.
+func wantKey(w dod.Want) string { return w.Key() }
 
 // MatchResult summarizes one matching round.
 type MatchResult struct {
@@ -250,11 +265,12 @@ type MatchResult struct {
 	UnmetCols map[string]int
 }
 
-// MatchRound runs the full Fig. 2 pipeline over all open requests.
+// MatchRound runs the full Fig. 2 pipeline over all open requests, building
+// mashups inline (through the candidate cache).
 func (a *Arbiter) MatchRound() (*MatchResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	res := a.matchRoundLocked(nil)
+	res := a.matchRoundLocked(nil, nil)
 	for c, n := range res.UnmetCols {
 		a.unmet[c] += n
 	}
@@ -268,12 +284,25 @@ func (a *Arbiter) MatchRound() (*MatchResult, error) {
 // fold res.UnmetCols into the demand signals: the engine commits them only
 // when the round is actually counted (an aborted round leaves no trace, so
 // WAL replay stays deterministic). A nil slice matches every open request in
-// arrival order, exactly like MatchRound.
+// arrival order, exactly like MatchRound. Mashups are built inline; the
+// pipelined engine hands pre-built candidates to PriceRound instead.
 func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
+	return a.PriceRound(ids, nil)
+}
+
+// PriceRound is the price stage of the split Fig. 2 pipeline: it runs the
+// matching round over the given open requests (nil = all, in arrival order)
+// but lets each want group consume a pre-built CandidateSet from the map
+// (keyed by Want.Key()) instead of building inline. A handed set is used
+// only while it is still valid — built from the identical want at the
+// current catalog version; anything stale, foreign or absent falls back to a
+// (cache-aware) inline build, so a dataset updated between build and price
+// can never settle against its pre-update mashup.
+func (a *Arbiter) PriceRound(ids []string, prebuilt map[string]*dod.CandidateSet) (*MatchResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if ids == nil {
-		return a.matchRoundLocked(nil), nil
+		return a.matchRoundLocked(nil, prebuilt), nil
 	}
 	pool := make([]*Request, 0, len(ids))
 	for _, id := range ids {
@@ -281,7 +310,47 @@ func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
 			pool = append(pool, r)
 		}
 	}
-	return a.matchRoundLocked(pool), nil
+	return a.matchRoundLocked(pool, prebuilt), nil
+}
+
+// OpenWantGroups is the build stage's work list: the distinct want groups of
+// the given open requests (nil = every open request), one representative
+// Want per group key in pool order — exactly the wants the matching round
+// over the same ids would build. The engine's builder pool fans these out to
+// workers before PriceRound runs.
+func (a *Arbiter) OpenWantGroups(ids []string) []dod.Want {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var pool []*Request
+	if ids == nil {
+		pool = a.openLocked()
+	} else {
+		pool = make([]*Request, 0, len(ids))
+		for _, id := range ids {
+			if r := a.reqByID[id]; r != nil && r.Open {
+				pool = append(pool, r)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var wants []dod.Want
+	for _, r := range pool {
+		k := wantKey(r.Want)
+		if !seen[k] {
+			seen[k] = true
+			wants = append(wants, r.Want)
+		}
+	}
+	return wants
+}
+
+// BuildFor builds (through the versioned candidate cache) the mashup
+// candidates for one want. It deliberately does not take the arbiter lock:
+// builds from many worker goroutines run concurrently with each other and
+// with intake, serialized only against catalog mutations inside the DoD
+// engine.
+func (a *Arbiter) BuildFor(want dod.Want) *dod.CandidateSet {
+	return a.dod.BuildCached(want)
 }
 
 // AddUnmet folds a round's unmet-demand increments into the demand signals
@@ -315,9 +384,10 @@ func (a *Arbiter) UnmetCounts() map[string]int {
 }
 
 // matchRoundLocked runs one round over the given request pool (nil = every
-// open request in arrival order). Unmet demand is accumulated into the
-// result, not the arbiter. Caller holds a.mu.
-func (a *Arbiter) matchRoundLocked(pool []*Request) *MatchResult {
+// open request in arrival order), pricing prebuilt candidate sets where a
+// valid one is supplied. Unmet demand is accumulated into the result, not
+// the arbiter. Caller holds a.mu.
+func (a *Arbiter) matchRoundLocked(pool []*Request, prebuilt map[string]*dod.CandidateSet) *MatchResult {
 	res := &MatchResult{UnmetCols: map[string]int{}}
 	if pool == nil {
 		pool = a.openLocked()
@@ -338,19 +408,28 @@ func (a *Arbiter) matchRoundLocked(pool []*Request) *MatchResult {
 
 	for _, k := range order {
 		reqs := groups[k]
-		txs, unsat := a.matchGroup(reqs, res.UnmetCols)
+		txs, unsat := a.matchGroup(reqs, res.UnmetCols, prebuilt[k])
 		res.Transactions = append(res.Transactions, txs...)
 		res.Unsatisfied = append(res.Unsatisfied, unsat...)
 	}
 	return res
 }
 
-// matchGroup auctions the best mashup for one group of identical wants.
-// Unmet demand is accumulated into the caller's map.
-func (a *Arbiter) matchGroup(reqs []*Request, unmet map[string]int) ([]*Transaction, []string) {
+// matchGroup auctions the best mashup for one group of identical wants. A
+// handed pre-built CandidateSet is priced only after the version check
+// re-validates it against the live catalog; otherwise the group builds
+// inline through the cache. Unmet demand is accumulated into the caller's
+// map.
+func (a *Arbiter) matchGroup(reqs []*Request, unmet map[string]int, cs *dod.CandidateSet) ([]*Transaction, []string) {
 	want := reqs[0].Want
-	cands, err := a.dod.Build(want)
-	if err != nil {
+	if !a.dod.Valid(cs, want) {
+		// Stale (a ShareDataset/UpdateDataset/RegisterTransform bumped the
+		// catalog since the build), foreign or missing: rebuild at the
+		// current version. BuildCached counts the stale/miss.
+		cs = a.dod.BuildCached(want)
+	}
+	cands := cs.Candidates
+	if len(cands) == 0 {
 		recordUnmet(unmet, want.Columns)
 		return nil, requestIDs(reqs)
 	}

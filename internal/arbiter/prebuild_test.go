@@ -1,0 +1,90 @@
+package arbiter
+
+import (
+	"testing"
+
+	"repro/internal/dod"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// abWTP prices coverage of ⟨a, b⟩ alone (setupMarket's s1).
+func abWTP(buyer string, price float64) *wtp.Function {
+	return &wtp.Function{
+		Buyer: buyer,
+		Task:  wtp.CoverageTask{Columns: []string{"a", "b"}, WantRows: 50},
+		Curve: wtp.PriceCurve{{MinSatisfaction: 0.9, Price: price}},
+	}
+}
+
+// TestUpdateBetweenBuildAndPrice is the regression for the prebuild race:
+// a candidate set built before an UpdateDataset must never be priced — the
+// version check at price time detects the bump and rebuilds, so the settled
+// mashup carries the post-update data.
+func TestUpdateBetweenBuildAndPrice(t *testing.T) {
+	a := setupMarket(t, mkDesign())
+	want := dod.Want{Columns: []string{"a", "b"}}
+	if _, err := a.SubmitRequest(want, abWTP("b1", 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build stage: a worker prebuilds against the current catalog.
+	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(want)}
+
+	// A new version of s1 lands between build and price: same schema, but
+	// every b value is shifted so pre- and post-update mashups are
+	// distinguishable.
+	s1v2 := relation.New("s1", relation.NewSchema(
+		relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
+	for i := 0; i < 100; i++ {
+		s1v2.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)+1000))
+	}
+	if err := a.UpdateDataset("s1", s1v2, "shifted b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.DoD().Valid(prebuilt[want.Key()], want) {
+		t.Fatal("prebuilt set still valid after UpdateDataset")
+	}
+
+	res, err := a.PriceRound(nil, prebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(res.Transactions))
+	}
+	tx := res.Transactions[0]
+	bi := tx.Mashup.Schema.IndexOf("b")
+	if bi < 0 || tx.Mashup.NumRows() == 0 {
+		t.Fatalf("settled mashup missing data: %s", tx.Mashup.Schema)
+	}
+	if got := tx.Mashup.Rows[0][bi].AsFloat(); got < 1000 {
+		t.Errorf("settled against pre-update mashup: b[0] = %v, want >= 1000", got)
+	}
+	if st := a.DoD().CacheStats(); st.Stale == 0 {
+		t.Errorf("price-time rebuild not counted as stale: %+v", st)
+	}
+}
+
+// TestPriceRoundUsesValidPrebuilt pins the fast path: a version-valid handed
+// set is priced as-is, with no extra build.
+func TestPriceRoundUsesValidPrebuilt(t *testing.T) {
+	a := setupMarket(t, mkDesign())
+	want := dod.Want{Columns: []string{"a", "b"}}
+	if _, err := a.SubmitRequest(want, abWTP("b1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(want)}
+	builds := a.DoD().CacheStats().Builds
+
+	res, err := a.PriceRound(nil, prebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(res.Transactions))
+	}
+	if got := a.DoD().CacheStats().Builds; got != builds {
+		t.Errorf("price stage ran %d extra build(s); prebuilt set should have been consumed", got-builds)
+	}
+}

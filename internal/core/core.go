@@ -147,6 +147,34 @@ func (p *Platform) AddUnmet(cols map[string]int) {
 	p.Arbiter.AddUnmet(cols)
 }
 
+// OpenWantGroups returns the distinct want groups of the given open requests
+// (nil = all open), one representative Want per group in pool order — the
+// build stage's work list for the engine's DoD worker pool.
+func (p *Platform) OpenWantGroups(ids []string) []dod.Want {
+	return p.Arbiter.OpenWantGroups(ids)
+}
+
+// BuildCandidates builds (through the DoD engine's versioned candidate
+// cache) the mashup candidates for one want. Safe to call from worker
+// goroutines concurrently with intake; only catalog mutations serialize
+// against it.
+func (p *Platform) BuildCandidates(want dod.Want) *dod.CandidateSet {
+	return p.Arbiter.BuildFor(want)
+}
+
+// PriceRoundFor runs the price stage over the given open requests,
+// consuming pre-built candidate sets (keyed by Want.Key()) where still
+// valid. A nil map prices with inline builds, exactly like MatchRoundFor.
+func (p *Platform) PriceRoundFor(ids []string, prebuilt map[string]*dod.CandidateSet) (*arbiter.MatchResult, error) {
+	return p.Arbiter.PriceRound(ids, prebuilt)
+}
+
+// DoDCacheStats snapshots the DoD engine's candidate-cache counters for the
+// engine's stats surface.
+func (p *Platform) DoDCacheStats() dod.CacheStats {
+	return p.Arbiter.DoD().CacheStats()
+}
+
 // --- engine hooks ---------------------------------------------------------
 //
 // The concurrent market engine (internal/engine) drives the platform through

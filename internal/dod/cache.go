@@ -1,0 +1,222 @@
+package dod
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the versioned candidate store behind the pipelined arbiter:
+// Build results are cached per want-key and stamped with the catalog version
+// current when the build started. ShareDataset/UpdateDataset (through
+// MutateCatalog) and RegisterTransform bump the version, so a cached mashup
+// built against yesterday's catalog is detected — and rebuilt — rather than
+// served. Candidates are derived state: they are never logged or snapshotted,
+// which is what lets the engine build them on worker goroutines without
+// touching replay determinism (a valid cached set is byte-identical to what
+// an inline build of the same want at the same version would produce,
+// because Build is deterministic).
+
+// Key is the group key of a want: buyers with the same wanted columns share
+// one auction, so they share one cache slot. The arbiter groups requests by
+// the same key.
+func (w Want) Key() string {
+	cols := append([]string(nil), w.Columns...)
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}
+
+// fingerprint captures the exact build input: unlike Key it is sensitive to
+// column order (projection order shapes the mashup schema), aliases and the
+// search knobs, so a cached set is only reused for a want that would have
+// built identically.
+func (w Want) fingerprint() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(w.Columns, ","))
+	aliasKeys := make([]string, 0, len(w.Aliases))
+	for k := range w.Aliases {
+		aliasKeys = append(aliasKeys, k)
+	}
+	sort.Strings(aliasKeys)
+	for _, k := range aliasKeys {
+		fmt.Fprintf(&b, "|%s=%s", k, strings.Join(w.Aliases[k], "/"))
+	}
+	fmt.Fprintf(&b, "|%d|%d|%g|%d", w.MaxDatasets, w.MaxCandidates, w.MinJoinScore, w.MinRows)
+	return b.String()
+}
+
+// CandidateSet is one cached build outcome: the ranked candidates (or the
+// build failure) for one want, stamped with the catalog version they were
+// built against. A set whose Version no longer matches the engine's catalog
+// version is stale and must not be priced.
+type CandidateSet struct {
+	// Key is the want's group key (sorted wanted columns).
+	Key string
+	// Want is the exact want the set was built from.
+	Want Want
+	// Version is the catalog version at build start.
+	Version uint64
+	// Candidates are the ranked mashups; empty when the build failed.
+	Candidates []Candidate
+	// Err carries the build failure, cached like a positive result so a
+	// hopeless want does not re-run the beam search every round — the next
+	// catalog change invalidates it like everything else.
+	Err string
+	// BuildMillis is how long the build took (0 for cache hits).
+	BuildMillis float64
+
+	fp string
+}
+
+// CacheStats is a point-in-time snapshot of the candidate-store counters.
+// All counters are in-memory observability only — never logged, snapshotted
+// or replayed.
+type CacheStats struct {
+	// Hits counts version-valid cache reuses.
+	Hits uint64 `json:"hits"`
+	// Stale counts lookups that found an entry invalidated by a catalog
+	// version bump (the entry was rebuilt).
+	Stale uint64 `json:"stale"`
+	// Misses counts lookups with no reusable entry.
+	Misses uint64 `json:"misses"`
+	// Builds counts beam searches actually run.
+	Builds uint64 `json:"builds"`
+	// BuildMillis is the cumulative wall-clock time spent in builds.
+	BuildMillis float64 `json:"build_millis"`
+	// Entries is the current cache population.
+	Entries int `json:"entries"`
+	// Version is the current catalog version.
+	Version uint64 `json:"version"`
+}
+
+// CatalogVersion returns the current catalog version. Every mutation that
+// can change what Build would produce — dataset shares, updates, transform
+// registrations — bumps it.
+func (e *Engine) CatalogVersion() uint64 { return e.version.Load() }
+
+// MutateCatalog runs a catalog/index mutation exclusively against in-flight
+// builds. The arbiter routes its index writes (ShareDataset, UpdateDataset)
+// through here so worker-goroutine builds never observe a half-applied
+// mutation. The closure reports whether it actually applied: only then is
+// the catalog version bumped (invalidating every cached candidate set) — a
+// rejected update must not flush the cache for a no-op.
+func (e *Engine) MutateCatalog(mutate func() bool) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if mutate() {
+		return e.version.Add(1)
+	}
+	return e.version.Load()
+}
+
+// Valid reports whether a candidate set can be priced for the given want
+// right now: it must have been built from an identical want and stamped with
+// the current catalog version. The price-time check is what keeps an
+// UpdateDataset racing a prebuild from settling against a pre-update mashup.
+func (e *Engine) Valid(cs *CandidateSet, want Want) bool {
+	return cs != nil && cs.fp == want.fingerprint() && cs.Version == e.version.Load()
+}
+
+// CacheStats snapshots the candidate-store counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.cacheMu.Lock()
+	entries := len(e.cache)
+	e.cacheMu.Unlock()
+	return CacheStats{
+		Hits:        e.cacheHits.Load(),
+		Stale:       e.cacheStale.Load(),
+		Misses:      e.cacheMisses.Load(),
+		Builds:      e.builds.Load(),
+		BuildMillis: float64(e.buildNanos.Load()) / 1e6,
+		Entries:     entries,
+		Version:     e.version.Load(),
+	}
+}
+
+// inflightBuild is one in-progress build other callers can wait on instead
+// of duplicating the beam search (per-want singleflight).
+type inflightBuild struct {
+	ver  uint64
+	done chan struct{}
+	cs   *CandidateSet // set before done closes
+}
+
+// BuildCached is the cache-aware Build: a version-valid entry for the same
+// want is returned as-is (hit); an entry invalidated by a catalog bump
+// (stale) or absent (miss) triggers a build, whose outcome — success or
+// failure — is stored under the want's key. Safe for concurrent use; builds
+// for distinct wants run in parallel (they hold the catalog read-lock, so a
+// MutateCatalog waits for them and they never see partial mutations), while
+// concurrent callers for the same want at the same version share one build:
+// a speculative prebuild racing the next epoch's build stage costs one beam
+// search, not two.
+func (e *Engine) BuildCached(want Want) *CandidateSet {
+	key, fp := want.Key(), want.fingerprint()
+	flKey := key + "\x00" + fp
+
+	e.mu.RLock()
+	ver := e.version.Load() // stable while the read-lock pins out writers
+	e.cacheMu.Lock()
+	if cs, ok := e.cache[key]; ok && cs.fp == fp && cs.Version == ver {
+		e.cacheMu.Unlock()
+		e.mu.RUnlock()
+		e.cacheHits.Add(1)
+		return cs
+	}
+	if fl, ok := e.inflight[flKey]; ok && fl.ver == ver {
+		// Someone is already building this exact want at this version: wait
+		// for their result instead of burning a second search (and counting
+		// phantom misses). The wait holds no locks.
+		e.cacheMu.Unlock()
+		e.mu.RUnlock()
+		<-fl.done
+		e.cacheHits.Add(1)
+		return fl.cs
+	}
+	if cs, ok := e.cache[key]; ok && cs.fp == fp {
+		e.cacheStale.Add(1)
+	} else {
+		e.cacheMisses.Add(1)
+	}
+	fl := &inflightBuild{ver: ver, done: make(chan struct{})}
+	e.inflight[flKey] = fl
+	e.cacheMu.Unlock()
+
+	start := time.Now()
+	cands, err := e.buildLocked(want)
+	e.mu.RUnlock()
+	ms := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	e.builds.Add(1)
+	e.buildNanos.Add(time.Since(start).Nanoseconds())
+	cs := &CandidateSet{Key: key, Want: want, Version: ver, Candidates: cands, BuildMillis: ms, fp: fp}
+	if err != nil {
+		cs.Err = err.Error()
+	}
+	e.cacheMu.Lock()
+	// A laggard build (e.g. a speculative prebuild that lost the race with
+	// a catalog bump) must not evict a fresher entry — the stale set would
+	// just force yet another rebuild at the next lookup.
+	if cur, ok := e.cache[key]; !ok || cur.Version <= cs.Version {
+		e.cache[key] = cs
+	}
+	if e.inflight[flKey] == fl {
+		delete(e.inflight, flKey)
+	}
+	e.cacheMu.Unlock()
+	fl.cs = cs // happens-before the close; waiters read after <-done
+	close(fl.done)
+	return cs
+}
+
+// InvalidateAll drops every cached candidate set and bumps the version (so
+// in-flight sets built before the call go stale too). Tests and
+// administrative resets use it; normal operation relies on version bumps
+// alone.
+func (e *Engine) InvalidateAll() {
+	e.cacheMu.Lock()
+	e.cache = map[string]*CandidateSet{}
+	e.cacheMu.Unlock()
+	e.version.Add(1)
+}

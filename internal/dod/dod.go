@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/discovery"
@@ -110,16 +112,35 @@ type transKey struct {
 	Dataset, Column, Target string
 }
 
-// Engine is the DoD engine.
+// Engine is the DoD engine. Builds may run on many goroutines at once (the
+// market engine's builder pool): mu serializes catalog/index/transform
+// mutations against in-flight builds, and the versioned candidate cache
+// (cache.go) memoizes build outcomes per want-key.
 type Engine struct {
-	cat        *catalog.Catalog
-	disc       *discovery.Engine
+	cat  *catalog.Catalog
+	disc *discovery.Engine
+
+	// mu is the build/mutate seam: builds hold it shared for their whole
+	// search+materialize, mutations (RegisterTransform, MutateCatalog) hold
+	// it exclusively and bump version when done.
+	mu         sync.RWMutex
 	transforms map[transKey]*Transform
+	version    atomic.Uint64
+
+	cacheMu     sync.Mutex
+	cache       map[string]*CandidateSet
+	inflight    map[string]*inflightBuild
+	cacheHits   atomic.Uint64
+	cacheStale  atomic.Uint64
+	cacheMisses atomic.Uint64
+	builds      atomic.Uint64
+	buildNanos  atomic.Int64
 }
 
 // New creates an engine over a catalog and discovery engine.
 func New(cat *catalog.Catalog, disc *discovery.Engine) *Engine {
-	return &Engine{cat: cat, disc: disc, transforms: map[transKey]*Transform{}}
+	return &Engine{cat: cat, disc: disc, transforms: map[transKey]*Transform{},
+		cache: map[string]*CandidateSet{}, inflight: map[string]*inflightBuild{}}
 }
 
 // RegisterTransform records that applying t to (dataset, column) yields the
@@ -133,6 +154,11 @@ func New(cat *catalog.Catalog, disc *discovery.Engine) *Engine {
 // content-based join discovery can only find edges on the materialized
 // values.
 func (e *Engine) RegisterTransform(dataset catalog.DatasetID, column, target string, t *Transform) {
+	e.mu.Lock()
+	defer func() {
+		e.version.Add(1) // cached mashups predate the transform; invalidate
+		e.mu.Unlock()
+	}()
 	e.transforms[transKey{string(dataset), column, target}] = t
 	rel, err := e.cat.Get(dataset)
 	if err != nil {
@@ -154,7 +180,11 @@ func (e *Engine) RegisterTransform(dataset catalog.DatasetID, column, target str
 }
 
 // Transforms returns the number of registered transforms.
-func (e *Engine) Transforms() int { return len(e.transforms) }
+func (e *Engine) Transforms() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.transforms)
+}
 
 // providersFor lists how dataset ds can supply each wanted column.
 func (e *Engine) providersFor(ds string, want Want) map[string]provider {
@@ -287,7 +317,17 @@ func (s *state) key() string {
 }
 
 // Build runs discovery + integration and returns ranked candidate mashups.
+// It always searches afresh; BuildCached (cache.go) is the memoizing variant
+// the arbiter's pipelined rounds use.
 func (e *Engine) Build(wantIn Want) ([]Candidate, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.buildLocked(wantIn)
+}
+
+// buildLocked is the beam search + materialization. Caller holds e.mu (shared
+// is enough: the search only reads catalog, index and transforms).
+func (e *Engine) buildLocked(wantIn Want) ([]Candidate, error) {
 	want := wantIn.withDefaults()
 	if len(want.Columns) == 0 {
 		return nil, fmt.Errorf("dod: want has no columns")

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dod"
+)
+
+// buildPool is the engine's DoD builder pool: the build stage of the split
+// Fig. 2 pipeline. Config.DoDWorkers bounds how many mashup builds run at
+// once; the epoch runner fans the distinct open want groups out here after
+// drain+apply and prices only the pre-built, version-valid results, so
+// MatchRound never spends its single-threaded budget inside the beam search.
+// Between epochs the pool speculatively re-warms the candidate cache for
+// wants a round left unmet.
+//
+// Candidates are derived state (never logged, never snapshotted), and a
+// version-valid cached set is byte-identical to what an inline build would
+// have produced, so none of this concurrency is visible to WAL replay.
+type buildPool struct {
+	platform *core.Platform
+	sem      chan struct{} // build-concurrency bound (cap = DoDWorkers)
+
+	mu      sync.Mutex
+	stopped bool
+	specWG  sync.WaitGroup // in-flight speculative prebuilds
+}
+
+func newBuildPool(p *core.Platform, workers int) *buildPool {
+	return &buildPool{platform: p, sem: make(chan struct{}, workers)}
+}
+
+// buildAll builds every want concurrently (bounded by the worker count) and
+// returns the candidate sets keyed by group key. It blocks until all builds
+// finish — the epoch runner needs the complete prebuilt map before pricing —
+// but the builds themselves run on pool goroutines, so their wall-clock
+// overlaps and their cost lands in Stats.BuildMillis, not in the round.
+func (bp *buildPool) buildAll(wants []dod.Want) map[string]*dod.CandidateSet {
+	if len(wants) == 0 {
+		return nil
+	}
+	out := make(map[string]*dod.CandidateSet, len(wants))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range wants {
+		wg.Add(1)
+		go func(w dod.Want) {
+			defer wg.Done()
+			bp.sem <- struct{}{}
+			defer func() { <-bp.sem }()
+			cs := bp.platform.BuildCandidates(w)
+			outMu.Lock()
+			out[cs.Key] = cs
+			outMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// prebuild speculatively warms the candidate cache for the given wants in
+// the background (no caller waits). Useful between epochs: a want left
+// unmet re-enters the next round, and if supply arrived meanwhile — bumping
+// the catalog version — the rebuild happens here instead of on the epoch's
+// critical path. Valid entries revalidate as cheap cache hits.
+func (bp *buildPool) prebuild(wants []dod.Want) {
+	if len(wants) == 0 {
+		return
+	}
+	bp.mu.Lock()
+	if bp.stopped {
+		bp.mu.Unlock()
+		return
+	}
+	bp.specWG.Add(len(wants))
+	bp.mu.Unlock()
+	for _, w := range wants {
+		go func(w dod.Want) {
+			defer bp.specWG.Done()
+			bp.sem <- struct{}{}
+			defer func() { <-bp.sem }()
+			bp.mu.Lock()
+			stopped := bp.stopped
+			bp.mu.Unlock()
+			if stopped {
+				return // shutting down; skip the wasted work
+			}
+			bp.platform.BuildCandidates(w)
+		}(w)
+	}
+}
+
+// close stops accepting speculative work and waits for in-flight prebuilds.
+// Epoch builds are unaffected (buildAll keeps working — Stop's final flush
+// epoch runs after the loop stops but may still need to build).
+func (bp *buildPool) close() {
+	bp.mu.Lock()
+	bp.stopped = true
+	bp.mu.Unlock()
+	bp.specWG.Wait()
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/license"
+	"repro/internal/wtp"
+)
+
+// TestBuilderPoolCacheHitsAcrossEpochs pins the candidate cache's win on the
+// epoch path: repeated identical wants build once and hit the cache in every
+// later epoch, with the build time accounted to BuildMillis.
+func TestBuilderPoolCacheHitsAcrossEpochs(t *testing.T) {
+	_, e := newTestEngine(t, Config{Shards: 2, DoDWorkers: 2})
+	defer e.Stop()
+
+	mustTicket(e.SubmitRegister("b1", 100000))
+	mustTicket(e.SubmitShare("s1", "s1/d", testRelation("s1/d", 20),
+		wtp.DatasetMeta{Dataset: "s1/d", HasProvenance: true}, license.Terms{Kind: license.Open}))
+	e.TriggerEpoch()
+
+	var hits uint64
+	for i := 0; i < 4; i++ {
+		want, fn := coverageRequest("b1", 150)
+		tk := mustTicket(e.SubmitRequest(want, fn))
+		e.TriggerEpoch()
+		waitTerminal(t, e, []string{tk}, time.Second)
+		st := e.Stats()
+		if i > 0 && st.CacheHits <= hits {
+			t.Fatalf("epoch %d: cache hits did not climb (%d -> %d)", i, hits, st.CacheHits)
+		}
+		hits = st.CacheHits
+	}
+	st := e.Stats()
+	if st.Matched != 4 {
+		t.Fatalf("matched %d of 4 requests", st.Matched)
+	}
+	if st.BuildMillis <= 0 {
+		t.Errorf("BuildMillis = %v, want > 0", st.BuildMillis)
+	}
+	if st.DoDWorkers != 2 {
+		t.Errorf("DoDWorkers = %d, want 2", st.DoDWorkers)
+	}
+}
+
+// TestBuilderPoolMatchesSynchronousOutcome proves the pipelined build stage
+// changes no outcome: the same scripted workload through a worker-pool
+// engine and a synchronous engine settles the same transactions at the same
+// prices and leaves identical balances — candidates are derived state.
+func TestBuilderPoolMatchesSynchronousOutcome(t *testing.T) {
+	run := func(workers int) (history []string, balances map[string]float64, stats Stats) {
+		p, e := newTestEngine(t, Config{Shards: 4, DoDWorkers: workers})
+		defer e.Stop()
+		mustTicket(e.SubmitRegister("b1", 50000))
+		mustTicket(e.SubmitRegister("b2", 50000))
+		e.TriggerEpoch()
+		for wave := 0; wave < 3; wave++ {
+			id := fmt.Sprintf("s1/w%d", wave)
+			mustTicket(e.SubmitShare("s1", catalog.DatasetID(id), testRelation(id, 20+wave),
+				wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open}))
+			for _, b := range []string{"b1", "b2"} {
+				want, fn := coverageRequest(b, 150)
+				mustTicket(e.SubmitRequest(want, fn))
+			}
+			e.TriggerEpoch()
+		}
+		e.TriggerEpoch()
+		for _, tx := range p.Arbiter.History() {
+			history = append(history, fmt.Sprintf("%s/%s/%s/%.4f", tx.ID, tx.RequestID, tx.Buyer, tx.Price))
+		}
+		balances = map[string]float64{}
+		for _, name := range []string{"b1", "b2", "s1", "arbiter"} {
+			balances[name] = p.Arbiter.Ledger.Balance(name).Float()
+		}
+		return history, balances, e.Stats()
+	}
+
+	syncHist, syncBal, syncStats := run(0)
+	poolHist, poolBal, poolStats := run(3)
+
+	if fmt.Sprint(syncHist) != fmt.Sprint(poolHist) {
+		t.Errorf("histories diverge:\n sync: %v\n pool: %v", syncHist, poolHist)
+	}
+	if fmt.Sprint(syncBal) != fmt.Sprint(poolBal) {
+		t.Errorf("balances diverge:\n sync: %v\n pool: %v", syncBal, poolBal)
+	}
+	if syncStats.Matched != poolStats.Matched || syncStats.Epochs != poolStats.Epochs {
+		t.Errorf("counters diverge: sync matched=%d epochs=%d, pool matched=%d epochs=%d",
+			syncStats.Matched, syncStats.Epochs, poolStats.Matched, poolStats.Epochs)
+	}
+	if syncStats.DoDWorkers != 0 || poolStats.DoDWorkers != 3 {
+		t.Errorf("worker config not surfaced: sync=%d pool=%d", syncStats.DoDWorkers, poolStats.DoDWorkers)
+	}
+}
+
+// TestSpeculativePrebuildWarmsCache asserts the between-epochs stage runs:
+// a round that leaves a want unmet hands it to the pool, which re-validates
+// the cached set in the background (a hit, since nothing changed).
+func TestSpeculativePrebuildWarmsCache(t *testing.T) {
+	_, e := newTestEngine(t, Config{Shards: 2, DoDWorkers: 2})
+	defer e.Stop()
+
+	mustTicket(e.SubmitRegister("b1", 1000))
+	mustTicket(e.SubmitShare("s1", "s1/d", testRelation("s1/d", 20),
+		wtp.DatasetMeta{Dataset: "s1/d", HasProvenance: true}, license.Terms{Kind: license.Open}))
+	e.TriggerEpoch()
+
+	// A want no supply covers: the round leaves it unmet and the pool
+	// prebuilds it speculatively after the epoch returns.
+	want, fn := coverageRequest("b1", 80)
+	want.Columns = []string{"never", "supplied"}
+	fn.Task = wtp.CoverageTask{Columns: want.Columns, WantRows: 1}
+	mustTicket(e.SubmitRequest(want, fn))
+	before := e.Stats()
+	e.TriggerEpoch()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := e.Stats()
+		if st.CacheHits > before.CacheHits {
+			return // speculative revalidation landed
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no speculative prebuild observed: before=%+v after=%+v", before, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,14 +4,20 @@
 // paper's Fig. 2 pipeline — is inherently a discrete matching round over the
 // full set of open requests, so it cannot itself be parallelized across
 // buyers; what can be made concurrent is everything around it. The engine
-// does exactly that:
+// does exactly that, splitting the round's most expensive stage — the Mashup
+// Builder — out onto a worker pool:
 //
 //	many goroutines                 one epoch runner
 //	---------------                 ----------------
 //	SubmitRegister ─┐
-//	SubmitShare    ─┼─> sharded     drain -> apply -> MatchRound -> publish
-//	SubmitRequest  ─┘   intake          (batched, once per epoch)
-//	                    queues
+//	SubmitShare    ─┼─> sharded     drain -> apply ─┐        ┌-> PriceRound -> publish
+//	SubmitRequest  ─┘   intake                      │        │   (pre-built, version-
+//	                    queues                      v        │    valid candidates only)
+//	                                       ┌─────────────────┴──┐
+//	DoD builder pool (Config.DoDWorkers):  │ BuildFor(want) x N │
+//	N concurrent beam searches into the    └────────────────────┘
+//	versioned candidate cache; between     speculative prebuilds for
+//	epochs it re-warms unmet wants         unmet wants run between epochs
 //
 // # Intake sharding
 //
@@ -37,6 +43,27 @@
 // unsatisfied remain open and are retried automatically in later epochs, so
 // a buyer whose need precedes the matching supply is served as soon as a
 // seller shows up. Epochs with nothing to do are skipped.
+//
+// # Builder pool and candidate cache
+//
+// With Config.DoDWorkers > 0 each epoch is itself a two-stage pipeline.
+// After drain+apply, the runner snapshots the distinct open want groups and
+// fans their mashup builds out to up to DoDWorkers concurrent workers (the
+// build stage); the matching round then prices only the pre-built candidate
+// sets (the price stage), so the single-threaded commit path — pricing,
+// settlement, WAL — never pays for a beam search. Builds land in the DoD
+// engine's versioned candidate cache (internal/dod): every ShareDataset,
+// UpdateDataset and RegisterTransform bumps a catalog version, each cached
+// set is stamped with the version it was built against, and the price stage
+// re-validates at settlement time — a dataset updated between build and
+// price can never settle against its pre-update mashup; the round rebuilds
+// inline instead. Between epochs the pool speculatively re-warms the cache
+// for wants the last round left unmet. Candidates are derived state: they
+// are never logged or snapshotted, and a version-valid cached set is
+// identical to what an inline build would produce (Build is deterministic),
+// so none of this concurrency is visible to replay. Stats surfaces the
+// split: BuildMillis (cumulative build time, accounted to the builders),
+// CacheHits and CacheStale.
 //
 // # Event log
 //

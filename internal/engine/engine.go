@@ -43,6 +43,13 @@ type Config struct {
 	// Admission configures intake admission control (quotas, per-epoch
 	// request cap, queue-depth backpressure). Zero value = admit everything.
 	Admission AdmissionConfig
+	// DoDWorkers, when > 0, enables the async DoD builder pool: after each
+	// epoch's drain+apply the distinct open want groups are built on up to
+	// this many concurrent workers, and the matching round prices only the
+	// pre-built, version-valid candidate sets; the pool also speculatively
+	// re-warms the candidate cache between epochs for wants left unmet. 0
+	// keeps builds inline inside the round (the pre-pipeline behavior).
+	DoDWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -158,8 +165,19 @@ type Stats struct {
 	Shed uint64 `json:"shed,omitempty"`
 	// Aged counts requests the matching policy's per-epoch cap has
 	// deferred at least once (one request-aged record each).
-	Aged          uint64        `json:"aged,omitempty"`
-	Policy        string        `json:"policy,omitempty"`
+	Aged   uint64 `json:"aged,omitempty"`
+	Policy string `json:"policy,omitempty"`
+	// BuildMillis is cumulative wall-clock time spent building mashup
+	// candidates — accounted to the DoD builders (worker pool or inline
+	// cache misses), never to the matching round. In-memory observability
+	// only: like Shed it is not logged and not durable.
+	BuildMillis float64 `json:"build_millis,omitempty"`
+	// CacheHits / CacheStale count candidate-cache reuses and version
+	// invalidations in the DoD engine's versioned candidate store.
+	CacheHits  uint64 `json:"cache_hits,omitempty"`
+	CacheStale uint64 `json:"cache_stale,omitempty"`
+	// DoDWorkers echoes the configured builder-pool size (0 = inline).
+	DoDWorkers    int           `json:"dod_workers,omitempty"`
 	LastPersisted int           `json:"last_persisted,omitempty"`
 	PersistErr    string        `json:"persist_error,omitempty"`
 	Uptime        time.Duration `json:"uptime"`
@@ -190,6 +208,7 @@ type Engine struct {
 	policy   MatchPolicy
 	matchCap int
 	adm      *admission // nil when quota/cap admission is disabled
+	pool     *buildPool // nil when DoDWorkers is 0 (inline builds)
 
 	// bookSeq is the settlement subscriber's high-water mark: the last log
 	// seq folded into the book. Snapshot waits on bookCond until it reaches
@@ -281,6 +300,9 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
+	if cfg.DoDWorkers > 0 {
+		e.pool = newBuildPool(p, cfg.DoDWorkers)
+	}
 	e.bookCond = sync.NewCond(&e.bookMu)
 	e.bookSeq = bookCursor
 	for i := range e.shards {
@@ -356,6 +378,9 @@ func (e *Engine) Stop() {
 	close(e.stop)
 	e.loopWG.Wait()
 	e.TriggerEpoch()
+	if e.pool != nil {
+		e.pool.close()
+	}
 	e.log.Close()
 	e.consWG.Wait()
 }
@@ -392,6 +417,7 @@ func (e *Engine) Stats() Stats {
 		mps = float64(matched-e.stMatchedAtBoot) / up.Seconds()
 	}
 	persisted, perr := e.log.Persisted()
+	cache := e.platform.DoDCacheStats()
 	st := Stats{
 		Epochs:        e.epoch.Load(),
 		Submitted:     e.stSubmitted.Load(),
@@ -405,6 +431,10 @@ func (e *Engine) Stats() Stats {
 		Shed:          e.stShed.Load(),
 		Aged:          e.stAged.Load(),
 		Policy:        e.policy.Name(),
+		BuildMillis:   cache.BuildMillis,
+		CacheHits:     cache.Hits,
+		CacheStale:    cache.Stale,
+		DoDWorkers:    e.cfg.DoDWorkers,
 		LastPersisted: persisted,
 		Uptime:        up,
 		MatchesPerSec: mps,
@@ -580,8 +610,7 @@ func (e *Engine) TriggerEpoch() (uint64, bool) {
 		if len(e.openReqs) > 0 {
 			// Tentative round at the prospective epoch number: only counted
 			// (and published) when something matches.
-			ids, deferred := e.selectRound(e.epoch.Load() + 1)
-			res, err := e.platform.MatchRoundFor(ids)
+			deferred, res, err := e.runRound(e.epoch.Load() + 1)
 			if err == nil && len(res.Transactions) > 0 {
 				ep := e.epoch.Add(1)
 				e.log.Append(Event{Epoch: ep, Kind: EventEpochStart,
@@ -801,10 +830,26 @@ func (e *Engine) apply(ep uint64, s submission) {
 	}
 }
 
+// runRound executes the two-stage pipeline for one prospective round: policy
+// selection, then — with a builder pool — the build stage (distinct open
+// want groups fanned out to workers, epoch runner blocked only on the
+// slowest build, not the sum) and the price stage over the pre-built,
+// version-valid candidate sets. Without a pool, PriceRoundFor builds inline
+// through the candidate cache, preserving the pre-pipeline behavior. Caller
+// holds epochMu.
+func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.MatchResult, err error) {
+	ids, deferred := e.selectRound(ep)
+	var prebuilt map[string]*dod.CandidateSet
+	if e.pool != nil {
+		prebuilt = e.pool.buildAll(e.platform.OpenWantGroups(ids))
+	}
+	res, err = e.platform.PriceRoundFor(ids, prebuilt)
+	return deferred, res, err
+}
+
 // clear runs one policy-ordered matching round and publishes its outcome.
 func (e *Engine) clear(ep uint64) (matched, unmet int, unmetCols map[string]int) {
-	ids, deferred := e.selectRound(ep)
-	res, err := e.platform.MatchRoundFor(ids)
+	deferred, res, err := e.runRound(ep)
 	if err != nil {
 		e.log.Append(Event{Epoch: ep, Kind: EventRejected, Err: "match round: " + err.Error()})
 		return 0, len(e.openReqs), nil
@@ -812,6 +857,13 @@ func (e *Engine) clear(ep uint64) (matched, unmet int, unmetCols map[string]int)
 	e.emitAged(ep, deferred)
 	e.platform.AddUnmet(res.UnmetCols)
 	matched, unmet = e.publishRound(ep, res)
+	if e.pool != nil && len(res.Unsatisfied) > 0 {
+		// Speculative stage: re-warm the cache for the wants this round left
+		// unmet, off the epoch path. If supply arrives before the next round
+		// (bumping the catalog version), the rebuild has already happened by
+		// the time the next build stage asks.
+		e.pool.prebuild(e.platform.OpenWantGroups(res.Unsatisfied))
+	}
 	return matched, unmet, res.UnmetCols
 }
 

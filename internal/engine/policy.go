@@ -180,6 +180,18 @@ func (e *OverloadError) Error() string {
 		e.Reason, e.Participant, e.RetryAfter)
 }
 
+// QuotaOverride is a per-participant admission quota overriding the global
+// QuotaPerEpoch/QuotaBurst pair: a named tenant can run hotter (a paying
+// integration) or colder (an abusive scraper) than the default. PerEpoch <= 0
+// exempts the participant from the quota entirely.
+type QuotaOverride struct {
+	// PerEpoch is the participant's token-bucket refill per counted epoch
+	// (<= 0 = unlimited for this participant).
+	PerEpoch float64
+	// Burst is the participant's bucket capacity (0 = max(PerEpoch, 1)).
+	Burst float64
+}
+
 // AdmissionConfig tunes intake admission control. The zero value disables
 // it entirely (every submission is admitted).
 type AdmissionConfig struct {
@@ -188,6 +200,11 @@ type AdmissionConfig struct {
 	QuotaPerEpoch float64
 	// QuotaBurst is the bucket capacity (0 = max(QuotaPerEpoch, 1)).
 	QuotaBurst float64
+	// Overrides maps participant names to per-participant rate/burst pairs
+	// that replace the global quota for that participant. Overrides work
+	// with or without a global quota: with QuotaPerEpoch == 0 only the named
+	// participants are limited.
+	Overrides map[string]QuotaOverride
 	// EpochRequestCap bounds total request admissions per epoch window
 	// across all participants. 0 = unlimited.
 	EpochRequestCap int
@@ -197,7 +214,33 @@ type AdmissionConfig struct {
 }
 
 func (c AdmissionConfig) enabled() bool {
-	return c.QuotaPerEpoch > 0 || c.EpochRequestCap > 0
+	return c.QuotaPerEpoch > 0 || c.EpochRequestCap > 0 || len(c.Overrides) > 0
+}
+
+// rateFor resolves the effective per-epoch quota of one participant: the
+// override when one exists (<= 0 = exempt), else the global rate.
+func (c AdmissionConfig) rateFor(participant string) float64 {
+	if o, ok := c.Overrides[participant]; ok {
+		if o.PerEpoch > 0 {
+			return o.PerEpoch
+		}
+		return 0
+	}
+	return c.QuotaPerEpoch
+}
+
+// burstFor resolves the effective bucket capacity of one participant.
+func (c AdmissionConfig) burstFor(participant string) float64 {
+	if o, ok := c.Overrides[participant]; ok {
+		if o.Burst > 0 {
+			return o.Burst
+		}
+		if o.PerEpoch > 1 {
+			return o.PerEpoch
+		}
+		return 1
+	}
+	return c.burst()
 }
 
 func (c AdmissionConfig) burst() float64 {
@@ -278,7 +321,7 @@ func newAdmission(cfg AdmissionConfig, epochEvery time.Duration) *admission {
 func (a *admission) bucket(participant string) *bucketState {
 	b, ok := a.buckets[participant]
 	if !ok {
-		b = &bucketState{tokens: a.cfg.burst()}
+		b = &bucketState{tokens: a.cfg.burstFor(participant)}
 		a.buckets[participant] = b
 	}
 	return b
@@ -294,7 +337,7 @@ func (a *admission) admitRequest(participant string) *OverloadError {
 		a.pendingRej[rejKey{participant, OverloadEpochCap}]++
 		return &OverloadError{Reason: OverloadEpochCap, Participant: participant, RetryAfter: a.retryAfter}
 	}
-	if a.cfg.QuotaPerEpoch > 0 {
+	if a.cfg.rateFor(participant) > 0 {
 		b := a.bucket(participant)
 		if b.tokens-b.reserved < 1 {
 			a.pendingRej[rejKey{participant, OverloadQuota}]++
@@ -343,7 +386,7 @@ func (a *admission) takePendingRejections() []rejRecord {
 func (a *admission) commit(participant string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.cfg.QuotaPerEpoch > 0 {
+	if a.cfg.rateFor(participant) > 0 {
 		b := a.bucket(participant)
 		b.tokens--
 		if b.reserved > 0 {
@@ -361,7 +404,7 @@ func (a *admission) commit(participant string) {
 func (a *admission) replayCommit(participant string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.cfg.QuotaPerEpoch > 0 {
+	if a.cfg.rateFor(participant) > 0 {
 		a.bucket(participant).tokens--
 	}
 	a.epochAdmitted++
@@ -403,13 +446,14 @@ func (a *admission) refill(fraction float64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.cfg.QuotaPerEpoch > 0 {
-		burst := a.cfg.burst()
-		for _, b := range a.buckets {
-			b.tokens += a.cfg.QuotaPerEpoch * fraction
-			if b.tokens > burst {
-				b.tokens = burst
-			}
+	for p, b := range a.buckets {
+		rate := a.cfg.rateFor(p)
+		if rate <= 0 {
+			continue
+		}
+		b.tokens += rate * fraction
+		if burst := a.cfg.burstFor(p); b.tokens > burst {
+			b.tokens = burst
 		}
 	}
 	a.epochAdmitted = 0

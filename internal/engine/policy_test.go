@@ -372,3 +372,91 @@ func TestPolicyStateSurvivesRestore(t *testing.T) {
 	}
 	_ = p
 }
+
+// TestQuotaOverridePerParticipant: a named participant's override replaces
+// the global rate/burst — the VIP admits a burst of 3 while everyone else
+// stays at the global 1-per-epoch.
+func TestQuotaOverridePerParticipant(t *testing.T) {
+	_, e := newTestEngine(t, Config{Shards: 2,
+		Admission: AdmissionConfig{
+			QuotaPerEpoch: 1, QuotaBurst: 1,
+			Overrides: map[string]QuotaOverride{"vip": {PerEpoch: 3, Burst: 3}},
+		}})
+	defer e.Stop()
+	mustTicket(e.SubmitRegister("vip", 1_000_000))
+	mustTicket(e.SubmitRegister("plain", 1_000_000))
+	e.TriggerEpoch()
+
+	submit := func(buyer string) error {
+		want, fn := coverageRequest(buyer, 150)
+		_, err := e.SubmitRequest(want, fn)
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := submit("vip"); err != nil {
+			t.Fatalf("vip admission %d rejected: %v", i, err)
+		}
+	}
+	var oe *OverloadError
+	if err := submit("vip"); !errors.As(err, &oe) || oe.Reason != OverloadQuota {
+		t.Fatalf("vip burst 4 should hit its override quota, got %v", err)
+	}
+	if err := submit("plain"); err != nil {
+		t.Fatalf("plain admission rejected: %v", err)
+	}
+	if err := submit("plain"); !errors.As(err, &oe) || oe.Participant != "plain" {
+		t.Fatalf("plain should stay on the global 1-burst quota, got %v", err)
+	}
+
+	// Refill: vip earns its override rate (3), plain the global 1.
+	e.TriggerEpoch()
+	for i := 0; i < 3; i++ {
+		if err := submit("vip"); err != nil {
+			t.Fatalf("vip post-refill admission %d rejected: %v", i, err)
+		}
+	}
+	if err := submit("plain"); err != nil {
+		t.Fatalf("plain post-refill admission rejected: %v", err)
+	}
+	if err := submit("plain"); err == nil {
+		t.Fatal("plain second post-refill admission should exceed the global quota")
+	}
+}
+
+// TestQuotaOverrideWithoutGlobalQuota: overrides alone enable admission
+// control — only the named participant is limited, everyone else is
+// unthrottled, and a PerEpoch <= 0 override exempts entirely.
+func TestQuotaOverrideWithoutGlobalQuota(t *testing.T) {
+	_, e := newTestEngine(t, Config{Shards: 2,
+		Admission: AdmissionConfig{
+			Overrides: map[string]QuotaOverride{
+				"scraper": {PerEpoch: 1, Burst: 1},
+				"exempt":  {PerEpoch: 0},
+			},
+		}})
+	defer e.Stop()
+	mustTicket(e.SubmitRegister("scraper", 1_000_000))
+	mustTicket(e.SubmitRegister("free", 1_000_000))
+	mustTicket(e.SubmitRegister("exempt", 1_000_000))
+	e.TriggerEpoch()
+
+	submit := func(buyer string) error {
+		want, fn := coverageRequest(buyer, 150)
+		_, err := e.SubmitRequest(want, fn)
+		return err
+	}
+	if err := submit("scraper"); err != nil {
+		t.Fatalf("scraper first admission rejected: %v", err)
+	}
+	if err := submit("scraper"); err == nil {
+		t.Fatal("scraper second admission should be shed by its override")
+	}
+	for i := 0; i < 5; i++ {
+		if err := submit("free"); err != nil {
+			t.Fatalf("unnamed participant %d throttled without a global quota: %v", i, err)
+		}
+		if err := submit("exempt"); err != nil {
+			t.Fatalf("exempt participant %d throttled: %v", i, err)
+		}
+	}
+}

@@ -324,7 +324,11 @@ func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy)
 // a crash between a settlement's WAL append and the surrounding records is
 // always exercised — reboots from the durable prefix and re-drives the lost
 // part of the script (epoch-insensitive assertion).
-func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy) {
+// workers > 0 runs the crashed and rebooted engines with the async DoD
+// builder pool enabled while the baseline stays synchronous — so the
+// byte-identical assertions double as proof that worker-built candidates
+// change no outcome.
+func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int) {
 	t.Helper()
 	basePlat, baseEng, _ := runUninterrupted(t, design, sc, policy)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
@@ -381,7 +385,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			e := engine.New(p, engine.Config{Shards: 4,
+			e := engine.New(p, engine.Config{Shards: 4, DoDWorkers: workers,
 				Persister: &faultPersister{inner: w, remaining: crashAfter}})
 			driveAll(t, e, sc)
 			if crashAfter < len(events) {
@@ -394,7 +398,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy) {
 
 			// Reboot from the durable prefix and finish the script.
 			p2, e2, w2, res, err := Boot(core.Options{Design: design},
-				engine.Config{Shards: 4}, Options{Dir: dir, Policy: policy})
+				engine.Config{Shards: 4, DoDWorkers: workers}, Options{Dir: dir, Policy: policy})
 			if err != nil {
 				t.Fatalf("boot: %v", err)
 			}
@@ -439,9 +443,15 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy) {
 func TestCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, testDesign, script(), policy)
+			crashMatrix(t, testDesign, script(), policy, 0)
 		})
 	}
+	// The pipelined-epoch variant: crashed and rebooted engines build
+	// mashups on the async DoD worker pool; state must still match the
+	// synchronous baseline byte for byte.
+	t.Run("epoch-dod-workers", func(t *testing.T) {
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2)
+	})
 }
 
 // TestExPostCrashReplayDeterminism runs the crash matrix over the ex-post
@@ -455,9 +465,12 @@ func TestCrashReplayDeterminism(t *testing.T) {
 func TestExPostCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, "expost-audited", expostScript(), policy)
+			crashMatrix(t, "expost-audited", expostScript(), policy, 0)
 		})
 	}
+	t.Run("epoch-dod-workers", func(t *testing.T) {
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2)
+	})
 }
 
 // TestCleanRestartIsByteIdentical: a full run, a clean shutdown, a reboot
