@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// benchJSON opts into writing BENCH_engine.json after a bench run:
+//
+//	go test -bench BenchmarkEngineThroughput -benchjson
+//	BENCH_JSON=1 go test -bench BenchmarkEngineThroughput
+//	BENCH_JSON=out/bench.json go test -bench BenchmarkEngineThroughput
+//
+// The artifact captures what the benchmark's stdout metrics cannot: latency
+// quantiles. Each BenchmarkEngineThroughput variant runs with a live obs
+// registry, and the submit→settle histogram the engine's tracer feeds yields
+// p50/p99 alongside matches/sec.
+var benchJSON = flag.Bool("benchjson", false,
+	"write BENCH_engine.json with matches/sec and submit→settle quantiles")
+
+func benchJSONPath() string {
+	if env := os.Getenv("BENCH_JSON"); env != "" && env != "1" && env != "true" {
+		return env
+	}
+	return "BENCH_engine.json"
+}
+
+func benchJSONOn() bool {
+	return *benchJSON || os.Getenv("BENCH_JSON") != ""
+}
+
+// benchResult is one BenchmarkEngineThroughput variant's row in the artifact.
+type benchResult struct {
+	Name          string  `json:"name"`
+	N             int     `json:"n"`
+	MatchesPerSec float64 `json:"matches_per_sec"`
+	P50SettleMS   float64 `json:"p50_submit_to_settle_ms"`
+	P99SettleMS   float64 `json:"p99_submit_to_settle_ms"`
+	Epochs        uint64  `json:"epochs"`
+}
+
+var benchCollector struct {
+	mu      sync.Mutex
+	results []benchResult
+}
+
+// benchRegistry returns a live metrics registry when -benchjson is on (the
+// engine then pays the instrumented path, which is what we want to measure
+// and report), nil otherwise so the default bench run stays telemetry-free.
+func benchRegistry() *obs.Registry {
+	if !benchJSONOn() {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// recordBenchJSON pulls the submit→settle histogram back out of the registry
+// (idempotent registration returns the engine's instrument) and queues one
+// result row. No-op when reg is nil.
+func recordBenchJSON(b *testing.B, reg *obs.Registry, matchesPerSec float64, epochs uint64) {
+	if reg == nil {
+		return
+	}
+	h := reg.NewHistogram("engine_submit_to_settle_seconds",
+		"End-to-end latency from request submission to settlement.", obs.DefBuckets)
+	res := benchResult{
+		Name:          b.Name(),
+		N:             b.N,
+		MatchesPerSec: matchesPerSec,
+		P50SettleMS:   h.Quantile(0.5) * 1000,
+		P99SettleMS:   h.Quantile(0.99) * 1000,
+		Epochs:        epochs,
+	}
+	benchCollector.mu.Lock()
+	defer benchCollector.mu.Unlock()
+	// The harness calibrates with short runs before the measured one; keep
+	// only the largest-N run per variant.
+	for i, prev := range benchCollector.results {
+		if prev.Name == res.Name {
+			if res.N >= prev.N {
+				benchCollector.results[i] = res
+			}
+			return
+		}
+	}
+	benchCollector.results = append(benchCollector.results, res)
+}
+
+func writeBenchJSON() error {
+	benchCollector.mu.Lock()
+	defer benchCollector.mu.Unlock()
+	if len(benchCollector.results) == 0 {
+		return nil
+	}
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Generated string        `json:"generated"`
+		Results   []benchResult `json:"results"`
+	}{
+		Benchmark: "BenchmarkEngineThroughput",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Results:   benchCollector.results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(benchJSONPath(), append(buf, '\n'), 0o644)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchJSONOn() {
+		if err := writeBenchJSON(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

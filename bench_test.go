@@ -248,7 +248,8 @@ func benchCoverageThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 256})
+	reg := benchRegistry()
+	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 256, Metrics: reg})
 	defer eng.Stop()
 	for i := 0; i < buyers; i++ {
 		eng.SubmitRegister(fmt.Sprintf("b%02d", i), 1e9)
@@ -296,6 +297,7 @@ func benchCoverageThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
 	b.ReportMetric(float64(st.Epochs), "epochs")
+	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs)
 }
 
 // benchTransformHeavy drives the registered-transform-heavy workload: 6
@@ -312,7 +314,8 @@ func benchTransformHeavy(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 128, DoDWorkers: workers})
+	reg := benchRegistry()
+	eng := engine.New(p, engine.Config{Shards: 8, BatchThreshold: 128, DoDWorkers: workers, Metrics: reg})
 	defer eng.Stop()
 	for i := 0; i < buyers; i++ {
 		if _, err := eng.SubmitRegister(fmt.Sprintf("b%02d", i), 1e9); err != nil {
@@ -400,6 +403,7 @@ func benchTransformHeavy(b *testing.B, workers int) {
 		b.ReportMetric(st.BuildMillis/float64(st.Epochs), "build-ms/epoch")
 	}
 	b.ReportMetric(float64(st.CacheHits), "cache-hits")
+	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs)
 }
 
 func BenchmarkE11ExPostAudits(b *testing.B) {

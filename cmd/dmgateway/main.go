@@ -35,7 +35,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmms"
+	"repro/internal/dod"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -126,6 +128,8 @@ func main() {
 	admitCap := flag.Int("admit-cap", 0, "global requests admitted per epoch window; excess get 429 (0 = unlimited)")
 	maxPending := flag.Int("max-pending", 0, "queue-depth backpressure: reject submissions while this many are queued (0 = unlimited)")
 	dodWorkers := flag.Int("dod-workers", 0, "async DoD builder pool size: mashup builds run on this many workers so epochs only price pre-built candidates (0 = build inline in the round)")
+	metrics := flag.Bool("metrics", true, "serve Prometheus telemetry on GET /metrics (engine, builder pool, WAL, arbiter and HTTP families)")
+	cacheEntries := flag.Int("dod-cache-entries", 0, "max cached DoD candidate sets; stale-first LRU eviction beyond it (0 = unlimited)")
 	var overrides quotaOverrideFlag
 	flag.Var(&overrides, "quota-override", "per-participant quota override name=rps[:burst], overriding -quota-rps/-quota-burst for that participant (rps 0 = exempt); repeatable")
 	flag.Parse()
@@ -141,6 +145,10 @@ func main() {
 	if *epoch > 0 {
 		quotaPerEpoch = *quotaRPS * epoch.Seconds()
 	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
 	cfg := engine.Config{
 		Shards:         *shards,
 		EpochEvery:     *epoch,
@@ -148,6 +156,7 @@ func main() {
 		Policy:         policy,
 		EpochMatchCap:  *epochCap,
 		DoDWorkers:     *dodWorkers,
+		Metrics:        reg,
 		Admission: engine.AdmissionConfig{
 			QuotaPerEpoch:   quotaPerEpoch,
 			QuotaBurst:      *quotaBurst,
@@ -169,7 +178,7 @@ func main() {
 		}
 		var res wal.BootResult
 		p, eng, w, res, err = wal.Boot(core.Options{Design: *design}, cfg,
-			wal.Options{Dir: *walDir, Policy: syncPolicy, SegmentBytes: *segBytes})
+			wal.Options{Dir: *walDir, Policy: syncPolicy, SegmentBytes: *segBytes, Metrics: reg})
 		if err != nil {
 			log.Fatalf("dmgateway: WAL boot: %v", err)
 		}
@@ -181,6 +190,9 @@ func main() {
 			log.Fatal(err)
 		}
 		eng = engine.New(p, cfg)
+	}
+	if *cacheEntries > 0 {
+		p.SetDoDCacheConfig(dod.CacheConfig{MaxEntries: *cacheEntries})
 	}
 	eng.Start()
 
@@ -211,6 +223,9 @@ func main() {
 	}
 
 	server := dmms.NewEngineServer(p, eng)
+	if reg != nil {
+		server.SetMetrics(reg)
+	}
 	// Prune keeps the newest two checkpoints (the older one is the
 	// corruption fallback) and drops segments + snapshots behind them.
 	pruneAfterSnapshot := func() {

@@ -775,6 +775,22 @@ func (a *Arbiter) History() []*Transaction {
 	return out
 }
 
+// OpenCount returns the number of unmatched requests. Cheap enough to call
+// from a metrics scrape: one lock plus an O(open) compaction.
+func (a *Arbiter) OpenCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.openLocked())
+}
+
+// UnmetWantCount returns how many distinct wanted columns currently carry
+// unmet-demand signals.
+func (a *Arbiter) UnmetWantCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.unmet)
+}
+
 // OpenRequests returns the IDs of unmatched requests.
 func (a *Arbiter) OpenRequests() []string {
 	a.mu.Lock()

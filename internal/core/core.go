@@ -175,6 +175,29 @@ func (p *Platform) DoDCacheStats() dod.CacheStats {
 	return p.Arbiter.DoD().CacheStats()
 }
 
+// OpenRequestCount reports how many requests are currently unmatched —
+// scrape-friendly (no ID slice allocation).
+func (p *Platform) OpenRequestCount() int {
+	return p.Arbiter.OpenCount()
+}
+
+// UnmetWantCount reports how many distinct wanted columns carry unmet-demand
+// signals.
+func (p *Platform) UnmetWantCount() int {
+	return p.Arbiter.UnmetWantCount()
+}
+
+// SetBuildObserver installs fn to observe each DoD build's wall-clock
+// seconds (telemetry only; nil removes it).
+func (p *Platform) SetBuildObserver(fn func(seconds float64)) {
+	p.Arbiter.DoD().SetBuildHook(fn)
+}
+
+// SetDoDCacheConfig bounds the DoD candidate cache.
+func (p *Platform) SetDoDCacheConfig(cfg dod.CacheConfig) {
+	p.Arbiter.DoD().SetCacheConfig(cfg)
+}
+
 // --- engine hooks ---------------------------------------------------------
 //
 // The concurrent market engine (internal/engine) drives the platform through

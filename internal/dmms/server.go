@@ -12,6 +12,8 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arbiter"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/license"
 	"repro/internal/mltask"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wtp"
 )
@@ -34,6 +37,35 @@ type Server struct {
 	engine   *engine.Engine
 	mux      *http.ServeMux
 	snapshot SnapshotFunc
+	// hm is the HTTP telemetry sink (nil until SetMetrics). An atomic
+	// pointer so metrics can be wired after construction — the gateway
+	// builds the server first — without racing in-flight requests.
+	hm atomic.Pointer[httpMetrics]
+}
+
+// httpMetrics bundles the per-route instruments with the registry that
+// backs GET /metrics.
+type httpMetrics struct {
+	reg  *obs.Registry
+	reqs *obs.CounterVec   // dmms_http_requests_total{route,code}
+	dur  *obs.HistogramVec // dmms_http_request_seconds{route}
+}
+
+// SetMetrics wires a telemetry registry: every route gains request-count and
+// latency series, and GET /metrics serves the registry's Prometheus text.
+// Pass nil to disable (the endpoint answers 503 again).
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.hm.Store(nil)
+		return
+	}
+	s.hm.Store(&httpMetrics{
+		reg: reg,
+		reqs: reg.NewCounterVec("dmms_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		dur: reg.NewHistogramVec("dmms_http_request_seconds",
+			"HTTP request latency by route pattern.", obs.DefBuckets, "route"),
+	})
 }
 
 // SnapshotFunc persists an engine checkpoint (see internal/wal) and returns
@@ -52,28 +84,81 @@ func NewServer(p *core.Platform) *Server { return NewEngineServer(p, nil) }
 // The caller owns the engine's lifecycle (Start/Stop).
 func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 	s := &Server{platform: p, engine: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /participants", s.syncMutation(s.handleParticipants))
-	s.mux.HandleFunc("POST /datasets", s.syncMutation(s.handleDatasets))
-	s.mux.HandleFunc("POST /requests", s.syncMutation(s.handleRequests))
-	s.mux.HandleFunc("POST /match", s.handleMatch)
-	s.mux.HandleFunc("POST /report", s.syncMutation(s.handleReport))
-	s.mux.HandleFunc("GET /history", s.handleHistory)
-	s.mux.HandleFunc("GET /demand", s.handleDemand)
-	s.mux.HandleFunc("GET /balance", s.handleBalance)
-	s.mux.HandleFunc("GET /designs", s.handleDesigns)
-	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.handle("POST /participants", s.syncMutation(s.handleParticipants))
+	s.handle("POST /datasets", s.syncMutation(s.handleDatasets))
+	s.handle("POST /requests", s.syncMutation(s.handleRequests))
+	s.handle("POST /match", s.handleMatch)
+	s.handle("POST /report", s.syncMutation(s.handleReport))
+	s.handle("GET /history", s.handleHistory)
+	s.handle("GET /demand", s.handleDemand)
+	s.handle("GET /balance", s.handleBalance)
+	s.handle("GET /designs", s.handleDesigns)
+	s.handle("POST /save", s.handleSave)
 	// Async (engine-backed) surface.
-	s.mux.HandleFunc("POST /async/participants", s.withEngine(s.handleAsyncParticipants))
-	s.mux.HandleFunc("POST /async/datasets", s.withEngine(s.handleAsyncDatasets))
-	s.mux.HandleFunc("POST /async/requests", s.withEngine(s.handleAsyncRequests))
-	s.mux.HandleFunc("POST /async/report", s.withEngine(s.handleAsyncReport))
-	s.mux.HandleFunc("GET /async/tickets/{id}", s.withEngine(s.handleTicket))
-	s.mux.HandleFunc("GET /events", s.withEngine(s.handleEvents))
-	s.mux.HandleFunc("POST /epoch", s.withEngine(s.handleEpoch))
-	s.mux.HandleFunc("GET /engine/stats", s.withEngine(s.handleEngineStats))
-	s.mux.HandleFunc("GET /settlements", s.withEngine(s.handleSettlements))
-	s.mux.HandleFunc("POST /snapshot", s.withEngine(s.handleSnapshot))
+	s.handle("POST /async/participants", s.withEngine(s.handleAsyncParticipants))
+	s.handle("POST /async/datasets", s.withEngine(s.handleAsyncDatasets))
+	s.handle("POST /async/requests", s.withEngine(s.handleAsyncRequests))
+	s.handle("POST /async/report", s.withEngine(s.handleAsyncReport))
+	s.handle("GET /async/tickets/{id}", s.withEngine(s.handleTicket))
+	s.handle("GET /events", s.withEngine(s.handleEvents))
+	s.handle("POST /epoch", s.withEngine(s.handleEpoch))
+	s.handle("GET /engine/stats", s.withEngine(s.handleEngineStats))
+	s.handle("GET /settlements", s.withEngine(s.handleSettlements))
+	s.handle("POST /snapshot", s.withEngine(s.handleSnapshot))
+	// Telemetry exposition — deliberately uninstrumented: a scrape should
+	// never perturb the series it is reading.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// handle registers an instrumented route. The metric label is the pattern's
+// path part ("/async/tickets/{id}"), so path parameters never explode the
+// series cardinality.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	s.mux.HandleFunc(pattern, s.instrument(route, h))
+}
+
+// statusRecorder captures the response status for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route latency and count series. With
+// no metrics wired it is a plain passthrough.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hm := s.hm.Load()
+		if hm == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		hm.dur.With(route).Observe(time.Since(start).Seconds())
+		hm.reqs.With(route, strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hm := s.hm.Load()
+	if hm == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("dmms: metrics disabled (run the gateway with -metrics)"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = hm.reg.WritePrometheus(w)
 }
 
 // syncMutation guards the synchronous state-changing endpoints: on a
@@ -495,13 +580,20 @@ func (s *Server) handleAsyncReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
 }
 
+// TicketView is a ticket plus its stamped pipeline trace (present only when
+// telemetry is on and the span has not been evicted).
+type TicketView struct {
+	engine.Ticket
+	Trace map[obs.Stage]time.Time `json:"trace,omitempty"`
+}
+
 func (s *Server) handleTicket(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.engine.Ticket(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("dmms: unknown ticket %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, t)
+	writeJSON(w, http.StatusOK, TicketView{Ticket: t, Trace: s.engine.TicketTrace(t.ID)})
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {

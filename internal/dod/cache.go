@@ -66,7 +66,8 @@ type CandidateSet struct {
 	// BuildMillis is how long the build took (0 for cache hits).
 	BuildMillis float64
 
-	fp string
+	fp      string
+	lastUse uint64 // engine.useSeq tick of the last hit or insert (LRU)
 }
 
 // CacheStats is a point-in-time snapshot of the candidate-store counters.
@@ -88,6 +89,69 @@ type CacheStats struct {
 	Entries int `json:"entries"`
 	// Version is the current catalog version.
 	Version uint64 `json:"version"`
+	// Evictions counts entries dropped to enforce CacheConfig.MaxEntries.
+	Evictions uint64 `json:"evictions"`
+	// Panics counts builds that panicked and were converted to failed
+	// candidate sets instead of crashing the process.
+	Panics uint64 `json:"panics"`
+}
+
+// CacheConfig bounds the candidate store.
+type CacheConfig struct {
+	// MaxEntries caps the number of cached candidate sets; 0 means
+	// unlimited. When the cap is exceeded, stale entries (wrong catalog
+	// version) are evicted first, then the least recently used.
+	MaxEntries int
+}
+
+// SetCacheConfig applies the bound and immediately enforces it.
+func (e *Engine) SetCacheConfig(cfg CacheConfig) {
+	e.cacheMu.Lock()
+	e.cacheMax = cfg.MaxEntries
+	e.evictLocked()
+	e.cacheMu.Unlock()
+}
+
+// SetBuildHook installs fn to observe each completed build's wall-clock
+// seconds (nil to remove). Telemetry only; never affects build results.
+func (e *Engine) SetBuildHook(fn func(seconds float64)) {
+	if fn == nil {
+		e.buildHook.Store(nil)
+		return
+	}
+	e.buildHook.Store(&fn)
+}
+
+// evictLocked enforces cacheMax: stale entries go first (they would be
+// rebuilt anyway), then the lowest lastUse. Caller holds cacheMu.
+func (e *Engine) evictLocked() {
+	if e.cacheMax <= 0 {
+		return
+	}
+	ver := e.version.Load()
+	for len(e.cache) > e.cacheMax {
+		victim, victimUse := "", uint64(0)
+		stale := false
+		for k, cs := range e.cache {
+			if cs.Version != ver {
+				if !stale || cs.lastUse < victimUse {
+					victim, victimUse, stale = k, cs.lastUse, true
+				}
+				continue
+			}
+			if stale {
+				continue
+			}
+			if victim == "" || cs.lastUse < victimUse {
+				victim, victimUse = k, cs.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(e.cache, victim)
+		e.evictions.Add(1)
+	}
 }
 
 // CatalogVersion returns the current catalog version. Every mutation that
@@ -131,6 +195,8 @@ func (e *Engine) CacheStats() CacheStats {
 		BuildMillis: float64(e.buildNanos.Load()) / 1e6,
 		Entries:     entries,
 		Version:     e.version.Load(),
+		Evictions:   e.evictions.Load(),
+		Panics:      e.panics.Load(),
 	}
 }
 
@@ -159,6 +225,7 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	ver := e.version.Load() // stable while the read-lock pins out writers
 	e.cacheMu.Lock()
 	if cs, ok := e.cache[key]; ok && cs.fp == fp && cs.Version == ver {
+		cs.lastUse = e.useSeq.Add(1)
 		e.cacheMu.Unlock()
 		e.mu.RUnlock()
 		e.cacheHits.Add(1)
@@ -184,22 +251,27 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	e.cacheMu.Unlock()
 
 	start := time.Now()
-	cands, err := e.buildLocked(want)
+	cands, err := e.buildRecover(want)
 	e.mu.RUnlock()
 	ms := float64(time.Since(start).Nanoseconds()) / 1e6
 
 	e.builds.Add(1)
 	e.buildNanos.Add(time.Since(start).Nanoseconds())
+	if hook := e.buildHook.Load(); hook != nil {
+		(*hook)(time.Since(start).Seconds())
+	}
 	cs := &CandidateSet{Key: key, Want: want, Version: ver, Candidates: cands, BuildMillis: ms, fp: fp}
 	if err != nil {
 		cs.Err = err.Error()
 	}
 	e.cacheMu.Lock()
+	cs.lastUse = e.useSeq.Add(1)
 	// A laggard build (e.g. a speculative prebuild that lost the race with
 	// a catalog bump) must not evict a fresher entry — the stale set would
 	// just force yet another rebuild at the next lookup.
 	if cur, ok := e.cache[key]; !ok || cur.Version <= cs.Version {
 		e.cache[key] = cs
+		e.evictLocked()
 	}
 	if e.inflight[flKey] == fl {
 		delete(e.inflight, flKey)
@@ -208,6 +280,21 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	fl.cs = cs // happens-before the close; waiters read after <-done
 	close(fl.done)
 	return cs
+}
+
+// buildRecover runs the beam search, converting a panic (e.g. from a buggy
+// user-registered transform materializing a derived column) into a build
+// error. The defer runs before BuildCached releases the catalog read-lock
+// and before the inflight entry is resolved, so a panicking build can never
+// wedge MutateCatalog or strand singleflight waiters.
+func (e *Engine) buildRecover(want Want) (cands []Candidate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			cands, err = nil, fmt.Errorf("dod: build panicked: %v", r)
+		}
+	}()
+	return e.buildLocked(want)
 }
 
 // InvalidateAll drops every cached candidate set and bumps the version (so

@@ -130,11 +130,19 @@ type Engine struct {
 	cacheMu     sync.Mutex
 	cache       map[string]*CandidateSet
 	inflight    map[string]*inflightBuild
+	cacheMax    int // MaxEntries bound; 0 = unlimited (guarded by cacheMu)
 	cacheHits   atomic.Uint64
 	cacheStale  atomic.Uint64
 	cacheMisses atomic.Uint64
 	builds      atomic.Uint64
 	buildNanos  atomic.Int64
+	evictions   atomic.Uint64
+	panics      atomic.Uint64
+	useSeq      atomic.Uint64 // logical clock for LRU recency
+
+	// buildHook, when set, observes each completed build's wall-clock
+	// seconds (telemetry only — see obs).
+	buildHook atomic.Pointer[func(float64)]
 }
 
 // New creates an engine over a catalog and discovery engine.

@@ -1,62 +1,134 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dod"
 )
 
 // buildPool is the engine's DoD builder pool: the build stage of the split
-// Fig. 2 pipeline. Config.DoDWorkers bounds how many mashup builds run at
-// once; the epoch runner fans the distinct open want groups out here after
-// drain+apply and prices only the pre-built, version-valid results, so
+// Fig. 2 pipeline. Config.DoDWorkers long-lived workers pull build jobs off
+// one channel; the epoch runner fans the distinct open want groups out here
+// after drain+apply and prices only the pre-built, version-valid results, so
 // MatchRound never spends its single-threaded budget inside the beam search.
 // Between epochs the pool speculatively re-warms the candidate cache for
 // wants a round left unmet.
+//
+// Workers are panic-isolated: a panicking build (a buggy user transform, a
+// malformed relation) fails only its own want group — the job resolves to a
+// failed CandidateSet, the worker recovers and keeps serving, and the panic
+// is counted (dod_worker_panics_total). The process never goes down with it.
 //
 // Candidates are derived state (never logged, never snapshotted), and a
 // version-valid cached set is byte-identical to what an inline build would
 // have produced, so none of this concurrency is visible to WAL replay.
 type buildPool struct {
 	platform *core.Platform
-	sem      chan struct{} // build-concurrency bound (cap = DoDWorkers)
+	jobs     chan buildJob
 
-	mu      sync.Mutex
-	stopped bool
-	specWG  sync.WaitGroup // in-flight speculative prebuilds
+	mu       sync.Mutex
+	stopped  bool
+	specWG   sync.WaitGroup // in-flight speculative dispatchers
+	workerWG sync.WaitGroup
+
+	queued atomic.Int64  // dispatched jobs not yet picked up by a worker
+	panics atomic.Uint64 // worker-loop recoveries (backstop; dod recovers first)
+
+	m *engineMetrics // telemetry sink; nil-safe, may be nil in unit tests
 }
 
-func newBuildPool(p *core.Platform, workers int) *buildPool {
-	return &buildPool{platform: p, sem: make(chan struct{}, workers)}
+// buildJob is one want to build. out is nil for speculative prebuilds
+// (nobody waits on the result; the point is warming the candidate cache).
+type buildJob struct {
+	want dod.Want
+	out  chan<- *dod.CandidateSet
 }
 
-// buildAll builds every want concurrently (bounded by the worker count) and
-// returns the candidate sets keyed by group key. It blocks until all builds
-// finish — the epoch runner needs the complete prebuilt map before pricing —
-// but the builds themselves run on pool goroutines, so their wall-clock
-// overlaps and their cost lands in Stats.BuildMillis, not in the round.
+func newBuildPool(p *core.Platform, workers int, m *engineMetrics) *buildPool {
+	bp := &buildPool{platform: p, jobs: make(chan buildJob), m: m}
+	bp.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go bp.worker(i)
+	}
+	return bp
+}
+
+// worker is one long-lived build worker. runJob recovers panics at job
+// granularity, so the loop — and the worker's slot in the pool — survives
+// any single build blowing up: recovery is an in-place restart.
+func (bp *buildPool) worker(id int) {
+	defer bp.workerWG.Done()
+	for job := range bp.jobs {
+		bp.runJob(id, job)
+	}
+}
+
+// runJob executes one build. A panic fails only this want group: the job
+// resolves to a CandidateSet carrying the panic as its build error (so the
+// pricing stage treats it like any failed build) and the panic is counted.
+// dod.BuildCached has its own recover — this one is the backstop for panics
+// outside it (e.g. in the platform seam).
+func (bp *buildPool) runJob(id int, job buildJob) {
+	bp.queued.Add(-1)
+	start := time.Now()
+	defer func() {
+		bp.m.observeWorkerBusy(id, time.Since(start).Seconds())
+		if r := recover(); r != nil {
+			bp.panics.Add(1)
+			if job.out != nil {
+				job.out <- &dod.CandidateSet{Key: job.want.Key(), Want: job.want,
+					Err: fmt.Sprintf("dod: build panicked: %v", r)}
+			}
+		}
+	}()
+	cs := bp.platform.BuildCandidates(job.want)
+	if job.out != nil {
+		job.out <- cs
+	}
+}
+
+// dispatch hands one job to the workers. It reports false when the pool is
+// stopped (caller decides: inline fallback for epoch builds, drop for
+// speculative ones). The send happens under mu, so close can never close
+// the channel mid-send.
+func (bp *buildPool) dispatch(job buildJob) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.stopped {
+		return false
+	}
+	bp.queued.Add(1)
+	bp.jobs <- job
+	return true
+}
+
+// buildAll builds every want on the worker pool and returns the candidate
+// sets keyed by group key. It blocks until all builds finish — the epoch
+// runner needs the complete prebuilt map before pricing — but the builds
+// themselves run on the workers, so their wall-clock overlaps and their cost
+// lands in Stats.BuildMillis, not in the round.
 func (bp *buildPool) buildAll(wants []dod.Want) map[string]*dod.CandidateSet {
 	if len(wants) == 0 {
 		return nil
 	}
-	out := make(map[string]*dod.CandidateSet, len(wants))
-	var outMu sync.Mutex
-	var wg sync.WaitGroup
+	out := make(chan *dod.CandidateSet, len(wants))
 	for _, w := range wants {
-		wg.Add(1)
-		go func(w dod.Want) {
-			defer wg.Done()
-			bp.sem <- struct{}{}
-			defer func() { <-bp.sem }()
-			cs := bp.platform.BuildCandidates(w)
-			outMu.Lock()
-			out[cs.Key] = cs
-			outMu.Unlock()
-		}(w)
+		if !bp.dispatch(buildJob{want: w, out: out}) {
+			// Pool already closed (engine shutdown's final flush epoch):
+			// build inline so the round still prices everything.
+			out <- bp.platform.BuildCandidates(w)
+		}
 	}
-	wg.Wait()
-	return out
+	res := make(map[string]*dod.CandidateSet, len(wants))
+	for range wants {
+		cs := <-out
+		res[cs.Key] = cs
+	}
+	return res
 }
 
 // prebuild speculatively warms the candidate cache for the given wants in
@@ -73,30 +145,27 @@ func (bp *buildPool) prebuild(wants []dod.Want) {
 		bp.mu.Unlock()
 		return
 	}
-	bp.specWG.Add(len(wants))
+	bp.specWG.Add(1)
 	bp.mu.Unlock()
-	for _, w := range wants {
-		go func(w dod.Want) {
-			defer bp.specWG.Done()
-			bp.sem <- struct{}{}
-			defer func() { <-bp.sem }()
-			bp.mu.Lock()
-			stopped := bp.stopped
-			bp.mu.Unlock()
-			if stopped {
+	go func() {
+		defer bp.specWG.Done()
+		for _, w := range wants {
+			if !bp.dispatch(buildJob{want: w}) {
 				return // shutting down; skip the wasted work
 			}
-			bp.platform.BuildCandidates(w)
-		}(w)
-	}
+		}
+	}()
 }
 
-// close stops accepting speculative work and waits for in-flight prebuilds.
-// Epoch builds are unaffected (buildAll keeps working — Stop's final flush
-// epoch runs after the loop stops but may still need to build).
+// close stops accepting work, waits out speculative dispatchers, then closes
+// the job channel and waits for the workers to drain. Epoch builds arriving
+// after close fall back inline in buildAll, so Stop's final flush epoch can
+// still build.
 func (bp *buildPool) close() {
 	bp.mu.Lock()
 	bp.stopped = true
 	bp.mu.Unlock()
 	bp.specWG.Wait()
+	close(bp.jobs)
+	bp.workerWG.Wait()
 }

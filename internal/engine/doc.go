@@ -154,4 +154,22 @@
 // without re-running the audit. The only non-durable submissions are
 // requests whose WTP task is an in-process code package (wtp.FuncTask) —
 // they cannot be serialized and are failed on replay.
+//
+// # Telemetry
+//
+// With Config.Metrics set to an obs.Registry, the engine instruments itself:
+// epoch duration and lag, per-shard intake depth, admission rejections by
+// reason, builder-pool busy time/queue depth/panic isolations, candidate-
+// cache counters, and a submit→settle tracer that stamps each request ticket
+// through the pipeline stages (submit → admit → enqueue → build → price →
+// settle → report), exposed as per-stage and end-to-end latency histograms
+// plus per-ticket traces (TicketTrace, the dmms ticket view).
+//
+// Metrics are *derived state*, strictly observational: no instrument writes
+// to the event log, the WAL, or any replayed structure, and no scrape
+// callback takes the epoch lock. Enabling telemetry therefore changes no
+// event, ID, balance, or replay outcome — the crash/replay matrix runs with
+// a live registry and asserts byte-identical state. Registries are rebuilt
+// from scratch on restart like any other derived view; counters restart at
+// the recovered totals, histograms restart empty.
 package engine

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dod"
 	"repro/internal/ledger"
 	"repro/internal/license"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wtp"
 )
@@ -50,6 +51,13 @@ type Config struct {
 	// re-warms the candidate cache between epochs for wants left unmet. 0
 	// keeps builds inline inside the round (the pre-pipeline behavior).
 	DoDWorkers int
+	// Metrics, when non-nil, receives the engine's telemetry: epoch/round
+	// histograms, per-shard intake depth, admission rejections by reason,
+	// builder-pool and candidate-cache counters, and the submit→settle
+	// request tracer. Metrics are derived state — nothing here is logged,
+	// snapshotted or replayed, so enabling telemetry never changes the
+	// event stream (see doc.go, "Durability").
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +135,9 @@ type submission struct {
 	reportTx  string
 	reported  float64
 	trueValue float64
+	// trace timestamps (zero unless telemetry is on; requests only)
+	t0     time.Time // SubmitRequest* entry
+	tAdmit time.Time // admission passed
 }
 
 // reqMeta is the engine-side policy metadata of one open request. FiledSeq
@@ -207,8 +218,9 @@ type Engine struct {
 
 	policy   MatchPolicy
 	matchCap int
-	adm      *admission // nil when quota/cap admission is disabled
-	pool     *buildPool // nil when DoDWorkers is 0 (inline builds)
+	adm      *admission     // nil when quota/cap admission is disabled
+	pool     *buildPool     // nil when DoDWorkers is 0 (inline builds)
+	m        *engineMetrics // telemetry sink; non-nil, disabled without cfg.Metrics
 
 	// bookSeq is the settlement subscriber's high-water mark: the last log
 	// seq folded into the book. Snapshot waits on bookCond until it reaches
@@ -300,8 +312,15 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
+	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards)
 	if cfg.DoDWorkers > 0 {
-		e.pool = newBuildPool(p, cfg.DoDWorkers)
+		e.pool = newBuildPool(p, cfg.DoDWorkers, e.m)
+	}
+	if cfg.Metrics != nil {
+		e.registerFuncMetrics(cfg.Metrics)
+		buildDur := cfg.Metrics.NewHistogram("dod_build_seconds",
+			"Wall-clock duration of each candidate build (beam search + materialize).", obs.FastBuckets)
+		p.SetBuildObserver(func(s float64) { buildDur.Observe(s) })
 	}
 	e.bookCond = sync.NewCond(&e.bookMu)
 	e.bookSeq = bookCursor
@@ -480,6 +499,10 @@ func (e *Engine) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) {
 // epoch window, flushed at epoch end — so the shedding path itself never
 // writes to the WAL or contends on the epoch lock.
 func (e *Engine) SubmitRequestPriority(want dod.Want, f *wtp.Function, priority int) (string, error) {
+	var t0 time.Time
+	if e.m.on() {
+		t0 = time.Now()
+	}
 	if err := e.admitDepth(f.Buyer); err != nil {
 		return "", err
 	}
@@ -501,7 +524,11 @@ func (e *Engine) SubmitRequestPriority(want dod.Want, f *wtp.Function, priority 
 			return "", oerr
 		}
 	}
-	return e.enqueue(submission{kind: KindRequest, want: want, fn: f, priority: priority}, f.Buyer, f.Buyer), nil
+	s := submission{kind: KindRequest, want: want, fn: f, priority: priority, t0: t0}
+	if e.m.on() {
+		s.tAdmit = time.Now()
+	}
+	return e.enqueue(s, f.Buyer, f.Buyer), nil
 }
 
 // SubmitReport queues a buyer's ex-post value report against a delivered
@@ -526,6 +553,7 @@ func (e *Engine) admitDepth(participant string) error {
 		return nil
 	}
 	e.stShed.Add(1)
+	e.m.rejections.With(OverloadQueueDepth).Inc()
 	retry := e.cfg.EpochEvery
 	if retry <= 0 {
 		retry = defaultRetryAfter
@@ -545,11 +573,20 @@ func (e *Engine) enqueue(s submission, shardKey, participant string) string {
 		Participant: participant, Priority: s.priority}
 	e.tmu.Unlock()
 
-	sh := e.shards[shardOf(shardKey, len(e.shards))]
+	idx := shardOf(shardKey, len(e.shards))
+	sh := e.shards[idx]
 	sh.mu.Lock()
 	sh.queue = append(sh.queue, s)
 	sh.mu.Unlock()
 
+	if e.m.on() {
+		e.m.shardGauge(idx).Add(1)
+		if s.kind == KindRequest {
+			e.m.tracer.Begin(s.ticket, s.t0)
+			e.m.tracer.Stamp(s.ticket, obs.StageAdmit, s.tAdmit)
+			e.m.tracer.Stamp(s.ticket, obs.StageEnqueue, time.Now())
+		}
+	}
 	e.stSubmitted.Add(1)
 	if n := e.pending.Add(1); e.cfg.BatchThreshold > 0 && n >= int64(e.cfg.BatchThreshold) {
 		select {
@@ -570,11 +607,15 @@ func shardOf(participant string, n int) int {
 // submission order.
 func (e *Engine) drain() []submission {
 	var batch []submission
-	for _, sh := range e.shards {
+	for i, sh := range e.shards {
 		sh.mu.Lock()
+		n := len(sh.queue)
 		batch = append(batch, sh.queue...)
 		sh.queue = nil
 		sh.mu.Unlock()
+		if n > 0 {
+			e.m.shardGauge(i).Add(float64(-n))
+		}
 	}
 	e.pending.Add(-int64(len(batch)))
 	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
@@ -602,6 +643,18 @@ func (e *Engine) setTicket(id string, f func(*Ticket)) {
 // counted epoch end. Safe to call concurrently with intake and with the
 // background loop.
 func (e *Engine) TriggerEpoch() (uint64, bool) {
+	if !e.m.on() {
+		return e.triggerEpoch()
+	}
+	start := time.Now()
+	ep, counted := e.triggerEpoch()
+	if counted {
+		e.m.observeEpoch(start)
+	}
+	return ep, counted
+}
+
+func (e *Engine) triggerEpoch() (uint64, bool) {
 	e.epochMu.Lock()
 	defer e.epochMu.Unlock()
 
@@ -664,6 +717,7 @@ func (e *Engine) endEpoch(ep uint64, applied, matched, unmet int, unmetCols map[
 			e.log.Append(Event{Epoch: ep, Kind: EventRequestRejected,
 				Participant: r.participant, Note: r.reason, Count: r.count})
 			e.stRejected.Add(r.count)
+			e.m.rejections.With(r.reason).Add(float64(r.count))
 		}
 		refill = e.adm.refillFraction()
 	}
@@ -739,6 +793,7 @@ func (e *Engine) emitAged(ep uint64, deferred []RequestCandidate) {
 		}
 		m.aged = true
 		e.stAged.Add(1)
+		e.m.aged.Inc()
 		e.log.Append(Event{Epoch: ep, Kind: EventRequestAged, Ticket: c.Ticket,
 			RequestID: c.RequestID, Participant: c.Participant, Age: c.Age,
 			Note: fmt.Sprintf("deferred by %s policy", e.policy.Name())})
@@ -749,6 +804,7 @@ func (e *Engine) emitAged(ep uint64, deferred []RequestCandidate) {
 func (e *Engine) apply(ep uint64, s submission) {
 	fail := func(err error) {
 		e.stFailed.Add(1)
+		e.m.tracer.Drop(s.ticket)
 		e.setTicket(s.ticket, func(t *Ticket) {
 			t.Status, t.Epoch, t.Err = TicketFailed, ep, err.Error()
 		})
@@ -818,6 +874,9 @@ func (e *Engine) apply(ep uint64, s submission) {
 			return
 		}
 		e.stApplied.Add(1)
+		if e.m.on() {
+			e.m.tracer.StampTx(s.reportTx, obs.StageReport, time.Now())
+		}
 		e.setTicket(s.ticket, func(t *Ticket) {
 			t.Status, t.Epoch, t.TxID, t.Price = TicketDone, ep, out.TxID, out.Paid
 			t.Participant = out.Buyer
@@ -842,8 +901,19 @@ func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.
 	var prebuilt map[string]*dod.CandidateSet
 	if e.pool != nil {
 		prebuilt = e.pool.buildAll(e.platform.OpenWantGroups(ids))
+		if e.m.on() {
+			e.stampOpen(ids, obs.StageBuild)
+		}
+	}
+	var priceStart time.Time
+	if e.m.on() {
+		priceStart = time.Now()
 	}
 	res, err = e.platform.PriceRoundFor(ids, prebuilt)
+	if e.m.on() {
+		e.m.roundDur.Observe(time.Since(priceStart).Seconds())
+		e.stampOpen(ids, obs.StagePrice)
+	}
 	return deferred, res, err
 }
 
@@ -875,6 +945,10 @@ func (e *Engine) publishRound(ep uint64, res *arbiter.MatchResult) (matched, unm
 		delete(e.reqMeta, tx.RequestID)
 		e.stMatched.Add(1)
 		matched++
+		if e.m.on() {
+			e.m.tracer.Finish(ticket, time.Now())
+			e.m.tracer.AliasTx(tx.ID, ticket)
+		}
 		e.setTicket(ticket, func(t *Ticket) {
 			t.Status, t.TxID, t.Price, t.MatchedEpoch = TicketDone, tx.ID, tx.Price, ep
 		})

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// engineMetrics is the engine's telemetry surface: instruments registered on
+// the Config.Metrics registry plus the request tracer. It is always
+// constructed (never nil on a live engine) but with a nil registry every
+// instrument inside is nil — and obs instruments are nil-safe no-ops — so
+// instrumented code paths carry no "telemetry enabled?" branches beyond the
+// on() guard that skips timestamp capture.
+//
+// Everything here is derived state: metrics observe the event flow, they
+// never join it. No instrument writes to the event log or WAL, which is what
+// keeps the crash/replay matrix byte-identical with telemetry enabled.
+type engineMetrics struct {
+	enabled bool
+
+	epochDur   *obs.Histogram  // engine_epoch_seconds
+	epochLag   *obs.Histogram  // engine_epoch_lag_seconds
+	roundDur   *obs.Histogram  // arbiter_round_seconds
+	shardDepth []*obs.Gauge    // engine_intake_queue_depth{shard}
+	rejections *obs.CounterVec // engine_admission_rejections_total{reason}
+	aged       *obs.Counter    // engine_aged_requests_total
+	workerBusy *obs.CounterVec // dod_worker_busy_seconds_total{worker}
+	tracer     *obs.Tracer     // submit→settle spans
+
+	mu        sync.Mutex
+	lastEpoch time.Time // previous counted epoch's completion, for lag
+}
+
+// on reports whether telemetry is live (and guards time.Now() capture on hot
+// paths, so a metrics-less engine pays nothing).
+func (m *engineMetrics) on() bool { return m != nil && m.enabled }
+
+// newEngineMetrics registers the engine's instruments on reg. A nil reg
+// yields a disabled (but non-nil) sink.
+func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
+	if reg == nil {
+		return &engineMetrics{}
+	}
+	m := &engineMetrics{
+		enabled: true,
+		epochDur: reg.NewHistogram("engine_epoch_seconds",
+			"Wall-clock duration of counted epochs (drain, apply, build, price, publish).", obs.DefBuckets),
+		epochLag: reg.NewHistogram("engine_epoch_lag_seconds",
+			"Gap between consecutive counted epochs.", obs.DefBuckets),
+		roundDur: reg.NewHistogram("arbiter_round_seconds",
+			"Wall-clock duration of the pricing stage of each matching round.", obs.DefBuckets),
+		rejections: reg.NewCounterVec("engine_admission_rejections_total",
+			"Submissions rejected by admission control, by reason.", "reason"),
+		aged: reg.NewCounter("engine_aged_requests_total",
+			"Requests the matching policy's per-epoch cap deferred at least once."),
+		workerBusy: reg.NewCounterVec("dod_worker_busy_seconds_total",
+			"Cumulative busy time of each DoD builder-pool worker.", "worker"),
+		tracer: obs.NewTracer(
+			reg.NewHistogram("engine_submit_to_settle_seconds",
+				"End-to-end latency from request submission to settlement.", obs.DefBuckets),
+			reg.NewHistogramVec("engine_stage_seconds",
+				"Latency of each request pipeline stage (delta from the previous stamped stage).",
+				obs.DefBuckets, "stage"),
+			0),
+	}
+	queueDepth := reg.NewGaugeVec("engine_intake_queue_depth",
+		"Queued submissions per intake shard.", "shard")
+	m.shardDepth = make([]*obs.Gauge, shards)
+	for i := range m.shardDepth {
+		m.shardDepth[i] = queueDepth.With(strconv.Itoa(i))
+	}
+	return m
+}
+
+// observeEpoch records a counted epoch's duration and its lag behind the
+// previous counted epoch.
+func (m *engineMetrics) observeEpoch(start time.Time) {
+	end := time.Now()
+	m.epochDur.Observe(end.Sub(start).Seconds())
+	m.mu.Lock()
+	last := m.lastEpoch
+	m.lastEpoch = end
+	m.mu.Unlock()
+	if !last.IsZero() {
+		m.epochLag.Observe(start.Sub(last).Seconds())
+	}
+}
+
+// observeWorkerBusy accounts one build's wall clock to a pool worker.
+func (m *engineMetrics) observeWorkerBusy(worker int, seconds float64) {
+	if !m.on() {
+		return
+	}
+	m.workerBusy.With(strconv.Itoa(worker)).Add(seconds)
+}
+
+// shardGauge returns the intake-depth gauge for one shard (nil when off).
+func (m *engineMetrics) shardGauge(i int) *obs.Gauge {
+	if !m.on() || i >= len(m.shardDepth) {
+		return nil
+	}
+	return m.shardDepth[i]
+}
+
+// registerFuncMetrics wires the sampled families — counters and gauges other
+// subsystems already maintain as atomics — after the engine (and its pool)
+// exist. Sampling happens at scrape time; none of these closures touch
+// epochMu, so a scrape can never stall the epoch runner.
+func (e *Engine) registerFuncMetrics(reg *obs.Registry) {
+	reg.NewCounterFunc("engine_epochs_total",
+		"Counted epochs since boot.", func() float64 { return float64(e.epoch.Load()) })
+	reg.NewCounterFunc("engine_submitted_total",
+		"Submissions accepted into intake.", func() float64 { return float64(e.stSubmitted.Load()) })
+	reg.NewCounterFunc("engine_applied_total",
+		"Submissions applied successfully.", func() float64 { return float64(e.stApplied.Load()) })
+	reg.NewCounterFunc("engine_matched_total",
+		"Requests settled by matching rounds.", func() float64 { return float64(e.stMatched.Load()) })
+	reg.NewCounterFunc("engine_failed_total",
+		"Submissions rejected at apply time.", func() float64 { return float64(e.stFailed.Load()) })
+	reg.NewGaugeFunc("engine_pending_submissions",
+		"Submissions queued across all intake shards.", func() float64 { return float64(e.pending.Load()) })
+	reg.NewGaugeFunc("arbiter_open_requests",
+		"Requests filed but not yet matched.", func() float64 { return float64(e.platform.OpenRequestCount()) })
+	reg.NewGaugeFunc("arbiter_unmet_wants",
+		"Distinct wanted columns carrying unmet-demand signals.", func() float64 { return float64(e.platform.UnmetWantCount()) })
+
+	reg.NewCounterFunc("dod_builds_total",
+		"Beam searches actually run by the DoD engine.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Builds) })
+	reg.NewCounterFunc("dod_cache_hits_total",
+		"Version-valid candidate-cache reuses.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Hits) })
+	reg.NewCounterFunc("dod_cache_stale_total",
+		"Cache lookups invalidated by a catalog version bump.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Stale) })
+	reg.NewCounterFunc("dod_cache_misses_total",
+		"Cache lookups with no reusable entry.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Misses) })
+	reg.NewCounterFunc("dod_cache_evictions_total",
+		"Candidate-cache entries evicted to enforce the MaxEntries bound.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Evictions) })
+	reg.NewGaugeFunc("dod_cache_entries",
+		"Current candidate-cache population.",
+		func() float64 { return float64(e.platform.DoDCacheStats().Entries) })
+	reg.NewCounterFunc("dod_worker_panics_total",
+		"Builds that panicked and were isolated to their want group (DoD recover plus pool backstop).",
+		func() float64 {
+			n := float64(e.platform.DoDCacheStats().Panics)
+			if e.pool != nil {
+				n += float64(e.pool.panics.Load())
+			}
+			return n
+		})
+	reg.NewGaugeFunc("dod_build_queue_depth",
+		"Build jobs dispatched to the worker pool and not yet picked up.",
+		func() float64 {
+			if e.pool == nil {
+				return 0
+			}
+			return float64(e.pool.queued.Load())
+		})
+}
+
+// stampOpen stamps stage s now on the tickets of the given open requests
+// (nil ids = every open request). Caller holds epochMu.
+func (e *Engine) stampOpen(ids []string, s obs.Stage) {
+	now := time.Now()
+	if ids == nil {
+		for _, ticket := range e.openReqs {
+			e.m.tracer.Stamp(ticket, s, now)
+		}
+		return
+	}
+	for _, id := range ids {
+		if ticket, ok := e.openReqs[id]; ok {
+			e.m.tracer.Stamp(ticket, s, now)
+		}
+	}
+}
+
+// TicketTrace returns the stamped pipeline stages of one submission's span
+// (nil when telemetry is off or the span is unknown/evicted).
+func (e *Engine) TicketTrace(id string) map[obs.Stage]time.Time {
+	if !e.m.on() {
+		return nil
+	}
+	return e.m.tracer.Stages(id)
+}

@@ -1,0 +1,30 @@
+// Package obs is the market's zero-dependency telemetry core: atomic
+// counters, gauges, and fixed-bucket histograms behind a Registry that
+// renders Prometheus text exposition format (version 0.0.4), plus a span
+// tracer that stamps each request ticket through the pipeline stages
+//
+//	submit → admit → enqueue → build → price → settle → report
+//
+// so submit→settle latency is a first-class histogram rather than a
+// bench-only number.
+//
+// # Design rules
+//
+//   - No third-party imports. Counters and gauges are float64 bits in an
+//     atomic.Uint64 (CAS-add); histogram buckets are plain atomic
+//     increments. Observation cost is a few atomic ops, cheap enough for
+//     the engine's hot path.
+//   - Every instrument is nil-safe: a nil *Counter, *Histogram, or *Tracer
+//     is a no-op, so instrumented code carries no "telemetry enabled?"
+//     branches — construct the Registry or don't.
+//   - Metrics are derived state. Nothing in this package touches the
+//     engine's event log or WAL, so crash/replay stays byte-identical with
+//     telemetry enabled (asserted by the replay matrix's telemetry
+//     variant).
+//   - Registering an existing name returns the existing instrument, and
+//     func-sampled metrics re-bind their closure, so components can be
+//     rebuilt (engine restore, WAL reopen) against one long-lived Registry.
+//
+// Exposition is deterministic: families sort by name, series by rendered
+// label string. internal/dmms serves it at GET /metrics.
+package obs

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a sample value the way Prometheus text format expects:
+// shortest decimal round-trip, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// Prometheus text exposition rules.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders `name="value",...` pairs (without braces) in the
+// declared label order. Used both as the series map key and verbatim in
+// exposition, so a series' identity and its rendering can never diverge.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// writeSample writes one `name{labels} value` line.
+func writeSample(b *strings.Builder, name, labelStr, suffix string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labelStr != "" {
+		b.WriteByte('{')
+		b.WriteString(labelStr)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func (c *Counter) samples(b *strings.Builder, name, labelStr string) {
+	writeSample(b, name, labelStr, "", c.Value())
+}
+
+func (g *Gauge) samples(b *strings.Builder, name, labelStr string) {
+	writeSample(b, name, labelStr, "", g.Value())
+}
+
+func (h *Histogram) samples(b *strings.Builder, name, labelStr string) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := `le="` + formatFloat(bound) + `"`
+		if labelStr != "" {
+			le = labelStr + "," + le
+		}
+		writeSample(b, name, le, "_bucket", float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := `le="+Inf"`
+	if labelStr != "" {
+		le = labelStr + "," + le
+	}
+	writeSample(b, name, le, "_bucket", float64(cum))
+	writeSample(b, name, labelStr, "_sum", h.Sum())
+	writeSample(b, name, labelStr, "_count", float64(cum))
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families sorted by name and series
+// sorted by label string, so output is deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make(map[string]*family, len(r.fams))
+	for n, f := range r.fams {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+
+		f.mu.Lock()
+		if f.fn != nil {
+			v := f.fn()
+			f.mu.Unlock()
+			writeSample(&b, f.name, "", "", v)
+			continue
+		}
+		if f.single != nil {
+			single := f.single
+			f.mu.Unlock()
+			single.samples(&b, f.name, "")
+			continue
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		series := make([]metric, 0, len(keys))
+		sort.Strings(keys)
+		for _, k := range keys {
+			series = append(series, f.series[k])
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			series[i].samples(&b, f.name, k)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

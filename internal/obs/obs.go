@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 value. Negative increments
+// are ignored, so a counter can never go down — the property Prometheus rate
+// queries rely on. The zero value is usable, but counters normally come from
+// Registry.NewCounter so they are exported.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (ignored when v < 0).
+func (c *Counter) Add(v float64) {
+	if v < 0 || c == nil {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an arbitrary float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloat atomically adds v to float64 bits stored in an atomic.Uint64.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// DefBuckets are general-purpose latency buckets in seconds (0.5 ms – 10 s),
+// sized for request-level latencies like submit→settle or epoch duration.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// FastBuckets are fine-grained buckets in seconds (10 µs – 1 s) for hot-path
+// operations like WAL appends and fsyncs or single mashup builds.
+var FastBuckets = []float64{0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Histogram is a fixed-bucket histogram. Observations are lock-free atomic
+// increments; exposition renders cumulative Prometheus buckets. Bounds are
+// upper-inclusive (`le`), with an implicit +Inf bucket at the end.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf
+	sum    atomic.Uint64   // float64 bits
+	total  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.total.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
+// linear interpolation inside the target bucket — the same estimate a
+// histogram_quantile() PromQL query would produce. Returns 0 with no
+// observations; values landing in the +Inf bucket report the largest finite
+// bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one exposable time series (sans labels, which the family holds).
+type metric interface {
+	// samples appends rendered sample lines for this series. name is the
+	// family name, labelStr the pre-rendered label pairs ("" when unlabeled).
+	samples(b *strings.Builder, name, labelStr string)
+}
+
+// family is one named metric family: a help string, a type, and either a
+// single series, a labeled series map, or a sampling function.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+
+	mu     sync.Mutex
+	single metric
+	series map[string]metric // rendered label string -> series
+	fn     func() float64    // func-sampled counter/gauge
+}
+
+// Registry is a set of metric families with Prometheus text-format
+// exposition. All methods are safe for concurrent use; registering an
+// existing name returns the existing instrument (func metrics replace their
+// sampling function instead, so a restarted component re-binds cleanly).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// lookup returns the family for name, creating it with the given shape on
+// first use. Re-registering with a different type panics — that is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name, help, typ string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ {
+			panic("obs: metric " + name + " re-registered as " + typ + ", was " + f.typ)
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, series: map[string]metric{}}
+	r.fams[name] = f
+	return f
+}
+
+// NewCounter registers (or returns) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.lookup(name, help, "counter", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single == nil {
+		f.single = &Counter{}
+	}
+	return f.single.(*Counter)
+}
+
+// NewGauge registers (or returns) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.lookup(name, help, "gauge", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single == nil {
+		f.single = &Gauge{}
+	}
+	return f.single.(*Gauge)
+}
+
+// NewHistogram registers (or returns) an unlabeled histogram with the given
+// bucket bounds (nil = DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.lookup(name, help, "histogram", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single == nil {
+		f.single = newHistogram(buckets)
+	}
+	return f.single.(*Histogram)
+}
+
+// NewCounterFunc registers a counter whose value is sampled by fn at
+// exposition time — for counters another subsystem already maintains.
+// Re-registering replaces fn.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, "counter", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fn = fn
+}
+
+// NewGaugeFunc registers a gauge sampled by fn at exposition time.
+// Re-registering replaces fn.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, "gauge", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fn = fn
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers (or returns) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, "counter", labels)}
+}
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, "gauge", labels)}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// NewHistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.lookup(name, help, "histogram", labels), buckets: buckets}
+}
+
+// With returns the histogram for the given label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values, func() metric { return newHistogram(v.buckets) }).(*Histogram)
+}
+
+// child returns the series for the given label values, creating it via mk.
+func (f *family) child(values []string, mk func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic("obs: metric " + f.name + " wants " + itoa(len(f.labels)) + " label values, got " + itoa(len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := mk()
+	f.series[key] = m
+	return m
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden locks the exposition format: HELP/TYPE headers,
+// sorted families, label escaping, cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_last_total", "sorts last").Add(3)
+	r.NewGauge("aa_first", "sorts first").Set(-2.5)
+	r.NewCounterVec("http_requests_total", "by route", "route", "code").
+		With(`/tickets/{id}`, "200").Add(7)
+	r.NewCounterVec("http_requests_total", "by route", "route", "code").
+		With("/weird\"quote\\and\nnewline", "500").Inc()
+	h := r.NewHistogram("latency_seconds", "request latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.NewGaugeFunc("sampled_gauge", "func-sampled", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_first sorts first
+# TYPE aa_first gauge
+aa_first -2.5
+# HELP http_requests_total by route
+# TYPE http_requests_total counter
+http_requests_total{route="/tickets/{id}",code="200"} 7
+http_requests_total{route="/weird\"quote\\and\nnewline",code="500"} 1
+# HELP latency_seconds request latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 6.05
+latency_seconds_count 4
+# HELP sampled_gauge func-sampled
+# TYPE sampled_gauge gauge
+sampled_gauge 42
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryIdempotent checks that re-registering a name returns the same
+// instrument rather than resetting it.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("c_total", "c")
+	c1.Add(5)
+	c2 := r.NewCounter("c_total", "c")
+	if c1 != c2 {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if got := c2.Value(); got != 5 {
+		t.Fatalf("counter reset on re-registration: got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.NewGauge("c_total", "now a gauge")
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this proves observation is data-race free, and afterwards the
+// counts must add up exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "h", DefBuckets)
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) / float64(workers*per) * 2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("lost observations: count=%d want %d", got, workers*per)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", cum, workers*per)
+	}
+}
+
+// TestCounterConcurrent checks the CAS float add never loses increments.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter lost increments: got %v want %d", got, workers*per)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Fatalf("p50 = %v, want within (0, 1]", q)
+	}
+	h2 := newHistogram([]float64{1, 2, 4})
+	if q := h2.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	h2.Observe(100) // +Inf bucket
+	if q := h2.Quantile(0.99); q != 4 {
+		t.Fatalf("+Inf bucket quantile = %v, want largest bound 4", q)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Begin("x", time.Now())
+	tr.Stamp("x", StageBuild, time.Now())
+	tr.Finish("x", time.Now())
+	tr.Drop("x")
+	tr.AliasTx("t", "x")
+	tr.StampTx("t", StageReport, time.Now())
+	if tr.Stages("x") != nil {
+		t.Fatal("nil tracer returned stages")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments produced values")
+	}
+	var r *Registry
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracerLifecycle walks a ticket through the pipeline and checks both
+// the overall submit→settle histogram and the per-stage deltas.
+func TestTracerLifecycle(t *testing.T) {
+	r := NewRegistry()
+	overall := r.NewHistogram("e2e_seconds", "submit to settle", DefBuckets)
+	stages := r.NewHistogramVec("stage_seconds", "per stage", DefBuckets, "stage")
+	tr := NewTracer(overall, stages, 8)
+
+	t0 := time.Unix(1000, 0)
+	tr.Begin("T1", t0)
+	tr.Stamp("T1", StageAdmit, t0.Add(1*time.Millisecond))
+	tr.Stamp("T1", StageEnqueue, t0.Add(2*time.Millisecond))
+	tr.Stamp("T1", StageBuild, t0.Add(10*time.Millisecond))
+	tr.Stamp("T1", StagePrice, t0.Add(12*time.Millisecond))
+	tr.Finish("T1", t0.Add(20*time.Millisecond))
+	tr.AliasTx("tx-9", "T1")
+	tr.StampTx("tx-9", StageReport, t0.Add(50*time.Millisecond))
+
+	if overall.Count() != 1 {
+		t.Fatalf("overall count = %d, want 1", overall.Count())
+	}
+	if got, want := overall.Sum(), 0.020; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overall sum = %v, want %v", got, want)
+	}
+	st := tr.Stages("T1")
+	if len(st) != 7 {
+		t.Fatalf("stamped %d stages, want 7: %v", len(st), st)
+	}
+	// build delta = 10ms - 2ms = 8ms
+	if got, want := stages.With(string(StageBuild)).Sum(), 0.008; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("build stage sum = %v, want %v", got, want)
+	}
+	// report delta = 50ms - 20ms = 30ms
+	if got, want := stages.With(string(StageReport)).Sum(), 0.030; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("report stage sum = %v, want %v", got, want)
+	}
+
+	// Finishing twice must not double-observe.
+	tr.Finish("T1", t0.Add(90*time.Millisecond))
+	if overall.Count() != 1 {
+		t.Fatalf("double finish observed twice")
+	}
+
+	// Dropped tickets never observe.
+	tr.Begin("T2", t0)
+	tr.Drop("T2")
+	tr.Finish("T2", t0.Add(time.Second))
+	if overall.Count() != 1 {
+		t.Fatalf("dropped ticket observed")
+	}
+}
+
+// TestTracerBounded checks FIFO eviction keeps the span map at max.
+func TestTracerBounded(t *testing.T) {
+	tr := NewTracer(nil, nil, 4)
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		tr.Begin("T"+itoa(i), t0)
+	}
+	tr.mu.Lock()
+	n := len(tr.spans)
+	tr.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("tracer retains %d spans, want <= 4", n)
+	}
+	if tr.Stages("T99") == nil {
+		t.Fatal("newest span was evicted")
+	}
+	if tr.Stages("T0") != nil {
+		t.Fatal("oldest span survived eviction")
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage names one hop of a request ticket's life. Stages are stamped in
+// pipeline order; the tracer turns consecutive stamps into per-stage latency
+// observations and the submit→settle pair into the overall histogram.
+type Stage string
+
+// The request pipeline stages, in order.
+const (
+	StageSubmit  Stage = "submit"
+	StageAdmit   Stage = "admit"
+	StageEnqueue Stage = "enqueue"
+	StageBuild   Stage = "build"
+	StagePrice   Stage = "price"
+	StageSettle  Stage = "settle"
+	StageReport  Stage = "report"
+)
+
+// stageOrder positions a stage in the pipeline for delta computation.
+var stageOrder = map[Stage]int{
+	StageSubmit: 0, StageAdmit: 1, StageEnqueue: 2,
+	StageBuild: 3, StagePrice: 4, StageSettle: 5, StageReport: 6,
+}
+
+// span holds the per-stage timestamps of one in-flight ticket.
+type span struct {
+	stamps map[Stage]time.Time
+	done   bool // Finish observed; kept for StampTx(report) and display
+}
+
+// Tracer stamps request tickets with per-stage timestamps and feeds the
+// submit→settle histogram plus a per-stage latency histogram vec. It holds
+// at most max spans; older finished-or-not spans are evicted FIFO so an
+// abandoned ticket can never leak memory. A nil *Tracer is a no-op, so
+// instrumented code needs no telemetry-enabled branches.
+type Tracer struct {
+	overall *Histogram    // submit→settle
+	stages  *HistogramVec // per-stage deltas, label "stage"
+	max     int
+
+	mu      sync.Mutex
+	spans   map[string]*span
+	order   []string          // FIFO eviction order
+	aliases map[string]string // txID -> ticket ID
+}
+
+// NewTracer builds a tracer feeding the given histograms. max bounds the
+// number of retained spans (default 4096 when <= 0).
+func NewTracer(overall *Histogram, stages *HistogramVec, max int) *Tracer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{
+		overall: overall,
+		stages:  stages,
+		max:     max,
+		spans:   make(map[string]*span),
+		aliases: make(map[string]string),
+	}
+}
+
+// Begin opens a span for ticket id, stamped with the submit stage at t.
+func (tr *Tracer) Begin(id string, t time.Time) {
+	if tr == nil || id == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if _, ok := tr.spans[id]; ok {
+		return
+	}
+	tr.evictLocked()
+	tr.spans[id] = &span{stamps: map[Stage]time.Time{StageSubmit: t}}
+	tr.order = append(tr.order, id)
+}
+
+// evictLocked drops the oldest spans until there is room for one more.
+func (tr *Tracer) evictLocked() {
+	for len(tr.spans) >= tr.max && len(tr.order) > 0 {
+		old := tr.order[0]
+		tr.order = tr.order[1:]
+		delete(tr.spans, old)
+	}
+}
+
+// Stamp records stage s at time t on ticket id and observes the latency from
+// the nearest earlier stamped stage. Stamping an unknown ticket or an
+// already-stamped stage is a no-op.
+func (tr *Tracer) Stamp(id string, s Stage, t time.Time) {
+	if tr == nil || id == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.stampLocked(id, s, t)
+}
+
+func (tr *Tracer) stampLocked(id string, s Stage, t time.Time) {
+	sp, ok := tr.spans[id]
+	if !ok {
+		return
+	}
+	if _, dup := sp.stamps[s]; dup {
+		return
+	}
+	sp.stamps[s] = t
+	// Latency of this stage = time since the nearest earlier stamped stage.
+	if prev, ok := tr.prevStamp(sp, s); ok {
+		tr.stages.With(string(s)).Observe(t.Sub(prev).Seconds())
+	}
+}
+
+// prevStamp finds the most recent stamped stage strictly before s in
+// pipeline order.
+func (tr *Tracer) prevStamp(sp *span, s Stage) (time.Time, bool) {
+	pos := stageOrder[s]
+	for p := pos - 1; p >= 0; p-- {
+		for st, o := range stageOrder {
+			if o == p {
+				if t, ok := sp.stamps[st]; ok {
+					return t, true
+				}
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+// Finish stamps the settle stage at t and observes the full submit→settle
+// latency on the overall histogram. The span is retained (bounded by max)
+// so a later report can still be stamped and the ticket display can show
+// the trace.
+func (tr *Tracer) Finish(id string, t time.Time) {
+	if tr == nil || id == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	sp, ok := tr.spans[id]
+	if !ok || sp.done {
+		return
+	}
+	tr.stampLocked(id, StageSettle, t)
+	sp.done = true
+	if submit, ok := sp.stamps[StageSubmit]; ok {
+		tr.overall.Observe(t.Sub(submit).Seconds())
+	}
+}
+
+// Drop discards the span for a ticket that failed before settling.
+func (tr *Tracer) Drop(id string) {
+	if tr == nil || id == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	delete(tr.spans, id)
+	// The stale order entry is harmless: eviction skips missing spans.
+}
+
+// AliasTx maps a settlement transaction ID to its ticket, so the ex-post
+// value report (which only knows the tx) can stamp the report stage.
+func (tr *Tracer) AliasTx(tx, id string) {
+	if tr == nil || tx == "" || id == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.aliases) >= tr.max {
+		tr.aliases = make(map[string]string) // crude reset; aliases are tiny
+	}
+	tr.aliases[tx] = id
+}
+
+// StampTx stamps stage s on the ticket aliased by transaction tx.
+func (tr *Tracer) StampTx(tx string, s Stage, t time.Time) {
+	if tr == nil || tx == "" {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	id, ok := tr.aliases[tx]
+	if !ok {
+		return
+	}
+	tr.stampLocked(id, s, t)
+}
+
+// Stages returns a copy of the stamped stages for ticket id (nil when
+// unknown) — used by the ticket API to expose the trace.
+func (tr *Tracer) Stages(id string) map[Stage]time.Time {
+	if tr == nil || id == "" {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	sp, ok := tr.spans[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[Stage]time.Time, len(sp.stamps))
+	for k, v := range sp.stamps {
+		out[k] = v
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ledger"
 	"repro/internal/license"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wtp"
 )
@@ -327,8 +329,10 @@ func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy)
 // workers > 0 runs the crashed and rebooted engines with the async DoD
 // builder pool enabled while the baseline stays synchronous — so the
 // byte-identical assertions double as proof that worker-built candidates
-// change no outcome.
-func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int) {
+// change no outcome. telemetry runs them with a live obs registry on both
+// the engine and the WAL (the baseline stays uninstrumented), proving
+// metrics are derived state that never leaks into replayed bytes.
+func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int, telemetry bool) {
 	t.Helper()
 	basePlat, baseEng, _ := runUninterrupted(t, design, sc, policy)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
@@ -377,7 +381,11 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 		}
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			w, err := Open(Options{Dir: dir, Policy: policy})
+			var reg *obs.Registry
+			if telemetry {
+				reg = obs.NewRegistry()
+			}
+			w, err := Open(Options{Dir: dir, Policy: policy, Metrics: reg})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -385,7 +393,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 			if err != nil {
 				t.Fatal(err)
 			}
-			e := engine.New(p, engine.Config{Shards: 4, DoDWorkers: workers,
+			e := engine.New(p, engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg,
 				Persister: &faultPersister{inner: w, remaining: crashAfter}})
 			driveAll(t, e, sc)
 			if crashAfter < len(events) {
@@ -396,9 +404,15 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 			e.Stop()
 			w.Close()
 
-			// Reboot from the durable prefix and finish the script.
+			// Reboot from the durable prefix and finish the script. A fresh
+			// registry: metrics are derived state, rebuilt like any other view.
+			var reg2 *obs.Registry
+			if telemetry {
+				reg2 = obs.NewRegistry()
+			}
 			p2, e2, w2, res, err := Boot(core.Options{Design: design},
-				engine.Config{Shards: 4, DoDWorkers: workers}, Options{Dir: dir, Policy: policy})
+				engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg2},
+				Options{Dir: dir, Policy: policy, Metrics: reg2})
 			if err != nil {
 				t.Fatalf("boot: %v", err)
 			}
@@ -434,6 +448,19 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 			if !e2.Settlements().Conserved() {
 				t.Fatal("settlement conservation violated after replay")
 			}
+			// Prove telemetry was actually live while the bytes stayed
+			// identical: the rebooted registry scraped real activity.
+			if telemetry {
+				var sb strings.Builder
+				if err := reg2.WritePrometheus(&sb); err != nil {
+					t.Fatal(err)
+				}
+				for _, fam := range []string{"engine_epochs_total", "engine_matched_total", "wal_bytes_written_total"} {
+					if !strings.Contains(sb.String(), fam) {
+						t.Errorf("family %s missing from rebooted registry", fam)
+					}
+				}
+			}
 		})
 	}
 }
@@ -443,14 +470,21 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 func TestCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, testDesign, script(), policy, 0)
+			crashMatrix(t, testDesign, script(), policy, 0, false)
 		})
 	}
 	// The pipelined-epoch variant: crashed and rebooted engines build
 	// mashups on the async DoD worker pool; state must still match the
 	// synchronous baseline byte for byte.
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2)
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false)
+	})
+	// The telemetry variant: crashed and rebooted engines run with a live
+	// metrics registry on engine and WAL while the baseline stays
+	// uninstrumented — byte-identical fingerprints prove metrics are derived
+	// state that never reaches the log.
+	t.Run("telemetry", func(t *testing.T) {
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2, true)
 	})
 }
 
@@ -465,11 +499,14 @@ func TestCrashReplayDeterminism(t *testing.T) {
 func TestExPostCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, "expost-audited", expostScript(), policy, 0)
+			crashMatrix(t, "expost-audited", expostScript(), policy, 0, false)
 		})
 	}
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2)
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false)
+	})
+	t.Run("telemetry", func(t *testing.T) {
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, true)
 	})
 }
 

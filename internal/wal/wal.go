@@ -8,8 +8,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced. See the package
@@ -41,6 +43,11 @@ type Options struct {
 	// SegmentBytes rotates to a fresh segment once the current one exceeds
 	// this size (default 4 MiB).
 	SegmentBytes int64
+	// Metrics, when non-nil, receives the WAL's telemetry: append/fsync
+	// latency histograms, segment-count gauge, bytes-written and
+	// recovery-truncation counters. Observability only — never affects
+	// what is written or recovered.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +72,30 @@ type Log struct {
 	segBytes int64
 	lastSeq  int
 	err      error // sticky: first append/sync failure wedges the log
+
+	// telemetry (nil-safe no-ops when Options.Metrics is unset)
+	mAppend   *obs.Histogram
+	mFsync    *obs.Histogram
+	mSegments *obs.Gauge
+	mBytes    *obs.Counter
+}
+
+// initMetrics registers the WAL families and seeds the segment gauge.
+func (w *Log) initMetrics(reg *obs.Registry, segments, truncations int) {
+	if reg == nil {
+		return
+	}
+	w.mAppend = reg.NewHistogram("wal_append_seconds",
+		"Latency of framing and writing one record to the active segment.", obs.FastBuckets)
+	w.mFsync = reg.NewHistogram("wal_fsync_seconds",
+		"Latency of each fsync of the active segment.", obs.FastBuckets)
+	w.mSegments = reg.NewGauge("wal_segments",
+		"Live WAL segments on disk (including the active append segment).")
+	w.mBytes = reg.NewCounter("wal_bytes_written_total",
+		"Bytes appended to WAL segments since open.")
+	reg.NewCounter("wal_recovery_truncations_total",
+		"Torn tails truncated during recovery scans.").Add(float64(truncations))
+	w.mSegments.Set(float64(segments))
 }
 
 func segmentName(firstSeq int) string { return fmt.Sprintf("wal-%010d.seg", firstSeq) }
@@ -158,6 +189,8 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 	appendTo := "" // segment to continue appending into
 	var appendSize int64
 	wantNext := 0
+	liveSegs := len(segs)
+	truncations := 0
 	for i, name := range segs {
 		path := filepath.Join(opts.Dir, name)
 		raw, err := os.ReadFile(path)
@@ -173,6 +206,7 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 		if valid < len(raw) {
 			// Torn tail: truncate to the valid prefix and drop everything
 			// beyond it.
+			truncations++
 			if err := os.Truncate(path, int64(valid)); err != nil {
 				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
 			}
@@ -182,6 +216,7 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 				}
 			}
 			appendTo, appendSize = name, int64(valid)
+			liveSegs = i + 1
 			break
 		}
 		appendTo, appendSize = name, int64(valid)
@@ -190,6 +225,7 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 	if appendTo == "" {
 		appendTo = segmentName(w.lastSeq + 1)
 		appendSize = 0
+		liveSegs = 1
 	}
 	f, err := os.OpenFile(filepath.Join(opts.Dir, appendTo), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -202,6 +238,7 @@ func openScan(opts Options) (*Log, []engine.Event, error) {
 	w.f = f
 	w.curName = appendTo
 	w.segBytes = appendSize
+	w.initMetrics(opts.Metrics, liveSegs, truncations)
 	return w, events, nil
 }
 
@@ -263,6 +300,10 @@ func (w *Log) Persist(ev engine.Event) error {
 		w.err = fmt.Errorf("wal: out-of-order append: seq %d after %d", ev.Seq, w.lastSeq)
 		return w.err
 	}
+	var start time.Time
+	if w.mAppend != nil {
+		start = time.Now()
+	}
 	rec, err := encodeEvent(ev)
 	if err != nil {
 		w.err = err
@@ -272,15 +313,19 @@ func (w *Log) Persist(ev engine.Event) error {
 		w.err = err
 		return err
 	}
+	if w.mAppend != nil {
+		w.mAppend.Observe(time.Since(start).Seconds())
+		w.mBytes.Add(float64(len(rec)))
+	}
 	w.segBytes += int64(len(rec))
 	w.lastSeq = ev.Seq
 
 	switch w.opt.Policy {
 	case SyncAlways:
-		err = w.f.Sync()
+		err = w.timedSync()
 	case SyncEpoch:
 		if ev.Kind == engine.EventEpochEnd {
-			err = w.f.Sync()
+			err = w.timedSync()
 		}
 	}
 	if err != nil {
@@ -294,6 +339,18 @@ func (w *Log) Persist(ev engine.Event) error {
 		}
 	}
 	return nil
+}
+
+// timedSync fsyncs the active segment, feeding the fsync-latency histogram.
+// Caller holds w.mu.
+func (w *Log) timedSync() error {
+	if w.mFsync == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	w.mFsync.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // rotate seals the current segment and opens the next. Caller holds w.mu.
@@ -317,6 +374,7 @@ func (w *Log) rotate() error {
 	w.f = f
 	w.curName = name
 	w.segBytes = 0
+	w.mSegments.Add(1)
 	return nil
 }
 
@@ -366,6 +424,7 @@ func (w *Log) PruneCovered(watermark int) (int, error) {
 		removed++
 	}
 	if removed > 0 {
+		w.mSegments.Add(float64(-removed))
 		if err := syncDir(w.opt.Dir); err != nil {
 			return removed, err
 		}
