@@ -129,7 +129,8 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "queue-depth backpressure: reject submissions while this many are queued (0 = unlimited)")
 	dodWorkers := flag.Int("dod-workers", 0, "async DoD builder pool size: mashup builds run on this many workers so epochs only price pre-built candidates (0 = build inline in the round)")
 	metrics := flag.Bool("metrics", true, "serve Prometheus telemetry on GET /metrics (engine, builder pool, WAL, arbiter and HTTP families)")
-	cacheEntries := flag.Int("dod-cache-entries", 0, "max cached DoD candidate sets; stale-first LRU eviction beyond it (0 = unlimited)")
+	cacheEntries := flag.Int("dod-cache-entries", 0, "max cached DoD candidate sets; stale-first, cost-weighted eviction beyond it (0 = unlimited)")
+	buildDeadline := flag.Duration("build-deadline", 0, "per-want-group DoD build deadline: a build outrunning it resolves as failed for the round (the group retries next epoch) instead of wedging a worker or the epoch (0 = unbounded)")
 	var overrides quotaOverrideFlag
 	flag.Var(&overrides, "quota-override", "per-participant quota override name=rps[:burst], overriding -quota-rps/-quota-burst for that participant (rps 0 = exempt); repeatable")
 	flag.Parse()
@@ -156,6 +157,7 @@ func main() {
 		Policy:         policy,
 		EpochMatchCap:  *epochCap,
 		DoDWorkers:     *dodWorkers,
+		BuildDeadline:  *buildDeadline,
 		Metrics:        reg,
 		Admission: engine.AdmissionConfig{
 			QuotaPerEpoch:   quotaPerEpoch,

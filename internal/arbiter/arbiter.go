@@ -12,6 +12,7 @@
 package arbiter
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -270,7 +271,7 @@ type MatchResult struct {
 func (a *Arbiter) MatchRound() (*MatchResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	res := a.matchRoundLocked(nil, nil)
+	res := a.matchRoundLocked(context.Background(), nil, nil)
 	for c, n := range res.UnmetCols {
 		a.unmet[c] += n
 	}
@@ -287,7 +288,7 @@ func (a *Arbiter) MatchRound() (*MatchResult, error) {
 // arrival order, exactly like MatchRound. Mashups are built inline; the
 // pipelined engine hands pre-built candidates to PriceRound instead.
 func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
-	return a.PriceRound(ids, nil)
+	return a.PriceRound(context.Background(), ids, nil)
 }
 
 // PriceRound is the price stage of the split Fig. 2 pipeline: it runs the
@@ -297,12 +298,14 @@ func (a *Arbiter) MatchRoundFor(ids []string) (*MatchResult, error) {
 // only while it is still valid — built from the identical want at the
 // current catalog version; anything stale, foreign or absent falls back to a
 // (cache-aware) inline build, so a dataset updated between build and price
-// can never settle against its pre-update mashup.
-func (a *Arbiter) PriceRound(ids []string, prebuilt map[string]*dod.CandidateSet) (*MatchResult, error) {
+// can never settle against its pre-update mashup. ctx bounds any inline
+// rebuild a stale or missing prebuilt set forces (the DoD build deadline
+// applies on top), so one wedged group cannot stall the whole round.
+func (a *Arbiter) PriceRound(ctx context.Context, ids []string, prebuilt map[string]*dod.CandidateSet) (*MatchResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if ids == nil {
-		return a.matchRoundLocked(nil, prebuilt), nil
+		return a.matchRoundLocked(ctx, nil, prebuilt), nil
 	}
 	pool := make([]*Request, 0, len(ids))
 	for _, id := range ids {
@@ -310,7 +313,7 @@ func (a *Arbiter) PriceRound(ids []string, prebuilt map[string]*dod.CandidateSet
 			pool = append(pool, r)
 		}
 	}
-	return a.matchRoundLocked(pool, prebuilt), nil
+	return a.matchRoundLocked(ctx, pool, prebuilt), nil
 }
 
 // OpenWantGroups is the build stage's work list: the distinct want groups of
@@ -348,9 +351,10 @@ func (a *Arbiter) OpenWantGroups(ids []string) []dod.Want {
 // candidates for one want. It deliberately does not take the arbiter lock:
 // builds from many worker goroutines run concurrently with each other and
 // with intake, serialized only against catalog mutations inside the DoD
-// engine.
-func (a *Arbiter) BuildFor(want dod.Want) *dod.CandidateSet {
-	return a.dod.BuildCached(want)
+// engine. ctx cancels or bounds the build (the configured build deadline
+// applies on top); an abandoned build resolves to a failed CandidateSet.
+func (a *Arbiter) BuildFor(ctx context.Context, want dod.Want) *dod.CandidateSet {
+	return a.dod.BuildCached(ctx, want)
 }
 
 // AddUnmet folds a round's unmet-demand increments into the demand signals
@@ -387,7 +391,7 @@ func (a *Arbiter) UnmetCounts() map[string]int {
 // open request in arrival order), pricing prebuilt candidate sets where a
 // valid one is supplied. Unmet demand is accumulated into the result, not
 // the arbiter. Caller holds a.mu.
-func (a *Arbiter) matchRoundLocked(pool []*Request, prebuilt map[string]*dod.CandidateSet) *MatchResult {
+func (a *Arbiter) matchRoundLocked(ctx context.Context, pool []*Request, prebuilt map[string]*dod.CandidateSet) *MatchResult {
 	res := &MatchResult{UnmetCols: map[string]int{}}
 	if pool == nil {
 		pool = a.openLocked()
@@ -408,7 +412,7 @@ func (a *Arbiter) matchRoundLocked(pool []*Request, prebuilt map[string]*dod.Can
 
 	for _, k := range order {
 		reqs := groups[k]
-		txs, unsat := a.matchGroup(reqs, res.UnmetCols, prebuilt[k])
+		txs, unsat := a.matchGroup(ctx, reqs, res.UnmetCols, prebuilt[k])
 		res.Transactions = append(res.Transactions, txs...)
 		res.Unsatisfied = append(res.Unsatisfied, unsat...)
 	}
@@ -418,15 +422,18 @@ func (a *Arbiter) matchRoundLocked(pool []*Request, prebuilt map[string]*dod.Can
 // matchGroup auctions the best mashup for one group of identical wants. A
 // handed pre-built CandidateSet is priced only after the version check
 // re-validates it against the live catalog; otherwise the group builds
-// inline through the cache. Unmet demand is accumulated into the caller's
-// map.
-func (a *Arbiter) matchGroup(reqs []*Request, unmet map[string]int, cs *dod.CandidateSet) ([]*Transaction, []string) {
+// inline through the cache. A deadline-failed prebuilt set passes the check
+// (it is stamped with the current version) and prices as a failed build —
+// the group goes unsatisfied this round and retries the next, instead of
+// re-running the wedged search inline. Unmet demand is accumulated into the
+// caller's map.
+func (a *Arbiter) matchGroup(ctx context.Context, reqs []*Request, unmet map[string]int, cs *dod.CandidateSet) ([]*Transaction, []string) {
 	want := reqs[0].Want
 	if !a.dod.Valid(cs, want) {
 		// Stale (a ShareDataset/UpdateDataset/RegisterTransform bumped the
 		// catalog since the build), foreign or missing: rebuild at the
 		// current version. BuildCached counts the stale/miss.
-		cs = a.dod.BuildCached(want)
+		cs = a.dod.BuildCached(ctx, want)
 	}
 	cands := cs.Candidates
 	if len(cands) == 0 {
@@ -627,8 +634,21 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 // then fans the seller cuts out. The arbiter's fee is what remains after
 // the fan-out. Up-front settlements pass the full escrow; ex-post report
 // settlement — live and on WAL replay — passes the reported amount capped
-// by the deposit.
+// by the deposit. Conservation is asserted up front: the seller cuts must
+// never exceed the released amount, or the fan-out would silently drain the
+// arbiter's own fee account — a broken split fails the settlement before any
+// money moves.
 func (a *Arbiter) paySplit(escrowID string, pay ledger.Currency, sellerCuts map[string]float64) error {
+	var cutSum ledger.Currency
+	for _, s := range market.SortedPlayers(sellerCuts) {
+		if amt := ledger.FromFloat(sellerCuts[s]); amt > 0 {
+			cutSum += amt
+		}
+	}
+	if cutSum > pay {
+		return fmt.Errorf("arbiter: revenue split over-allocates escrow %s: seller cuts %v exceed released %v",
+			escrowID, cutSum, pay)
+	}
 	if err := a.Ledger.Release(escrowID, ArbiterAccount, pay, "settlement"); err != nil {
 		return err
 	}

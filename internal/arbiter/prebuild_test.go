@@ -1,6 +1,7 @@
 package arbiter
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dod"
@@ -29,7 +30,7 @@ func TestUpdateBetweenBuildAndPrice(t *testing.T) {
 	}
 
 	// Build stage: a worker prebuilds against the current catalog.
-	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(want)}
+	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(context.Background(), want)}
 
 	// A new version of s1 lands between build and price: same schema, but
 	// every b value is shifted so pre- and post-update mashups are
@@ -46,7 +47,7 @@ func TestUpdateBetweenBuildAndPrice(t *testing.T) {
 		t.Fatal("prebuilt set still valid after UpdateDataset")
 	}
 
-	res, err := a.PriceRound(nil, prebuilt)
+	res, err := a.PriceRound(context.Background(), nil, prebuilt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,10 +75,10 @@ func TestPriceRoundUsesValidPrebuilt(t *testing.T) {
 	if _, err := a.SubmitRequest(want, abWTP("b1", 100)); err != nil {
 		t.Fatal(err)
 	}
-	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(want)}
+	prebuilt := map[string]*dod.CandidateSet{want.Key(): a.BuildFor(context.Background(), want)}
 	builds := a.DoD().CacheStats().Builds
 
-	res, err := a.PriceRound(nil, prebuilt)
+	res, err := a.PriceRound(context.Background(), nil, prebuilt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,9 +13,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arbiter"
 	"repro/internal/buyer"
@@ -157,16 +159,18 @@ func (p *Platform) OpenWantGroups(ids []string) []dod.Want {
 // BuildCandidates builds (through the DoD engine's versioned candidate
 // cache) the mashup candidates for one want. Safe to call from worker
 // goroutines concurrently with intake; only catalog mutations serialize
-// against it.
-func (p *Platform) BuildCandidates(want dod.Want) *dod.CandidateSet {
-	return p.Arbiter.BuildFor(want)
+// against it. ctx cancels or bounds the build (the configured build
+// deadline applies on top); an abandoned build resolves to a failed set.
+func (p *Platform) BuildCandidates(ctx context.Context, want dod.Want) *dod.CandidateSet {
+	return p.Arbiter.BuildFor(ctx, want)
 }
 
 // PriceRoundFor runs the price stage over the given open requests,
 // consuming pre-built candidate sets (keyed by Want.Key()) where still
 // valid. A nil map prices with inline builds, exactly like MatchRoundFor.
-func (p *Platform) PriceRoundFor(ids []string, prebuilt map[string]*dod.CandidateSet) (*arbiter.MatchResult, error) {
-	return p.Arbiter.PriceRound(ids, prebuilt)
+// ctx bounds inline rebuilds forced by stale or missing sets.
+func (p *Platform) PriceRoundFor(ctx context.Context, ids []string, prebuilt map[string]*dod.CandidateSet) (*arbiter.MatchResult, error) {
+	return p.Arbiter.PriceRound(ctx, ids, prebuilt)
 }
 
 // DoDCacheStats snapshots the DoD engine's candidate-cache counters for the
@@ -196,6 +200,12 @@ func (p *Platform) SetBuildObserver(fn func(seconds float64)) {
 // SetDoDCacheConfig bounds the DoD candidate cache.
 func (p *Platform) SetDoDCacheConfig(cfg dod.CacheConfig) {
 	p.Arbiter.DoD().SetCacheConfig(cfg)
+}
+
+// SetBuildDeadline bounds every DoD build: a build outrunning d resolves to
+// a failed candidate set instead of wedging its caller. Zero disables.
+func (p *Platform) SetBuildDeadline(d time.Duration) {
+	p.Arbiter.DoD().SetBuildDeadline(d)
 }
 
 // --- engine hooks ---------------------------------------------------------

@@ -2,6 +2,7 @@ package dmms
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,17 @@ import (
 	"repro/internal/engine"
 	"repro/internal/relation"
 )
+
+// DefaultTimeout bounds every client call that does not carry its own
+// context. Without it, a wedged server (or a half-open connection) hangs the
+// caller forever — exactly the failure mode supervised builds exist to stop
+// on the server side.
+const DefaultTimeout = 30 * time.Second
+
+// defaultHTTP is the transport used when Client.HTTP is nil, so a zero-value
+// Client{BaseURL: ...} is usable and timeout-bounded rather than a
+// nil-pointer panic waiting to happen.
+var defaultHTTP = &http.Client{Timeout: DefaultTimeout}
 
 // ErrSyncDisabled is returned when a synchronous mutation (Register,
 // ShareDataset, SubmitRequest, Report, Match) hits a WAL-backed server,
@@ -35,26 +47,49 @@ func (e *OverloadedError) Error() string {
 
 // Client is the Go client for a remote DMMS server — what a seller or buyer
 // management platform embeds when the arbiter runs elsewhere.
+//
+// HTTP may be left nil: calls then use a shared client with DefaultTimeout.
+// Every method also has ctx-threaded plumbing underneath — the *Ctx variants
+// expose it for per-call deadlines and cancellation.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 }
 
-// NewClient targets a DMMS server.
+// NewClient targets a DMMS server with the default timeout-bounded transport.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return &Client{BaseURL: baseURL}
+}
+
+// httpClient returns the transport, falling back to the shared
+// timeout-bounded default when HTTP is nil or a zero-value client that would
+// otherwise wait forever.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP == nil {
+		return defaultHTTP
+	}
+	if c.HTTP.Timeout == 0 && c.HTTP == http.DefaultClient {
+		// http.DefaultClient has no timeout; an unreachable or wedged server
+		// would hang the caller forever. Substitute the bounded default.
+		return defaultHTTP
+	}
+	return c.HTTP
 }
 
 func (c *Client) post(path string, body, out any) error {
-	return c.postHeaders(path, body, out, nil)
+	return c.postCtx(context.Background(), path, body, out, nil)
 }
 
 func (c *Client) postHeaders(path string, body, out any, headers map[string]string) error {
+	return c.postCtx(context.Background(), path, body, out, headers)
+}
+
+func (c *Client) postCtx(ctx context.Context, path string, body, out any, headers map[string]string) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
@@ -62,7 +97,7 @@ func (c *Client) postHeaders(path string, body, out any, headers map[string]stri
 	for k, v := range headers {
 		req.Header.Set(k, v)
 	}
-	resp, err := c.HTTP.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
@@ -71,7 +106,15 @@ func (c *Client) postHeaders(path string, body, out any, headers map[string]stri
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+	return c.getCtx(context.Background(), path, out)
+}
+
+func (c *Client) getCtx(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
@@ -221,8 +264,13 @@ func (c *Client) ReportAsync(txID string, reported, trueValue float64) (string, 
 
 // Ticket polls one submission's state.
 func (c *Client) Ticket(id string) (engine.Ticket, error) {
+	return c.TicketCtx(context.Background(), id)
+}
+
+// TicketCtx polls one submission's state under a caller-supplied context.
+func (c *Client) TicketCtx(ctx context.Context, id string) (engine.Ticket, error) {
 	var out engine.Ticket
-	if err := c.get("/async/tickets/"+id, &out); err != nil {
+	if err := c.getCtx(ctx, "/async/tickets/"+id, &out); err != nil {
 		return engine.Ticket{}, err
 	}
 	return out, nil
@@ -231,19 +279,29 @@ func (c *Client) Ticket(id string) (engine.Ticket, error) {
 // WaitTicket polls a ticket until it reaches a terminal status or the
 // timeout elapses.
 func (c *Client) WaitTicket(id string, timeout time.Duration) (engine.Ticket, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitTicketCtx(ctx, id)
+}
+
+// WaitTicketCtx polls a ticket until it reaches a terminal status or ctx
+// ends — the cancellable form for callers supervising many waits at once.
+func (c *Client) WaitTicketCtx(ctx context.Context, id string) (engine.Ticket, error) {
+	var last engine.Ticket
 	for {
-		t, err := c.Ticket(id)
+		t, err := c.TicketCtx(ctx, id)
 		if err != nil {
 			return engine.Ticket{}, err
 		}
 		if t.Status.Terminal() {
 			return t, nil
 		}
-		if time.Now().After(deadline) {
-			return t, fmt.Errorf("dmms: ticket %s still %s after %v", id, t.Status, timeout)
+		last = t
+		select {
+		case <-ctx.Done():
+			return last, fmt.Errorf("dmms: ticket %s still %s: %w", id, last.Status, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -271,8 +329,14 @@ func (c *Client) TriggerEpoch() (uint64, bool, error) {
 
 // EngineStats fetches the engine's counters.
 func (c *Client) EngineStats() (engine.Stats, error) {
+	return c.EngineStatsCtx(context.Background())
+}
+
+// EngineStatsCtx fetches the engine's counters under a caller-supplied
+// context.
+func (c *Client) EngineStatsCtx(ctx context.Context) (engine.Stats, error) {
 	var out engine.Stats
-	if err := c.get("/engine/stats", &out); err != nil {
+	if err := c.getCtx(ctx, "/engine/stats", &out); err != nil {
 		return engine.Stats{}, err
 	}
 	return out, nil

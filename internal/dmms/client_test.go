@@ -1,0 +1,59 @@
+package dmms
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestZeroValueClientIsBoundedAndUsable pins the nil-transport fix: a
+// zero-value Client{BaseURL: ...} (and one built over http.DefaultClient)
+// must not nil-panic and must ride the shared timeout-bounded transport, and
+// the *Ctx call variants must honor a per-call deadline against a wedged
+// server instead of hanging forever.
+func TestZeroValueClientIsBoundedAndUsable(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/balance":
+			_, _ = w.Write([]byte(`{"balance": 42}`))
+		default: // wedged endpoint: holds the connection open until test end
+			select {
+			case <-block:
+			case <-r.Context().Done():
+			}
+		}
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL} // zero value: HTTP nil
+	bal, err := c.Balance("b1")
+	if err != nil || bal != 42 {
+		t.Fatalf("zero-value client Balance = %v, %v; want 42, nil", bal, err)
+	}
+	if got := c.httpClient(); got != defaultHTTP {
+		t.Fatal("nil HTTP must fall back to the shared bounded transport")
+	}
+	naive := &Client{BaseURL: srv.URL, HTTP: http.DefaultClient}
+	if got := naive.httpClient(); got != defaultHTTP {
+		t.Fatal("timeout-less http.DefaultClient must be substituted with the bounded default")
+	}
+	custom := &http.Client{Timeout: time.Minute}
+	if got := (&Client{BaseURL: srv.URL, HTTP: custom}).httpClient(); got != custom {
+		t.Fatal("an explicitly configured transport must be respected")
+	}
+
+	// A wedged endpoint returns at the per-call deadline, not never.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.EngineStatsCtx(ctx); err == nil {
+		t.Fatal("EngineStatsCtx against a wedged server must fail at the deadline")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("EngineStatsCtx hung %v past its 50ms deadline", took)
+	}
+}

@@ -1,6 +1,8 @@
 package dod
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,6 +70,20 @@ type CandidateSet struct {
 
 	fp      string
 	lastUse uint64 // engine.useSeq tick of the last hit or insert (LRU)
+	// ctxErr is set when the build was abandoned to a context deadline or
+	// cancellation rather than genuinely failing. Such sets are priced as
+	// failed for this round but never cached: the next round must retry,
+	// unlike an ordinary cached build failure.
+	ctxErr error
+}
+
+// Abandoned returns the context error a deadline-exceeded or cancelled build
+// carries (nil for real outcomes, including ordinary build failures).
+func (cs *CandidateSet) Abandoned() error {
+	if cs == nil {
+		return nil
+	}
+	return cs.ctxErr
 }
 
 // CacheStats is a point-in-time snapshot of the candidate-store counters.
@@ -94,14 +110,39 @@ type CacheStats struct {
 	// Panics counts builds that panicked and were converted to failed
 	// candidate sets instead of crashing the process.
 	Panics uint64 `json:"panics"`
+	// DeadlineExceeded counts build requests abandoned because they (or the
+	// build they were waiting on) outran the configured build deadline.
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	// Cancelled counts build requests abandoned to an external cancellation
+	// (engine shutdown, cancel-on-settle of a speculative prebuild).
+	Cancelled uint64 `json:"cancelled"`
 }
 
 // CacheConfig bounds the candidate store.
 type CacheConfig struct {
 	// MaxEntries caps the number of cached candidate sets; 0 means
 	// unlimited. When the cap is exceeded, stale entries (wrong catalog
-	// version) are evicted first, then the least recently used.
+	// version) are evicted first, then — among fresh entries — the
+	// cheapest-to-rebuild (lowest recorded build time, ties broken by
+	// least recent use). An expensive mashup is worth keeping warm even
+	// when a cheap one was touched more recently.
 	MaxEntries int
+}
+
+// SetBuildDeadline bounds every build request: a BuildCached call whose build
+// outruns d resolves to a failed CandidateSet carrying the context error and
+// frees the caller, rather than wedging a worker. Zero (the default) disables
+// the bound. Safe for concurrent use.
+func (e *Engine) SetBuildDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.deadlineNanos.Store(int64(d))
+}
+
+// BuildDeadline returns the configured per-build deadline (0 = none).
+func (e *Engine) BuildDeadline() time.Duration {
+	return time.Duration(e.deadlineNanos.Load())
 }
 
 // SetCacheConfig applies the bound and immediately enforces it.
@@ -122,34 +163,41 @@ func (e *Engine) SetBuildHook(fn func(seconds float64)) {
 	e.buildHook.Store(&fn)
 }
 
-// evictLocked enforces cacheMax: stale entries go first (they would be
-// rebuilt anyway), then the lowest lastUse. Caller holds cacheMu.
+// evictLocked enforces cacheMax with a cost-weighted policy: stale entries go
+// first (they would be rebuilt anyway; least recently used among them), then
+// among fresh entries the cheapest-to-rebuild — lowest recorded BuildMillis,
+// ties broken by lowest lastUse. Caller holds cacheMu.
 func (e *Engine) evictLocked() {
 	if e.cacheMax <= 0 {
 		return
 	}
 	ver := e.version.Load()
+	// evictBefore reports whether a is a better eviction victim than b.
+	evictBefore := func(a, b *CandidateSet) bool {
+		aStale, bStale := a.Version != ver, b.Version != ver
+		if aStale != bStale {
+			return aStale
+		}
+		if aStale {
+			return a.lastUse < b.lastUse
+		}
+		if a.BuildMillis != b.BuildMillis {
+			return a.BuildMillis < b.BuildMillis
+		}
+		return a.lastUse < b.lastUse
+	}
 	for len(e.cache) > e.cacheMax {
-		victim, victimUse := "", uint64(0)
-		stale := false
+		victimKey := ""
+		var victim *CandidateSet
 		for k, cs := range e.cache {
-			if cs.Version != ver {
-				if !stale || cs.lastUse < victimUse {
-					victim, victimUse, stale = k, cs.lastUse, true
-				}
-				continue
-			}
-			if stale {
-				continue
-			}
-			if victim == "" || cs.lastUse < victimUse {
-				victim, victimUse = k, cs.lastUse
+			if victim == nil || evictBefore(cs, victim) {
+				victimKey, victim = k, cs
 			}
 		}
-		if victim == "" {
+		if victim == nil {
 			return
 		}
-		delete(e.cache, victim)
+		delete(e.cache, victimKey)
 		e.evictions.Add(1)
 	}
 }
@@ -188,15 +236,17 @@ func (e *Engine) CacheStats() CacheStats {
 	entries := len(e.cache)
 	e.cacheMu.Unlock()
 	return CacheStats{
-		Hits:        e.cacheHits.Load(),
-		Stale:       e.cacheStale.Load(),
-		Misses:      e.cacheMisses.Load(),
-		Builds:      e.builds.Load(),
-		BuildMillis: float64(e.buildNanos.Load()) / 1e6,
-		Entries:     entries,
-		Version:     e.version.Load(),
-		Evictions:   e.evictions.Load(),
-		Panics:      e.panics.Load(),
+		Hits:             e.cacheHits.Load(),
+		Stale:            e.cacheStale.Load(),
+		Misses:           e.cacheMisses.Load(),
+		Builds:           e.builds.Load(),
+		BuildMillis:      float64(e.buildNanos.Load()) / 1e6,
+		Entries:          entries,
+		Version:          e.version.Load(),
+		Evictions:        e.evictions.Load(),
+		Panics:           e.panics.Load(),
+		DeadlineExceeded: e.deadlineHits.Load(),
+		Cancelled:        e.cancelled.Load(),
 	}
 }
 
@@ -208,16 +258,89 @@ type inflightBuild struct {
 	cs   *CandidateSet // set before done closes
 }
 
-// BuildCached is the cache-aware Build: a version-valid entry for the same
-// want is returned as-is (hit); an entry invalidated by a catalog bump
-// (stale) or absent (miss) triggers a build, whose outcome — success or
+// BuildCached is the cache-aware, supervised Build: a version-valid entry for
+// the same want is returned as-is (hit); an entry invalidated by a catalog
+// bump (stale) or absent (miss) triggers a build, whose outcome — success or
 // failure — is stored under the want's key. Safe for concurrent use; builds
 // for distinct wants run in parallel (they hold the catalog read-lock, so a
 // MutateCatalog waits for them and they never see partial mutations), while
 // concurrent callers for the same want at the same version share one build:
 // a speculative prebuild racing the next epoch's build stage costs one beam
 // search, not two.
-func (e *Engine) BuildCached(want Want) *CandidateSet {
+//
+// ctx bounds the request (nil is treated as context.Background()); on top of
+// it, a deadline configured via SetBuildDeadline is applied per call. When the
+// context ends before the build does, BuildCached returns a failed
+// CandidateSet carrying the context error — stamped with the current
+// fingerprint and version so the pricing stage accepts it as a (failed) build
+// for this round — and the caller is freed. The abandoned search keeps running
+// on its own goroutine until it notices the cancellation (the beam search
+// checks at node-expansion granularity; an uninterruptible user transform can
+// pin that goroutine, and with it the catalog read-lock, but never a worker,
+// an epoch, or Engine.Stop). Abandoned results are never cached: the next
+// round retries instead of trusting a timeout.
+func (e *Engine) BuildCached(ctx context.Context, want Want) *CandidateSet {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := e.BuildDeadline(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		// Unbounded and uncancellable: run inline, no supervisor needed.
+		return e.buildCachedSync(ctx, want)
+	}
+	ch := make(chan *CandidateSet, 1)
+	go func() { ch <- e.buildCachedSync(ctx, want) }()
+	select {
+	case cs := <-ch:
+		if cs.ctxErr != nil {
+			e.countAbandoned(cs.ctxErr)
+		}
+		return cs
+	case <-ctx.Done():
+		// The build has not noticed yet (it may be inside user code). Leave
+		// it to finish on its own goroutine — it resolves its inflight entry
+		// itself and its result is discarded (ch is buffered) — and hand the
+		// caller a failed set for this round.
+		err := ctx.Err()
+		e.countAbandoned(err)
+		return e.abandonedSet(want, err)
+	}
+}
+
+// countAbandoned attributes one abandoned build request to the deadline or
+// cancellation counter. Called exactly once per abandoned BuildCached call.
+func (e *Engine) countAbandoned(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.deadlineHits.Add(1)
+	} else {
+		e.cancelled.Add(1)
+	}
+}
+
+// abandonedSet is the failed CandidateSet an abandoned build request resolves
+// to. It is stamped with the want's fingerprint and the current catalog
+// version so the price-time Valid check passes and the group is skipped like
+// any failed build, instead of being rebuilt inline mid-round.
+func (e *Engine) abandonedSet(want Want, err error) *CandidateSet {
+	return &CandidateSet{
+		Key:     want.Key(),
+		Want:    want,
+		Version: e.version.Load(),
+		Err:     fmt.Sprintf("dod: build abandoned: %v", err),
+		fp:      want.fingerprint(),
+		ctxErr:  err,
+	}
+}
+
+// buildCachedSync is the cache lookup + singleflight + build path. It honors
+// ctx cooperatively (the beam search aborts between node expansions and
+// joins) but never abandons bookkeeping: whatever happens, the inflight entry
+// is resolved and the catalog read-lock released.
+func (e *Engine) buildCachedSync(ctx context.Context, want Want) *CandidateSet {
 	key, fp := want.Key(), want.fingerprint()
 	flKey := key + "\x00" + fp
 
@@ -234,12 +357,17 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	if fl, ok := e.inflight[flKey]; ok && fl.ver == ver {
 		// Someone is already building this exact want at this version: wait
 		// for their result instead of burning a second search (and counting
-		// phantom misses). The wait holds no locks.
+		// phantom misses). The wait holds no locks and respects ctx — a
+		// deadline-bounded caller must not inherit a wedged builder's fate.
 		e.cacheMu.Unlock()
 		e.mu.RUnlock()
-		<-fl.done
-		e.cacheHits.Add(1)
-		return fl.cs
+		select {
+		case <-fl.done:
+			e.cacheHits.Add(1)
+			return fl.cs
+		case <-ctx.Done():
+			return e.abandonedSet(want, ctx.Err())
+		}
 	}
 	if cs, ok := e.cache[key]; ok && cs.fp == fp {
 		e.cacheStale.Add(1)
@@ -251,7 +379,7 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	e.cacheMu.Unlock()
 
 	start := time.Now()
-	cands, err := e.buildRecover(want)
+	cands, err := e.buildRecover(ctx, want)
 	e.mu.RUnlock()
 	ms := float64(time.Since(start).Nanoseconds()) / 1e6
 
@@ -263,13 +391,18 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 	cs := &CandidateSet{Key: key, Want: want, Version: ver, Candidates: cands, BuildMillis: ms, fp: fp}
 	if err != nil {
 		cs.Err = err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			cs.ctxErr = err
+		}
 	}
 	e.cacheMu.Lock()
 	cs.lastUse = e.useSeq.Add(1)
 	// A laggard build (e.g. a speculative prebuild that lost the race with
 	// a catalog bump) must not evict a fresher entry — the stale set would
-	// just force yet another rebuild at the next lookup.
-	if cur, ok := e.cache[key]; !ok || cur.Version <= cs.Version {
+	// just force yet another rebuild at the next lookup. An abandoned build
+	// is never cached at all: unlike a genuine failure, it says nothing
+	// about the catalog, and the next round must retry.
+	if cur, ok := e.cache[key]; cs.ctxErr == nil && (!ok || cur.Version <= cs.Version) {
 		e.cache[key] = cs
 		e.evictLocked()
 	}
@@ -284,17 +417,17 @@ func (e *Engine) BuildCached(want Want) *CandidateSet {
 
 // buildRecover runs the beam search, converting a panic (e.g. from a buggy
 // user-registered transform materializing a derived column) into a build
-// error. The defer runs before BuildCached releases the catalog read-lock
+// error. The defer runs before buildCachedSync releases the catalog read-lock
 // and before the inflight entry is resolved, so a panicking build can never
 // wedge MutateCatalog or strand singleflight waiters.
-func (e *Engine) buildRecover(want Want) (cands []Candidate, err error) {
+func (e *Engine) buildRecover(ctx context.Context, want Want) (cands []Candidate, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.panics.Add(1)
 			cands, err = nil, fmt.Errorf("dod: build panicked: %v", r)
 		}
 	}()
-	return e.buildLocked(want)
+	return e.buildLocked(ctx, want)
 }
 
 // InvalidateAll drops every cached candidate set and bumps the version (so

@@ -1,6 +1,7 @@
 package dod
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestCacheBoundUnderChurn(t *testing.T) {
 
 	const churn = 20
 	for i := 0; i < churn; i++ {
-		eng.BuildCached(distinctWant(i))
+		eng.BuildCached(context.Background(), distinctWant(i))
 		if got := eng.CacheStats().Entries; got > max {
 			t.Fatalf("after build %d: %d entries, bound is %d", i, got, max)
 		}
@@ -48,7 +49,7 @@ func TestCacheBoundUnderChurn(t *testing.T) {
 	// Unbounded again: churn grows freely.
 	eng.SetCacheConfig(CacheConfig{})
 	for i := churn; i < churn+4; i++ {
-		eng.BuildCached(distinctWant(i))
+		eng.BuildCached(context.Background(), distinctWant(i))
 	}
 	if got := eng.CacheStats().Entries; got != 6 {
 		t.Fatalf("entries = %d with bound removed, want 6", got)
@@ -64,16 +65,16 @@ func TestCacheEvictionPrefersStale(t *testing.T) {
 
 	// Two entries at the current version...
 	a, b := Want{Columns: []string{"a"}}, Want{Columns: []string{"b"}}
-	eng.BuildCached(a)
-	eng.BuildCached(b)
+	eng.BuildCached(context.Background(), a)
+	eng.BuildCached(context.Background(), b)
 	// ...then a catalog mutation strands them at the old version.
 	eng.MutateCatalog(func() bool { return true })
 
 	// Two fresh builds push the population to 4 > 3: the eviction must take
 	// a stale entry, never the just-built fresh ones.
 	c, d := Want{Columns: []string{"c"}}, Want{Columns: []string{"a", "b"}}
-	eng.BuildCached(c)
-	eng.BuildCached(d)
+	eng.BuildCached(context.Background(), c)
+	eng.BuildCached(context.Background(), d)
 
 	st := eng.CacheStats()
 	if st.Entries != 3 {
@@ -83,29 +84,46 @@ func TestCacheEvictionPrefersStale(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 	base := st.Hits
-	eng.BuildCached(c)
-	eng.BuildCached(d)
+	eng.BuildCached(context.Background(), c)
+	eng.BuildCached(context.Background(), d)
 	if got := eng.CacheStats().Hits; got != base+2 {
 		t.Fatalf("fresh entries did not survive stale-first eviction: hits %d -> %d", base, got)
 	}
 
 	// One more fresh build flushes the second stale entry, leaving
 	// {c, d, e} — all fresh.
-	eng.BuildCached(Want{Columns: []string{"b", "c"}})
+	eng.BuildCached(context.Background(), Want{Columns: []string{"b", "c"}})
 	if got := eng.CacheStats().Evictions; got != 2 {
 		t.Fatalf("evictions = %d after flushing stale entries, want 2", got)
 	}
 
-	// With no stale entries left, eviction falls back to LRU: touch c so d
-	// is the least recently used, insert another want, and d goes.
-	eng.BuildCached(c)
-	eng.BuildCached(Want{Columns: []string{"a", "c"}})
+	// With no stale entries left, eviction is cost-weighted: the entry
+	// cheapest to rebuild goes first, regardless of recency. Pin the
+	// recorded build costs directly (white box — wall-clock measurements
+	// are not deterministic enough to order on): d is free to rebuild,
+	// everything else expensive.
+	eng.cacheMu.Lock()
+	for key, cs := range eng.cache {
+		if key == d.Key() {
+			cs.BuildMillis = 0
+		} else {
+			cs.BuildMillis = 50
+		}
+	}
+	eng.cacheMu.Unlock()
+	eng.BuildCached(context.Background(), d) // recency must not save a cheap entry
+	eng.BuildCached(context.Background(), Want{Columns: []string{"a", "c"}})
 	if got := eng.CacheStats().Entries; got != 3 {
-		t.Fatalf("entries = %d after LRU eviction, want 3", got)
+		t.Fatalf("entries = %d after cost-weighted eviction, want 3", got)
+	}
+	hitBase := eng.CacheStats().Hits
+	eng.BuildCached(context.Background(), c) // expensive entry must have survived
+	if got := eng.CacheStats().Hits; got != hitBase+1 {
+		t.Fatalf("expensive entry did not survive cost-weighted eviction: hits %d -> %d", hitBase, got)
 	}
 	missBase := eng.CacheStats().Misses
-	eng.BuildCached(d) // evicted: rebuild is a miss
+	eng.BuildCached(context.Background(), d) // evicted: rebuild is a miss
 	if got := eng.CacheStats().Misses; got != missBase+1 {
-		t.Fatalf("expected the LRU victim to rebuild as a miss (misses %d -> %d)", missBase, got)
+		t.Fatalf("expected the cheapest entry to be evicted and rebuild as a miss (misses %d -> %d)", missBase, got)
 	}
 }

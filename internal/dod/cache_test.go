@@ -1,6 +1,7 @@
 package dod
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func TestCandidateCacheTable(t *testing.T) {
 		{
 			name: "cold build is a miss",
 			run: func(t *testing.T) {
-				cs := eng.BuildCached(want)
+				cs := eng.BuildCached(context.Background(), want)
 				if cs.Err != "" || len(cs.Candidates) == 0 {
 					t.Fatalf("build failed: %q", cs.Err)
 				}
@@ -55,8 +56,8 @@ func TestCandidateCacheTable(t *testing.T) {
 		{
 			name: "repeat is a hit",
 			run: func(t *testing.T) {
-				first := eng.BuildCached(want)
-				again := eng.BuildCached(want)
+				first := eng.BuildCached(context.Background(), want)
+				again := eng.BuildCached(context.Background(), want)
 				if again != first {
 					t.Error("hit did not return the cached set")
 				}
@@ -70,20 +71,20 @@ func TestCandidateCacheTable(t *testing.T) {
 				if aliased.Key() != want.Key() {
 					t.Fatal("fixture broken: keys must collide")
 				}
-				eng.BuildCached(aliased)
+				eng.BuildCached(context.Background(), aliased)
 			},
 			misses: 1,
 		},
 		{
 			name: "catalog mutation invalidates",
 			run: func(t *testing.T) {
-				eng.BuildCached(want) // re-own the slot after the alias build
-				before := eng.BuildCached(want)
+				eng.BuildCached(context.Background(), want) // re-own the slot after the alias build
+				before := eng.BuildCached(context.Background(), want)
 				ver := eng.MutateCatalog(func() bool { return true })
 				if eng.Valid(before, want) {
 					t.Error("set still valid after version bump")
 				}
-				after := eng.BuildCached(want)
+				after := eng.BuildCached(context.Background(), want)
 				if after == before {
 					t.Error("stale set served after catalog mutation")
 				}
@@ -98,7 +99,7 @@ func TestCandidateCacheTable(t *testing.T) {
 		{
 			name: "transform registration invalidates",
 			run: func(t *testing.T) {
-				before := eng.BuildCached(want)
+				before := eng.BuildCached(context.Background(), want)
 				inv, _, err := InferAffine("f_inverse", []float64{32, 50, 212}, []float64{0, 10, 100})
 				if err != nil {
 					t.Fatal(err)
@@ -115,11 +116,11 @@ func TestCandidateCacheTable(t *testing.T) {
 			name: "build failures cache too",
 			run: func(t *testing.T) {
 				hopeless := Want{Columns: []string{"no", "such", "columns"}}
-				first := eng.BuildCached(hopeless)
+				first := eng.BuildCached(context.Background(), hopeless)
 				if first.Err == "" || len(first.Candidates) != 0 {
 					t.Fatalf("expected a failed build, got %d candidates", len(first.Candidates))
 				}
-				if again := eng.BuildCached(hopeless); again != first {
+				if again := eng.BuildCached(context.Background(), hopeless); again != first {
 					t.Error("failed build not served from cache")
 				}
 			},
@@ -156,7 +157,7 @@ func TestCandidateCacheTable(t *testing.T) {
 func TestCachedSetMatchesFreshBuild(t *testing.T) {
 	_, eng := paperScenario(t)
 	want := Want{Columns: []string{"a", "b"}}
-	cached := eng.BuildCached(want)
+	cached := eng.BuildCached(context.Background(), want)
 	fresh, err := eng.Build(want)
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +191,7 @@ func TestConcurrentBuildsAndMutations(t *testing.T) {
 				{Columns: []string{"b", "a"}},
 			}
 			for i := 0; i < 30; i++ {
-				cs := eng.BuildCached(wants[(w+i)%len(wants)])
+				cs := eng.BuildCached(context.Background(), wants[(w+i)%len(wants)])
 				if cs.Err == "" && len(cs.Candidates) == 0 {
 					t.Error("successful build with no candidates")
 					return
@@ -223,7 +224,7 @@ func TestConcurrentBuildsAndMutations(t *testing.T) {
 func TestNoOpMutationKeepsCacheWarm(t *testing.T) {
 	_, eng := paperScenario(t)
 	want := Want{Columns: []string{"a", "b"}}
-	cs := eng.BuildCached(want)
+	cs := eng.BuildCached(context.Background(), want)
 	before := eng.CatalogVersion()
 	if got := eng.MutateCatalog(func() bool { return false }); got != before {
 		t.Fatalf("no-op mutation bumped version %d -> %d", before, got)
@@ -232,7 +233,7 @@ func TestNoOpMutationKeepsCacheWarm(t *testing.T) {
 		t.Error("cached set invalidated by a no-op mutation")
 	}
 	hits := eng.CacheStats().Hits
-	if again := eng.BuildCached(want); again != cs {
+	if again := eng.BuildCached(context.Background(), want); again != cs {
 		t.Error("cache missed after a no-op mutation")
 	}
 	if eng.CacheStats().Hits != hits+1 {
@@ -252,7 +253,7 @@ func TestSingleflightDedupsConcurrentBuilds(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = eng.BuildCached(want)
+			results[i] = eng.BuildCached(context.Background(), want)
 		}(i)
 	}
 	wg.Wait()

@@ -18,6 +18,7 @@
 package dod
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -139,6 +140,13 @@ type Engine struct {
 	evictions   atomic.Uint64
 	panics      atomic.Uint64
 	useSeq      atomic.Uint64 // logical clock for LRU recency
+
+	// deadlineNanos is the per-build deadline applied inside BuildCached
+	// (0 = none). deadlineHits/cancelled count build requests abandoned to
+	// a deadline or an external cancellation.
+	deadlineNanos atomic.Int64
+	deadlineHits  atomic.Uint64
+	cancelled     atomic.Uint64
 
 	// buildHook, when set, observes each completed build's wall-clock
 	// seconds (telemetry only — see obs).
@@ -330,12 +338,15 @@ func (s *state) key() string {
 func (e *Engine) Build(wantIn Want) ([]Candidate, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.buildLocked(wantIn)
+	return e.buildLocked(context.Background(), wantIn)
 }
 
 // buildLocked is the beam search + materialization. Caller holds e.mu (shared
-// is enough: the search only reads catalog, index and transforms).
-func (e *Engine) buildLocked(wantIn Want) ([]Candidate, error) {
+// is enough: the search only reads catalog, index and transforms). The search
+// checks ctx at node-expansion granularity and between joins, so a cancelled
+// or deadline-exceeded build abandons promptly instead of finishing a search
+// nobody will price.
+func (e *Engine) buildLocked(ctx context.Context, wantIn Want) ([]Candidate, error) {
 	want := wantIn.withDefaults()
 	if len(want.Columns) == 0 {
 		return nil, fmt.Errorf("dod: want has no columns")
@@ -376,6 +387,9 @@ func (e *Engine) buildLocked(wantIn Want) ([]Candidate, error) {
 	for depth := 1; depth < want.MaxDatasets; depth++ {
 		var next []*state
 		for _, st := range beam {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("dod: build abandoned at depth %d: %w", depth, err)
+			}
 			if st.quality(want) >= 1 {
 				continue // every column satisfied exactly; no reason to grow
 			}
@@ -450,7 +464,10 @@ func (e *Engine) buildLocked(wantIn Want) ([]Candidate, error) {
 		if len(out) >= want.MaxCandidates {
 			break
 		}
-		cand, err := e.materialize(st, want)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dod: build abandoned during materialize: %w", err)
+		}
+		cand, err := e.materialize(ctx, st, want)
 		if err != nil {
 			continue // a failed plan just drops out of the ranking
 		}
@@ -491,7 +508,7 @@ func sortStates(states []*state, want Want) {
 }
 
 // materialize turns a beam state into a provenance-annotated relation.
-func (e *Engine) materialize(st *state, want Want) (*Candidate, error) {
+func (e *Engine) materialize(ctx context.Context, st *state, want Want) (*Candidate, error) {
 	plan := []string{fmt.Sprintf("load %s", st.datasets[0])}
 	base, err := e.cat.Get(catalog.DatasetID(st.datasets[0]))
 	if err != nil {
@@ -505,6 +522,9 @@ func (e *Engine) materialize(st *state, want Want) (*Candidate, error) {
 	}
 
 	for _, js := range st.joins {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dod: build abandoned mid-join: %w", err)
+		}
 		rrel, err := e.cat.Get(catalog.DatasetID(js.right.Dataset))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,102 @@
+package dod
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/discovery"
+	"repro/internal/index"
+	"repro/internal/profile"
+	"repro/internal/relation"
+)
+
+// stallScenario builds a one-dataset engine whose derived column z parks
+// every build on gate: the transform is registered before the dataset enters
+// the catalog (transform-only registration), so it fires lazily per row
+// inside the beam search's materialize step — a build that never panics and
+// never returns until the gate closes.
+func stallScenario(t *testing.T, gate chan struct{}) *Engine {
+	t.Helper()
+	s1 := relation.New("s1", relation.NewSchema(
+		relation.Col("a", relation.KindInt),
+		relation.Col("b", relation.KindFloat),
+	))
+	for i := 0; i < 12; i++ {
+		s1.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*0.5))
+	}
+	cat := catalog.New()
+	ix := index.Build(index.DefaultConfig(), []*profile.DatasetProfile{profile.Profile("s1", s1)})
+	eng := New(cat, discovery.New(ix))
+	eng.RegisterTransform("s1", "b", "z", &Transform{Name: "stall", Kind: relation.KindFloat,
+		Fn: func(relation.Value) relation.Value { <-gate; return relation.Float(1) }})
+	if err := cat.Register("s1", "seller1", s1); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestBuildCachedDeadlineAbandons pins the supervised BuildCached contract:
+// a build that outruns the configured deadline resolves to a failed set
+// carrying context.DeadlineExceeded (counted, version-stamped so pricing
+// accepts it), is never cached, and — once the stall clears — a retry of the
+// same want builds fresh and succeeds.
+func TestBuildCachedDeadlineAbandons(t *testing.T) {
+	gate := make(chan struct{})
+	eng := stallScenario(t, gate)
+	eng.SetBuildDeadline(80 * time.Millisecond)
+
+	want := Want{Columns: []string{"a", "z"}}
+	start := time.Now()
+	cs := eng.BuildCached(context.Background(), want)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("BuildCached returned only after %v despite the deadline", took)
+	}
+	if cs.Err == "" || len(cs.Candidates) != 0 {
+		t.Fatalf("abandoned build must resolve failed, got %+v", cs)
+	}
+	if !errors.Is(cs.Abandoned(), context.DeadlineExceeded) {
+		t.Fatalf("Abandoned() = %v, want DeadlineExceeded", cs.Abandoned())
+	}
+	if !eng.Valid(cs, want) {
+		t.Fatal("abandoned set must be version-stamped so pricing skips (not rebuilds) the group")
+	}
+	st := eng.CacheStats()
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("abandoned result was cached (%d entries); the next round must retry", st.Entries)
+	}
+
+	// An already-cancelled caller context is honored too, attributed to the
+	// cancellation counter rather than the deadline one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cs2 := eng.BuildCached(ctx, Want{Columns: []string{"a"}})
+	if !errors.Is(cs2.Abandoned(), context.Canceled) {
+		t.Fatalf("Abandoned() = %v, want Canceled", cs2.Abandoned())
+	}
+	if got := eng.CacheStats().Cancelled; got < 1 {
+		t.Fatalf("Cancelled = %d, want >= 1", got)
+	}
+
+	// Clear the stall: the same want now builds fresh and succeeds. The
+	// first retries may still land on the draining stuck goroutine's
+	// singleflight entry (whose result is abandoned), so poll briefly.
+	close(gate)
+	eng.SetBuildDeadline(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs3 := eng.BuildCached(context.Background(), want)
+		if cs3.Err == "" && len(cs3.Candidates) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry after the stall cleared never succeeded: %+v", cs3)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

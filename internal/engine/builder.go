@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,10 +19,16 @@ import (
 // Between epochs the pool speculatively re-warms the candidate cache for
 // wants a round left unmet.
 //
-// Workers are panic-isolated: a panicking build (a buggy user transform, a
-// malformed relation) fails only its own want group — the job resolves to a
-// failed CandidateSet, the worker recovers and keeps serving, and the panic
-// is counted (dod_worker_panics_total). The process never goes down with it.
+// Workers are supervised on two axes. Panic isolation: a panicking build (a
+// buggy user transform, a malformed relation) fails only its own want group —
+// the job resolves to a failed CandidateSet, the worker recovers and keeps
+// serving, and the panic is counted (dod_worker_panics_total). Deadlines: a
+// build that merely never returns is abandoned at Config.BuildDeadline inside
+// dod.BuildCached — the job resolves to a deadline-failed set and the worker
+// is freed, so a wedged beam search cannot stall an epoch or Engine.Stop.
+// Speculative builds additionally carry a cancellable context: when the want
+// they warm settles, the epoch runner cancels them (cancel-on-settle) instead
+// of letting them finish work nobody will price.
 //
 // Candidates are derived state (never logged, never snapshotted), and a
 // version-valid cached set is byte-identical to what an inline build would
@@ -29,11 +36,14 @@ import (
 type buildPool struct {
 	platform *core.Platform
 	jobs     chan buildJob
+	quit     chan struct{} // closed by close(); unblocks in-flight dispatch sends
 
-	mu       sync.Mutex
-	stopped  bool
-	specWG   sync.WaitGroup // in-flight speculative dispatchers
-	workerWG sync.WaitGroup
+	mu         sync.Mutex
+	stopped    bool
+	spec       map[string]*specBuild // live speculative builds by want key
+	specWG     sync.WaitGroup        // in-flight speculative dispatchers
+	dispatchWG sync.WaitGroup        // in-flight dispatch sends
+	workerWG   sync.WaitGroup
 
 	queued atomic.Int64  // dispatched jobs not yet picked up by a worker
 	panics atomic.Uint64 // worker-loop recoveries (backstop; dod recovers first)
@@ -41,15 +51,26 @@ type buildPool struct {
 	m *engineMetrics // telemetry sink; nil-safe, may be nil in unit tests
 }
 
+// specBuild tracks one speculative prebuild so cancel-on-settle can abandon
+// it by want key.
+type specBuild struct {
+	cancel context.CancelFunc
+}
+
 // buildJob is one want to build. out is nil for speculative prebuilds
 // (nobody waits on the result; the point is warming the candidate cache).
+// ctx, when non-nil, bounds or cancels the build; done, when non-nil, runs
+// after the job resolves (or is dropped), releasing speculative bookkeeping.
 type buildJob struct {
+	ctx  context.Context
 	want dod.Want
 	out  chan<- *dod.CandidateSet
+	done func()
 }
 
 func newBuildPool(p *core.Platform, workers int, m *engineMetrics) *buildPool {
-	bp := &buildPool{platform: p, jobs: make(chan buildJob), m: m}
+	bp := &buildPool{platform: p, jobs: make(chan buildJob),
+		quit: make(chan struct{}), spec: map[string]*specBuild{}, m: m}
 	bp.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
 		go bp.worker(i)
@@ -77,6 +98,9 @@ func (bp *buildPool) runJob(id int, job buildJob) {
 	start := time.Now()
 	defer func() {
 		bp.m.observeWorkerBusy(id, time.Since(start).Seconds())
+		if job.done != nil {
+			job.done()
+		}
 		if r := recover(); r != nil {
 			bp.panics.Add(1)
 			if job.out != nil {
@@ -85,7 +109,7 @@ func (bp *buildPool) runJob(id int, job buildJob) {
 			}
 		}
 	}()
-	cs := bp.platform.BuildCandidates(job.want)
+	cs := bp.platform.BuildCandidates(job.ctx, job.want)
 	if job.out != nil {
 		job.out <- cs
 	}
@@ -93,34 +117,49 @@ func (bp *buildPool) runJob(id int, job buildJob) {
 
 // dispatch hands one job to the workers. It reports false when the pool is
 // stopped (caller decides: inline fallback for epoch builds, drop for
-// speculative ones). The send happens under mu, so close can never close
-// the channel mid-send.
+// speculative ones). The send deliberately happens OUTSIDE bp.mu: holding
+// the mutex across an unbuffered send meant a dispatch blocked on busy
+// workers also blocked close()'s mu.Lock — Engine.Stop deadlocked behind a
+// full pool. Instead, dispatch registers with dispatchWG under the lock and
+// then selects on the send vs. quit; close() flips stopped, closes quit to
+// kick out blocked senders, and waits dispatchWG before closing the channel,
+// so a send can never race the close.
 func (bp *buildPool) dispatch(job buildJob) bool {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	if bp.stopped {
+		bp.mu.Unlock()
 		return false
 	}
+	bp.dispatchWG.Add(1)
+	bp.mu.Unlock()
+	defer bp.dispatchWG.Done()
 	bp.queued.Add(1)
-	bp.jobs <- job
-	return true
+	select {
+	case bp.jobs <- job:
+		return true
+	case <-bp.quit:
+		bp.queued.Add(-1)
+		return false
+	}
 }
 
 // buildAll builds every want on the worker pool and returns the candidate
 // sets keyed by group key. It blocks until all builds finish — the epoch
 // runner needs the complete prebuilt map before pricing — but the builds
 // themselves run on the workers, so their wall-clock overlaps and their cost
-// lands in Stats.BuildMillis, not in the round.
-func (bp *buildPool) buildAll(wants []dod.Want) map[string]*dod.CandidateSet {
+// lands in Stats.BuildMillis, not in the round. With Config.BuildDeadline
+// set, no single group can hold the map hostage: a wedged build resolves to
+// a deadline-failed set and pricing skips it.
+func (bp *buildPool) buildAll(ctx context.Context, wants []dod.Want) map[string]*dod.CandidateSet {
 	if len(wants) == 0 {
 		return nil
 	}
 	out := make(chan *dod.CandidateSet, len(wants))
 	for _, w := range wants {
-		if !bp.dispatch(buildJob{want: w, out: out}) {
+		if !bp.dispatch(buildJob{ctx: ctx, want: w, out: out}) {
 			// Pool already closed (engine shutdown's final flush epoch):
 			// build inline so the round still prices everything.
-			out <- bp.platform.BuildCandidates(w)
+			out <- bp.platform.BuildCandidates(ctx, w)
 		}
 	}
 	res := make(map[string]*dod.CandidateSet, len(wants))
@@ -135,7 +174,9 @@ func (bp *buildPool) buildAll(wants []dod.Want) map[string]*dod.CandidateSet {
 // the background (no caller waits). Useful between epochs: a want left
 // unmet re-enters the next round, and if supply arrived meanwhile — bumping
 // the catalog version — the rebuild happens here instead of on the epoch's
-// critical path. Valid entries revalidate as cheap cache hits.
+// critical path. Valid entries revalidate as cheap cache hits. Each build
+// gets its own cancellable context, registered by want key so
+// cancelSettled can abandon it the moment the want clears.
 func (bp *buildPool) prebuild(wants []dod.Want) {
 	if len(wants) == 0 {
 		return
@@ -146,26 +187,72 @@ func (bp *buildPool) prebuild(wants []dod.Want) {
 		return
 	}
 	bp.specWG.Add(1)
+	jobs := make([]buildJob, 0, len(wants))
+	for _, w := range wants {
+		key := w.Key()
+		ctx, cancel := context.WithCancel(context.Background())
+		sb := &specBuild{cancel: cancel}
+		bp.spec[key] = sb
+		jobs = append(jobs, buildJob{ctx: ctx, want: w, done: func() {
+			cancel() // release the context whatever happened
+			bp.mu.Lock()
+			if bp.spec[key] == sb {
+				delete(bp.spec, key)
+			}
+			bp.mu.Unlock()
+		}})
+	}
 	bp.mu.Unlock()
 	go func() {
 		defer bp.specWG.Done()
-		for _, w := range wants {
-			if !bp.dispatch(buildJob{want: w}) {
-				return // shutting down; skip the wasted work
+		for _, job := range jobs {
+			if !bp.dispatch(job) {
+				job.done() // shutting down; skip the wasted work
 			}
 		}
 	}()
 }
 
-// close stops accepting work, waits out speculative dispatchers, then closes
-// the job channel and waits for the workers to drain. Epoch builds arriving
-// after close fall back inline in buildAll, so Stop's final flush epoch can
-// still build.
+// cancelSettled abandons every live speculative build whose want key is not
+// in active — cancel-on-settle: the round just cleared those wants, so the
+// cache warm nobody will price is cancelled instead of finished. The epoch
+// runner calls it with the still-open want keys after each counted round.
+func (bp *buildPool) cancelSettled(active map[string]bool) {
+	bp.mu.Lock()
+	var cancels []context.CancelFunc
+	for key, sb := range bp.spec {
+		if !active[key] {
+			cancels = append(cancels, sb.cancel)
+			delete(bp.spec, key)
+		}
+	}
+	bp.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// close stops accepting work, kicks blocked dispatchers out via quit, waits
+// out speculative dispatchers and in-flight sends, then closes the job
+// channel and waits for the workers to drain. Epoch builds arriving after
+// close fall back inline in buildAll, so Stop's final flush epoch can still
+// build. Speculative builds still queued are cancelled so the drain is
+// bounded even if their wants would build slowly.
 func (bp *buildPool) close() {
 	bp.mu.Lock()
 	bp.stopped = true
+	var cancels []context.CancelFunc
+	for key, sb := range bp.spec {
+		cancels = append(cancels, sb.cancel)
+		delete(bp.spec, key)
+	}
 	bp.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	close(bp.quit)
 	bp.specWG.Wait()
+	bp.dispatchWG.Wait()
 	close(bp.jobs)
 	bp.workerWG.Wait()
 }

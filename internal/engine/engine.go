@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -51,6 +52,14 @@ type Config struct {
 	// re-warms the candidate cache between epochs for wants left unmet. 0
 	// keeps builds inline inside the round (the pre-pipeline behavior).
 	DoDWorkers int
+	// BuildDeadline, when > 0, bounds every DoD candidate build: a want
+	// group whose beam search outruns the deadline resolves to a failed
+	// CandidateSet carrying context.DeadlineExceeded, the pricing stage
+	// skips it like any failed build (the group retries next round), and
+	// the worker — or the inline round — is freed rather than wedged.
+	// Candidates are derived state, so the deadline never affects WAL
+	// replay. 0 disables the bound.
+	BuildDeadline time.Duration
 	// Metrics, when non-nil, receives the engine's telemetry: epoch/round
 	// histograms, per-shard intake depth, admission rejections by reason,
 	// builder-pool and candidate-cache counters, and the submit→settle
@@ -187,6 +196,11 @@ type Stats struct {
 	// invalidations in the DoD engine's versioned candidate store.
 	CacheHits  uint64 `json:"cache_hits,omitempty"`
 	CacheStale uint64 `json:"cache_stale,omitempty"`
+	// BuildDeadlineExceeded / BuildsCancelled count DoD build requests
+	// abandoned to Config.BuildDeadline or to cancellation (shutdown,
+	// cancel-on-settle of speculative prebuilds).
+	BuildDeadlineExceeded uint64 `json:"build_deadline_exceeded,omitempty"`
+	BuildsCancelled       uint64 `json:"builds_cancelled,omitempty"`
 	// DoDWorkers echoes the configured builder-pool size (0 = inline).
 	DoDWorkers    int           `json:"dod_workers,omitempty"`
 	LastPersisted int           `json:"last_persisted,omitempty"`
@@ -313,6 +327,9 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		started:  time.Now(),
 	}
 	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards)
+	if cfg.BuildDeadline > 0 {
+		p.SetBuildDeadline(cfg.BuildDeadline)
+	}
 	if cfg.DoDWorkers > 0 {
 		e.pool = newBuildPool(p, cfg.DoDWorkers, e.m)
 	}
@@ -438,25 +455,27 @@ func (e *Engine) Stats() Stats {
 	persisted, perr := e.log.Persisted()
 	cache := e.platform.DoDCacheStats()
 	st := Stats{
-		Epochs:        e.epoch.Load(),
-		Submitted:     e.stSubmitted.Load(),
-		Applied:       e.stApplied.Load(),
-		Matched:       matched,
-		Failed:        e.stFailed.Load(),
-		OpenRequests:  open,
-		Pending:       e.pending.Load(),
-		Events:        e.log.Len(),
-		Rejected:      e.stRejected.Load(),
-		Shed:          e.stShed.Load(),
-		Aged:          e.stAged.Load(),
-		Policy:        e.policy.Name(),
-		BuildMillis:   cache.BuildMillis,
-		CacheHits:     cache.Hits,
-		CacheStale:    cache.Stale,
-		DoDWorkers:    e.cfg.DoDWorkers,
-		LastPersisted: persisted,
-		Uptime:        up,
-		MatchesPerSec: mps,
+		Epochs:                e.epoch.Load(),
+		Submitted:             e.stSubmitted.Load(),
+		Applied:               e.stApplied.Load(),
+		Matched:               matched,
+		Failed:                e.stFailed.Load(),
+		OpenRequests:          open,
+		Pending:               e.pending.Load(),
+		Events:                e.log.Len(),
+		Rejected:              e.stRejected.Load(),
+		Shed:                  e.stShed.Load(),
+		Aged:                  e.stAged.Load(),
+		Policy:                e.policy.Name(),
+		BuildMillis:           cache.BuildMillis,
+		CacheHits:             cache.Hits,
+		CacheStale:            cache.Stale,
+		BuildDeadlineExceeded: cache.DeadlineExceeded,
+		BuildsCancelled:       cache.Cancelled,
+		DoDWorkers:            e.cfg.DoDWorkers,
+		LastPersisted:         persisted,
+		Uptime:                up,
+		MatchesPerSec:         mps,
 	}
 	if perr != nil {
 		st.PersistErr = perr.Error()
@@ -898,9 +917,13 @@ func (e *Engine) apply(ep uint64, s submission) {
 // holds epochMu.
 func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.MatchResult, err error) {
 	ids, deferred := e.selectRound(ep)
+	// The build path is ctx-threaded end to end; the per-group deadline
+	// itself (Config.BuildDeadline) is applied inside dod.BuildCached, so it
+	// bounds pool, inline-fallback and price-time rebuild builds alike.
+	ctx := context.Background()
 	var prebuilt map[string]*dod.CandidateSet
 	if e.pool != nil {
-		prebuilt = e.pool.buildAll(e.platform.OpenWantGroups(ids))
+		prebuilt = e.pool.buildAll(ctx, e.platform.OpenWantGroups(ids))
 		if e.m.on() {
 			e.stampOpen(ids, obs.StageBuild)
 		}
@@ -909,7 +932,7 @@ func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.
 	if e.m.on() {
 		priceStart = time.Now()
 	}
-	res, err = e.platform.PriceRoundFor(ids, prebuilt)
+	res, err = e.platform.PriceRoundFor(ctx, ids, prebuilt)
 	if e.m.on() {
 		e.m.roundDur.Observe(time.Since(priceStart).Seconds())
 		e.stampOpen(ids, obs.StagePrice)
@@ -927,12 +950,22 @@ func (e *Engine) clear(ep uint64) (matched, unmet int, unmetCols map[string]int)
 	e.emitAged(ep, deferred)
 	e.platform.AddUnmet(res.UnmetCols)
 	matched, unmet = e.publishRound(ep, res)
-	if e.pool != nil && len(res.Unsatisfied) > 0 {
-		// Speculative stage: re-warm the cache for the wants this round left
-		// unmet, off the epoch path. If supply arrives before the next round
-		// (bumping the catalog version), the rebuild has already happened by
-		// the time the next build stage asks.
-		e.pool.prebuild(e.platform.OpenWantGroups(res.Unsatisfied))
+	if e.pool != nil {
+		// Cancel-on-settle: abandon speculative builds for wants this round
+		// cleared — their result would warm a slot nobody will price. The
+		// active set is every still-open want group.
+		active := map[string]bool{}
+		for _, w := range e.platform.OpenWantGroups(nil) {
+			active[w.Key()] = true
+		}
+		e.pool.cancelSettled(active)
+		if len(res.Unsatisfied) > 0 {
+			// Speculative stage: re-warm the cache for the wants this round left
+			// unmet, off the epoch path. If supply arrives before the next round
+			// (bumping the catalog version), the rebuild has already happened by
+			// the time the next build stage asks.
+			e.pool.prebuild(e.platform.OpenWantGroups(res.Unsatisfied))
+		}
 	}
 	return matched, unmet, res.UnmetCols
 }

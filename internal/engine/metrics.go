@@ -145,6 +145,12 @@ func (e *Engine) registerFuncMetrics(reg *obs.Registry) {
 	reg.NewGaugeFunc("dod_cache_entries",
 		"Current candidate-cache population.",
 		func() float64 { return float64(e.platform.DoDCacheStats().Entries) })
+	reg.NewCounterFunc("dod_build_deadline_exceeded_total",
+		"Build requests abandoned because they outran Config.BuildDeadline.",
+		func() float64 { return float64(e.platform.DoDCacheStats().DeadlineExceeded) })
+	reg.NewCounterFunc("dod_builds_cancelled_total",
+		"Build requests abandoned to cancellation (shutdown, cancel-on-settle).",
+		func() float64 { return float64(e.platform.DoDCacheStats().Cancelled) })
 	reg.NewCounterFunc("dod_worker_panics_total",
 		"Builds that panicked and were isolated to their want group (DoD recover plus pool backstop).",
 		func() float64 {

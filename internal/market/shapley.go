@@ -69,7 +69,7 @@ func (ShapleyExact) Allocate(players []string, v ValueFunc) map[string]float64 {
 			phi[i] += w * marginal
 		}
 	}
-	return normalizeWeights(players, phi)
+	return normalizeWeights(players, phi, vals[1<<uint(n)-1])
 }
 
 func factorials(n int) []float64 {
@@ -90,12 +90,21 @@ func popcount(x uint) int {
 	return n
 }
 
-func normalizeWeights(players []string, phi []float64) map[string]float64 {
+// normalizeWeights turns raw marginals into non-negative weights summing to
+// 1. grandValue is v(N): when every marginal is ≤ 0 but the grand coalition
+// still has value — perfect substitutes, where v(N\{i}) = v(N) for every i —
+// the weights would sum to 0 and the revenue would silently never be paid
+// out, so the split falls back to uniform. Only a genuinely worthless grand
+// coalition (grandValue ≤ 0) yields all-zero weights.
+func normalizeWeights(players []string, phi []float64, grandValue float64) map[string]float64 {
 	var total float64
 	for _, p := range phi {
 		if p > 0 {
 			total += p
 		}
+	}
+	if total <= 0 && grandValue > 0 {
+		return Uniform{}.Allocate(players, nil)
 	}
 	out := make(map[string]float64, len(players))
 	for i, p := range players {
@@ -139,6 +148,7 @@ func (m ShapleyMonteCarlo) Allocate(players []string, v ValueFunc) map[string]fl
 		perm[i] = i
 	}
 	coalition := make(map[string]bool, n)
+	grand := 0.0
 	for s := 0; s < samples; s++ {
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		for k := range coalition {
@@ -151,11 +161,12 @@ func (m ShapleyMonteCarlo) Allocate(players []string, v ValueFunc) map[string]fl
 			phi[i] += cur - prev
 			prev = cur
 		}
+		grand = prev // v of the full coalition; identical every sample
 	}
 	for i := range phi {
 		phi[i] /= float64(samples)
 	}
-	return normalizeWeights(players, phi)
+	return normalizeWeights(players, phi, grand)
 }
 
 // LeaveOneOut allocates by each player's marginal contribution to the grand
@@ -183,8 +194,11 @@ func (LeaveOneOut) Allocate(players []string, v ValueFunc) map[string]float64 {
 		phi[i] = total - v(grand)
 		grand[p] = true
 	}
-	// Degenerate perfect-complement case: all marginals equal total.
-	return normalizeWeights(players, phi)
+	// Degenerate cases: perfect complements (all marginals equal total) just
+	// normalize; perfect substitutes (v(N\{i}) = v(N) for every i, so all
+	// marginals are 0 while v(N) > 0) fall back to a uniform split inside
+	// normalizeWeights instead of allocating nothing.
+	return normalizeWeights(players, phi, total)
 }
 
 // Uniform splits equally — the naive baseline.

@@ -177,3 +177,40 @@ func TestShapleyErrorMetric(t *testing.T) {
 		t.Error("self distance is 0")
 	}
 }
+
+// TestPerfectSubstitutesUniformFallback pins the all-zero-split fix: when
+// every player is a perfect substitute — v(S) is the same positive constant
+// for every non-empty S, so each marginal v(N) - v(N\{i}) is 0 — the grand
+// coalition still has value and the revenue must not silently evaporate.
+// normalizeWeights falls back to a uniform split instead of all-zero weights
+// (which used to leave the escrow unpaid forever).
+func TestPerfectSubstitutesUniformFallback(t *testing.T) {
+	players := []string{"s1", "s2", "s3"}
+	v := func(s map[string]bool) float64 {
+		if len(s) > 0 {
+			return 120 // any single dataset already delivers everything
+		}
+		return 0
+	}
+	for _, alloc := range []Allocator{LeaveOneOut{}, ShapleyExact{}, ShapleyMonteCarlo{Samples: 100, Seed: 7}} {
+		w := alloc.Allocate(players, v)
+		var sum float64
+		for _, p := range players {
+			if w[p] < 0 {
+				t.Errorf("%s: negative weight for %s: %v", alloc.Name(), p, w[p])
+			}
+			sum += w[p]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: weights sum to %v under perfect substitutes, want 1", alloc.Name(), sum)
+		}
+	}
+	// The degenerate-but-worthless game still allocates nothing: the uniform
+	// fallback must not invent a split where there is no revenue to split.
+	zero := func(map[string]bool) float64 { return 0 }
+	for p, w := range (LeaveOneOut{}).Allocate(players, zero) {
+		if w != 0 {
+			t.Errorf("worthless coalition allocated %v to %s", w, p)
+		}
+	}
+}

@@ -331,8 +331,11 @@ func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy)
 // byte-identical assertions double as proof that worker-built candidates
 // change no outcome. telemetry runs them with a live obs registry on both
 // the engine and the WAL (the baseline stays uninstrumented), proving
-// metrics are derived state that never leaks into replayed bytes.
-func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int, telemetry bool) {
+// metrics are derived state that never leaks into replayed bytes. deadline
+// > 0 runs them with supervised builds (Config.BuildDeadline) enabled while
+// the baseline stays unbounded: a deadline generous enough that no build in
+// this workload ever trips it must leave every replayed byte untouched.
+func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int, telemetry bool, deadline time.Duration) {
 	t.Helper()
 	basePlat, baseEng, _ := runUninterrupted(t, design, sc, policy)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
@@ -394,7 +397,8 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 				t.Fatal(err)
 			}
 			e := engine.New(p, engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg,
-				Persister: &faultPersister{inner: w, remaining: crashAfter}})
+				BuildDeadline: deadline,
+				Persister:     &faultPersister{inner: w, remaining: crashAfter}})
 			driveAll(t, e, sc)
 			if crashAfter < len(events) {
 				if _, perr := e.Log().Persisted(); perr == nil {
@@ -411,7 +415,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 				reg2 = obs.NewRegistry()
 			}
 			p2, e2, w2, res, err := Boot(core.Options{Design: design},
-				engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg2},
+				engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg2, BuildDeadline: deadline},
 				Options{Dir: dir, Policy: policy, Metrics: reg2})
 			if err != nil {
 				t.Fatalf("boot: %v", err)
@@ -470,21 +474,28 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 func TestCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, testDesign, script(), policy, 0, false)
+			crashMatrix(t, testDesign, script(), policy, 0, false, 0)
 		})
 	}
 	// The pipelined-epoch variant: crashed and rebooted engines build
 	// mashups on the async DoD worker pool; state must still match the
 	// synchronous baseline byte for byte.
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false)
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false, 0)
 	})
 	// The telemetry variant: crashed and rebooted engines run with a live
 	// metrics registry on engine and WAL while the baseline stays
 	// uninstrumented — byte-identical fingerprints prove metrics are derived
 	// state that never reaches the log.
 	t.Run("telemetry", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2, true)
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2, true, 0)
+	})
+	// The supervised-builds variant: crashed and rebooted engines run with
+	// workers AND a per-group build deadline while the baseline stays
+	// unbounded — deadlines are derived-state plumbing that must never reach
+	// a replayed byte.
+	t.Run("build-deadline", func(t *testing.T) {
+		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false, 2*time.Second)
 	})
 }
 
@@ -499,14 +510,17 @@ func TestCrashReplayDeterminism(t *testing.T) {
 func TestExPostCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, "expost-audited", expostScript(), policy, 0, false)
+			crashMatrix(t, "expost-audited", expostScript(), policy, 0, false, 0)
 		})
 	}
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false)
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false, 0)
 	})
 	t.Run("telemetry", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, true)
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, true, 0)
+	})
+	t.Run("build-deadline", func(t *testing.T) {
+		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false, 2*time.Second)
 	})
 }
 
