@@ -43,6 +43,8 @@ type benchResult struct {
 	MatchesPerSec float64 `json:"matches_per_sec"`
 	P50SettleMS   float64 `json:"p50_submit_to_settle_ms"`
 	P99SettleMS   float64 `json:"p99_submit_to_settle_ms"`
+	P50PriceMS    float64 `json:"p50_price_round_ms"`
+	P99PriceMS    float64 `json:"p99_price_round_ms"`
 	Epochs        uint64  `json:"epochs"`
 }
 
@@ -70,12 +72,16 @@ func recordBenchJSON(b *testing.B, reg *obs.Registry, matchesPerSec float64, epo
 	}
 	h := reg.NewHistogram("engine_submit_to_settle_seconds",
 		"End-to-end latency from request submission to settlement.", obs.DefBuckets)
+	pr := reg.NewHistogram("arbiter_round_seconds",
+		"Wall-clock duration of the pricing stage of each matching round.", obs.DefBuckets)
 	res := benchResult{
 		Name:          b.Name(),
 		N:             b.N,
 		MatchesPerSec: matchesPerSec,
 		P50SettleMS:   h.Quantile(0.5) * 1000,
 		P99SettleMS:   h.Quantile(0.99) * 1000,
+		P50PriceMS:    pr.Quantile(0.5) * 1000,
+		P99PriceMS:    pr.Quantile(0.99) * 1000,
 		Epochs:        epochs,
 	}
 	benchCollector.mu.Lock()

@@ -37,6 +37,7 @@ import (
 	"repro/internal/dmms"
 	"repro/internal/dod"
 	"repro/internal/engine"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -131,6 +132,8 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve Prometheus telemetry on GET /metrics (engine, builder pool, WAL, arbiter and HTTP families)")
 	cacheEntries := flag.Int("dod-cache-entries", 0, "max cached DoD candidate sets; stale-first, cost-weighted eviction beyond it (0 = unlimited)")
 	buildDeadline := flag.Duration("build-deadline", 0, "per-want-group DoD build deadline: a build outrunning it resolves as failed for the round (the group retries next epoch) instead of wedging a worker or the epoch (0 = unbounded)")
+	allocExactMax := flag.Int("allocator-exact-max", 0, "replace the design's revenue allocator with adaptive Shapley: exact enumeration up to this many contributing datasets, confidence-bounded permutation sampling above (0 = keep the design's allocator)")
+	allocErr := flag.Float64("allocator-err", 0.05, "adaptive allocator target L1 error for sampled revenue splits (with -allocator-exact-max)")
 	var overrides quotaOverrideFlag
 	flag.Var(&overrides, "quota-override", "per-participant quota override name=rps[:burst], overriding -quota-rps/-quota-burst for that participant (rps 0 = exempt); repeatable")
 	flag.Parse()
@@ -168,6 +171,11 @@ func main() {
 		},
 	}
 
+	platOpts := core.Options{Design: *design}
+	if *allocExactMax > 0 {
+		platOpts.Allocator = market.AdaptiveShapley{ExactMax: *allocExactMax, TargetErr: *allocErr}
+	}
+
 	var (
 		p   *core.Platform
 		eng *engine.Engine
@@ -179,7 +187,7 @@ func main() {
 			log.Fatal(perr)
 		}
 		var res wal.BootResult
-		p, eng, w, res, err = wal.Boot(core.Options{Design: *design}, cfg,
+		p, eng, w, res, err = wal.Boot(platOpts, cfg,
 			wal.Options{Dir: *walDir, Policy: syncPolicy, SegmentBytes: *segBytes, Metrics: reg})
 		if err != nil {
 			log.Fatalf("dmgateway: WAL boot: %v", err)
@@ -187,7 +195,7 @@ func main() {
 		log.Printf("dmgateway: WAL %s: recovered %d events (snapshot seq %d, replayed %d), fsync=%s",
 			*walDir, res.Recovered, res.FromSnapshotSeq, res.Replayed, syncPolicy)
 	} else {
-		p, err = core.NewPlatform(core.Options{Design: *design})
+		p, err = core.NewPlatform(platOpts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,8 @@ package arbiter
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -410,13 +412,28 @@ func (a *Arbiter) matchRoundLocked(ctx context.Context, pool []*Request, prebuil
 		groups[k] = append(groups[k], r)
 	}
 
+	// One coalition-value memo per pricing round: the requests of a round
+	// overlap in mashup structure, so v(S) evaluations cache across every
+	// allocation priced this round (scoped by game — see gameKey).
+	memo := market.NewRoundMemo()
 	for _, k := range order {
 		reqs := groups[k]
-		txs, unsat := a.matchGroup(ctx, reqs, res.UnmetCols, prebuilt[k])
+		txs, unsat := a.matchGroup(ctx, reqs, res.UnmetCols, prebuilt[k], memo)
 		res.Transactions = append(res.Transactions, txs...)
 		res.Unsatisfied = append(res.Unsatisfied, unsat...)
 	}
 	return res
+}
+
+// gameKey identifies one candidate's coalition game within a pricing round:
+// same datasets, same plan, same result cardinality means the same
+// characteristic function (the catalog version is fixed for the round), so
+// their coalition values may share a memo. Distinct games must not — their
+// value functions differ.
+func gameKey(cand *dod.Candidate) string {
+	return strings.Join(cand.Datasets, "\x1f") + "\x1e" +
+		strings.Join(cand.Plan, ";") + "\x1e" +
+		strconv.Itoa(cand.Rel().NumRows())
 }
 
 // matchGroup auctions the best mashup for one group of identical wants. A
@@ -427,7 +444,7 @@ func (a *Arbiter) matchRoundLocked(ctx context.Context, pool []*Request, prebuil
 // the group goes unsatisfied this round and retries the next, instead of
 // re-running the wedged search inline. Unmet demand is accumulated into the
 // caller's map.
-func (a *Arbiter) matchGroup(ctx context.Context, reqs []*Request, unmet map[string]int, cs *dod.CandidateSet) ([]*Transaction, []string) {
+func (a *Arbiter) matchGroup(ctx context.Context, reqs []*Request, unmet map[string]int, cs *dod.CandidateSet, memo *market.RoundMemo) ([]*Transaction, []string) {
 	want := reqs[0].Want
 	if !a.dod.Valid(cs, want) {
 		// Stale (a ShareDataset/UpdateDataset/RegisterTransform bumped the
@@ -497,7 +514,7 @@ func (a *Arbiter) matchGroup(ctx context.Context, reqs []*Request, unmet map[str
 		if o == nil || !o.req.Open {
 			continue
 		}
-		tx, err := a.settle(o.req, best, sale, o.ev)
+		tx, err := a.settle(o.req, best, sale, o.ev, memo)
 		if err != nil {
 			continue // e.g. insufficient funds; buyer drops out
 		}
@@ -572,11 +589,19 @@ func (a *Arbiter) sourceMetas(datasets []string) []wtp.DatasetMeta {
 // settle executes payment, licensing and revenue sharing for one sale. The
 // sale's Buyer field carries the request ID (the auction's bid key); the
 // paying account is the request's buyer.
-func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev wtp.Evaluation) (*Transaction, error) {
+func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev wtp.Evaluation, memo *market.RoundMemo) (*Transaction, error) {
 	buyer := req.WTP.Buyer
 	a.nextID++
 	txID := fmt.Sprintf("tx-%04d", a.nextID)
 	price := ledger.FromFloat(sale.Price)
+
+	// The allocation context: a sampler seed derived from the settlement
+	// identity — txIDs are assigned deterministically, so crash/replay and
+	// redrive re-derive the same seed and the same sampled split — plus this
+	// round's coalition-value memo scoped to this candidate's game. Only
+	// seed-independent v(S) values are shared across settlements; each sale
+	// still samples its own permutations.
+	actx := market.AllocContext{Seed: market.SeedFromID(txID), Memo: memo.Game(gameKey(cand))}
 
 	tx := &Transaction{
 		ID:           txID,
@@ -603,7 +628,7 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 			return nil, err
 		}
 		tx.ExPost = true
-		tx.ExPostShares = a.Design.RevenueFractions(cand.Anno, a.ownersOf(cand.Datasets), nil)
+		tx.ExPostShares = a.Design.RevenueFractionsCtx(cand.Anno, a.ownersOf(cand.Datasets), nil, actx)
 		a.pendingExPost[txID] = &exPostState{tx: tx, deposit: dep, buyer: buyer, fracs: tx.ExPostShares}
 		a.recordPurchase(buyer, cand.Datasets)
 		a.history = append(a.history, tx)
@@ -615,7 +640,7 @@ func (a *Arbiter) settle(req *Request, cand *dod.Candidate, sale market.Sale, ev
 		return nil, err
 	}
 	owners := a.ownersOf(cand.Datasets)
-	split := a.Design.ShareRevenue(sale.Price, cand.Anno, owners, nil)
+	split := a.Design.ShareRevenueCtx(sale.Price, cand.Anno, owners, nil, actx)
 	if err := a.paySplit(txID, a.Ledger.Escrowed(txID), split.SellerCut); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package arbiter
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dod"
+	"repro/internal/license"
+	"repro/internal/market"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+// TestRoundMemoSharesCoalitionValues: two sales of the same mashup in one
+// pricing round share coalition-value evaluations through the per-round memo
+// — the second settlement's characteristic function is answered entirely from
+// cache, and both settlements split identically (v(S) is seed-independent).
+func TestRoundMemoSharesCoalitionValues(t *testing.T) {
+	a := setupMarket(t, mkDesign()) // PostedPrice: unlimited supply, both buyers settle
+	want := dod.Want{Columns: []string{"a", "b", "d"}}
+	if _, err := a.SubmitRequest(want, coverageWTP("b1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitRequest(want, coverageWTP("b2", 100)); err != nil {
+		t.Fatal(err)
+	}
+	before := market.AllocCounters()
+	res, err := a.MatchRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 2 {
+		t.Fatalf("transactions = %d (unsat %v)", len(res.Transactions), res.Unsatisfied)
+	}
+	after := market.AllocCounters()
+	// Two settlements of a 2-dataset mashup: the exact path enumerates
+	// 2^2-1 = 3 coalitions each. First settle misses 3, second hits 3.
+	if hits := after.MemoHits - before.MemoHits; hits < 3 {
+		t.Fatalf("round memo hits = %d, want >= 3 (second settlement should reuse coalition values)", hits)
+	}
+	if evals := after.Evals - before.Evals; evals > 3 {
+		t.Fatalf("round evaluated v(S) %d times for two identical settlements, want 3", evals)
+	}
+	c0, c1 := res.Transactions[0].SellerCuts, res.Transactions[1].SellerCuts
+	for s, cut := range c0 {
+		if math.Abs(cut-c1[s]) > 1e-9 {
+			t.Fatalf("same-game settlements split differently: %v vs %v", c0, c1)
+		}
+	}
+}
+
+// TestWideMashupSettlesWithoutPanic is the end-to-end regression for the
+// ShapleyExact n>24 panic: a buyer whose want only a 25-source chain-joined
+// mashup can satisfy settles through a ShapleyExact design — the allocator
+// escalates to sampling instead of crashing the settlement path.
+func TestWideMashupSettlesWithoutPanic(t *testing.T) {
+	const n = 25
+	d := mkDesign() // ShapleyExact allocator — the path that used to panic
+	a, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterParticipant("buyer", 10000); err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]string, n)
+	for i := 0; i < n; i++ {
+		seller := fmt.Sprintf("s%02d", i)
+		if err := a.RegisterParticipant(seller, 0); err != nil {
+			t.Fatal(err)
+		}
+		col := fmt.Sprintf("c%02d", i)
+		cols[i] = col
+		// 10 distinct join-key values: the metadata index drops edges on
+		// columns below its MinDistinct cardinality floor.
+		rel := relation.New(seller+"/d0", relation.NewSchema(
+			relation.Col("k", relation.KindInt), relation.Col(col, relation.KindFloat)))
+		for r := 0; r < 10; r++ {
+			rel.MustAppend(relation.Int(int64(r)), relation.Float(float64(i*10+r)))
+		}
+		ds := seller + "/d0"
+		if err := a.ShareDataset(seller, catalog.DatasetID(ds), rel, meta(ds), license.Terms{Kind: license.Open}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dod.Want{Columns: cols, MaxDatasets: n, MaxCandidates: 3, MinJoinScore: 0.1}
+	f := &wtp.Function{
+		Buyer: "buyer",
+		Task:  wtp.CoverageTask{Columns: cols, WantRows: 1},
+		Curve: wtp.PriceCurve{{MinSatisfaction: 0.95, Price: 100}},
+	}
+	if _, err := a.SubmitRequest(want, f); err != nil {
+		t.Fatal(err)
+	}
+	before := market.AllocCounters()
+	res, err := a.MatchRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 1 {
+		t.Fatalf("transactions = %d (unsat %v)", len(res.Transactions), res.Unsatisfied)
+	}
+	tx := res.Transactions[0]
+	if len(tx.Datasets) != n {
+		t.Fatalf("settled mashup joins %d datasets, want %d", len(tx.Datasets), n)
+	}
+	after := market.AllocCounters()
+	if after.Escalations == before.Escalations {
+		t.Fatal("wide settlement did not escalate to the sampled allocator")
+	}
+	var cuts float64
+	for _, c := range tx.SellerCuts {
+		if c < 0 {
+			t.Fatal("negative seller cut")
+		}
+		cuts += c
+	}
+	if math.Abs(cuts+tx.ArbiterCut-tx.Price) > 0.01 {
+		t.Fatalf("wide settlement does not conserve: cuts %.4f + fee %.4f != %.4f", cuts, tx.ArbiterCut, tx.Price)
+	}
+	if a.Ledger.VerifyChain() != -1 {
+		t.Fatal("audit chain corrupt after wide settlement")
+	}
+}

@@ -123,6 +123,13 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		"dod_cache_misses_total",
 		"dod_cache_evictions_total",
 		"dod_worker_panics_total",
+		"engine_price_seconds_total",
+		"market_allocator_evals_total",
+		"market_allocator_memo_hits_total",
+		"market_allocator_exact_total",
+		"market_allocator_sampled_total",
+		"market_allocator_escalations_total",
+		"market_allocator_incremental_total",
 		"wal_append_seconds_count",
 		"wal_fsync_seconds_bucket",
 		"wal_fsync_seconds_count",
@@ -138,6 +145,7 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 	for sample, min := range map[string]float64{
 		"engine_submit_to_settle_seconds_count": 1,
 		"engine_matched_total":                  1,
+		"market_allocator_evals_total":          1,
 		"dod_build_seconds_count":               1,
 		"wal_fsync_seconds_count":               1,
 		"wal_bytes_written_total":               1,

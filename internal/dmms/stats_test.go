@@ -65,6 +65,15 @@ func TestEngineStatsExposeBuilderCounters(t *testing.T) {
 			if stats.DoDWorkers != 2 {
 				t.Errorf("DoDWorkers = %d, want 2", stats.DoDWorkers)
 			}
+			// The pricing split of the pipeline: the settled request above ran
+			// the price stage and its revenue allocator, so the new wire
+			// fields carry live values.
+			if stats.PriceMillis <= 0 {
+				t.Errorf("PriceMillis = %v after a settled round, want > 0", stats.PriceMillis)
+			}
+			if stats.AllocEvals == 0 {
+				t.Error("AllocEvals = 0 after a settlement, want > 0")
+			}
 		} else if stats.CacheHits <= first.CacheHits {
 			t.Errorf("cache hits did not climb over the wire: %d -> %d", first.CacheHits, stats.CacheHits)
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dod"
 	"repro/internal/ledger"
 	"repro/internal/license"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wtp"
@@ -202,11 +203,24 @@ type Stats struct {
 	BuildDeadlineExceeded uint64 `json:"build_deadline_exceeded,omitempty"`
 	BuildsCancelled       uint64 `json:"builds_cancelled,omitempty"`
 	// DoDWorkers echoes the configured builder-pool size (0 = inline).
-	DoDWorkers    int           `json:"dod_workers,omitempty"`
-	LastPersisted int           `json:"last_persisted,omitempty"`
-	PersistErr    string        `json:"persist_error,omitempty"`
-	Uptime        time.Duration `json:"uptime"`
-	MatchesPerSec float64       `json:"matches_per_sec"`
+	DoDWorkers int `json:"dod_workers,omitempty"`
+	// PriceMillis is cumulative wall-clock time spent in the price stage of
+	// matching rounds (mechanism + revenue allocation). In-memory
+	// observability only, like BuildMillis.
+	PriceMillis float64 `json:"price_millis,omitempty"`
+	// Allocator counters, sampled from the market package's process-wide
+	// counters (monotone; shared across every engine in the process):
+	// characteristic-function evaluations, memo hits, exact/sampled
+	// allocation runs, and exact→sampled escalations on wide mashups.
+	AllocEvals       uint64        `json:"alloc_evals,omitempty"`
+	AllocMemoHits    uint64        `json:"alloc_memo_hits,omitempty"`
+	AllocExact       uint64        `json:"alloc_exact,omitempty"`
+	AllocSampled     uint64        `json:"alloc_sampled,omitempty"`
+	AllocEscalations uint64        `json:"alloc_escalations,omitempty"`
+	LastPersisted    int           `json:"last_persisted,omitempty"`
+	PersistErr       string        `json:"persist_error,omitempty"`
+	Uptime           time.Duration `json:"uptime"`
+	MatchesPerSec    float64       `json:"matches_per_sec"`
 }
 
 // Engine is the concurrent front end to a core.Platform: sharded intake,
@@ -261,6 +275,9 @@ type Engine struct {
 	stRejected  atomic.Uint64 // admission rejections (durable; see replay)
 	stShed      atomic.Uint64 // queue-depth sheds (transient)
 	stAged      atomic.Uint64 // policy deferrals (durable)
+	// stPriceNanos accumulates price-stage wall-clock time (transient, like
+	// BuildMillis) — always, not only when telemetry is enabled.
+	stPriceNanos atomic.Int64
 	// stMatchedAtBoot is the replayed-match baseline after a Restore, so
 	// MatchesPerSec reflects this process's rate, not history divided by a
 	// fresh uptime.
@@ -454,6 +471,7 @@ func (e *Engine) Stats() Stats {
 	}
 	persisted, perr := e.log.Persisted()
 	cache := e.platform.DoDCacheStats()
+	alloc := market.AllocCounters()
 	st := Stats{
 		Epochs:                e.epoch.Load(),
 		Submitted:             e.stSubmitted.Load(),
@@ -473,6 +491,12 @@ func (e *Engine) Stats() Stats {
 		BuildDeadlineExceeded: cache.DeadlineExceeded,
 		BuildsCancelled:       cache.Cancelled,
 		DoDWorkers:            e.cfg.DoDWorkers,
+		PriceMillis:           float64(e.stPriceNanos.Load()) / 1e6,
+		AllocEvals:            alloc.Evals,
+		AllocMemoHits:         alloc.MemoHits,
+		AllocExact:            alloc.ExactRuns,
+		AllocSampled:          alloc.SampledRuns,
+		AllocEscalations:      alloc.Escalations,
 		LastPersisted:         persisted,
 		Uptime:                up,
 		MatchesPerSec:         mps,
@@ -928,13 +952,12 @@ func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.
 			e.stampOpen(ids, obs.StageBuild)
 		}
 	}
-	var priceStart time.Time
-	if e.m.on() {
-		priceStart = time.Now()
-	}
+	priceStart := time.Now()
 	res, err = e.platform.PriceRoundFor(ctx, ids, prebuilt)
+	priceDur := time.Since(priceStart)
+	e.stPriceNanos.Add(priceDur.Nanoseconds())
 	if e.m.on() {
-		e.m.roundDur.Observe(time.Since(priceStart).Seconds())
+		e.m.roundDur.Observe(priceDur.Seconds())
 		e.stampOpen(ids, obs.StagePrice)
 	}
 	return deferred, res, err

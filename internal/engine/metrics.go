@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/market"
 	"repro/internal/obs"
 )
 
@@ -168,6 +169,32 @@ func (e *Engine) registerFuncMetrics(reg *obs.Registry) {
 			}
 			return float64(e.pool.queued.Load())
 		})
+
+	reg.NewCounterFunc("engine_price_seconds_total",
+		"Cumulative wall-clock time spent in the price stage of matching rounds.",
+		func() float64 { return float64(e.stPriceNanos.Load()) / 1e9 })
+
+	// Revenue-allocator counters. These sample the market package's
+	// process-wide atomics (allocators are value types), so with several
+	// engines in one process each registry reports the same process totals.
+	reg.NewCounterFunc("market_allocator_evals_total",
+		"Characteristic-function evaluations run by revenue allocators.",
+		func() float64 { return float64(market.AllocCounters().Evals) })
+	reg.NewCounterFunc("market_allocator_memo_hits_total",
+		"Allocator coalition-value evaluations answered from a round memo.",
+		func() float64 { return float64(market.AllocCounters().MemoHits) })
+	reg.NewCounterFunc("market_allocator_exact_total",
+		"Revenue allocations solved by exact Shapley enumeration.",
+		func() float64 { return float64(market.AllocCounters().ExactRuns) })
+	reg.NewCounterFunc("market_allocator_sampled_total",
+		"Revenue allocations solved by permutation-sampled Shapley.",
+		func() float64 { return float64(market.AllocCounters().SampledRuns) })
+	reg.NewCounterFunc("market_allocator_escalations_total",
+		"Exact-Shapley requests auto-escalated to sampling on wide mashups.",
+		func() float64 { return float64(market.AllocCounters().Escalations) })
+	reg.NewCounterFunc("market_allocator_incremental_total",
+		"Incremental one-dataset-added split updates.",
+		func() float64 { return float64(market.AllocCounters().Incremental) })
 }
 
 // stampOpen stamps stage s now on the tickets of the given open requests

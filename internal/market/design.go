@@ -88,10 +88,17 @@ type RevenueSplit struct {
 // Allocator (with the provenance-derived value function when vf is nil) and
 // then forwarded to each dataset's owner.
 func (d *Design) ShareRevenue(total float64, anno *provenance.Annotated, owners map[string]string, vf ValueFunc) RevenueSplit {
+	return d.ShareRevenueCtx(total, anno, owners, vf, AllocContext{})
+}
+
+// ShareRevenueCtx is ShareRevenue with a per-settlement allocation context:
+// the settlement-derived sampler seed and the pricing round's coalition-value
+// memo (see AllocContext).
+func (d *Design) ShareRevenueCtx(total float64, anno *provenance.Annotated, owners map[string]string, vf ValueFunc, ctx AllocContext) RevenueSplit {
 	if total <= 0 {
 		return RevenueSplit{SellerCut: map[string]float64{}}
 	}
-	return d.ShareFractions(total, d.RevenueFractions(anno, owners, vf))
+	return d.ShareFractions(total, d.RevenueFractionsCtx(anno, owners, vf, ctx))
 }
 
 // RevenueFractions computes the normalized per-owner fractions of the
@@ -102,6 +109,13 @@ func (d *Design) ShareRevenue(total float64, anno *provenance.Annotated, owners 
 // reports is a pure function of durable state. Returns nil when no lineage
 // players exist (the arbiter then keeps the whole amount).
 func (d *Design) RevenueFractions(anno *provenance.Annotated, owners map[string]string, vf ValueFunc) map[string]float64 {
+	return d.RevenueFractionsCtx(anno, owners, vf, AllocContext{})
+}
+
+// RevenueFractionsCtx is RevenueFractions with a per-settlement allocation
+// context, dispatched through AllocateWith so context-aware allocators
+// receive the settlement seed and round memo.
+func (d *Design) RevenueFractionsCtx(anno *provenance.Annotated, owners map[string]string, vf ValueFunc, ctx AllocContext) map[string]float64 {
 	if anno == nil {
 		return nil
 	}
@@ -112,7 +126,7 @@ func (d *Design) RevenueFractions(anno *provenance.Annotated, owners map[string]
 	if vf == nil {
 		vf = RowCountValue(anno)
 	}
-	weights := d.Allocator.Allocate(players, vf)
+	weights := AllocateWith(d.Allocator, players, vf, ctx)
 	var wsum float64
 	for _, w := range weights {
 		wsum += w

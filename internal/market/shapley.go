@@ -38,18 +38,40 @@ func coalitionOf(players []string, mask uint) map[string]bool {
 // approximations (experiment E5 measures the crossover).
 type ShapleyExact struct{}
 
+// exactFeasibleMax is the hard enumeration bound: past 2^24 coalition values
+// the table alone is 128 MiB and the marginal sweep 24·2^24 float ops, so
+// requests beyond it auto-escalate to sampling rather than attempt (or, as
+// older versions did, panic mid-settlement).
+const exactFeasibleMax = 24
+
 // Name implements Allocator.
 func (ShapleyExact) Name() string { return "shapley_exact" }
 
 // Allocate implements Allocator.
-func (ShapleyExact) Allocate(players []string, v ValueFunc) map[string]float64 {
+func (e ShapleyExact) Allocate(players []string, v ValueFunc) map[string]float64 {
+	return e.AllocateCtx(players, v, AllocContext{})
+}
+
+// AllocateCtx implements CtxAllocator. Wide games (n > 24) never panic the
+// settlement path: they escalate to the adaptive sampled allocator, counted
+// in market_allocator_escalations_total.
+func (ShapleyExact) AllocateCtx(players []string, v ValueFunc, ctx AllocContext) map[string]float64 {
 	n := len(players)
 	if n == 0 {
 		return nil
 	}
-	if n > 24 {
-		panic(fmt.Sprintf("market: exact Shapley with %d players is infeasible; use ShapleyMonteCarlo", n))
+	if n > exactFeasibleMax {
+		allocEscalations.Add(1)
+		return AdaptiveShapley{}.AllocateCtx(players, v, ctx)
 	}
+	allocExactRuns.Add(1)
+	return exactShapley(players, ctx.Memo.Wrap(v))
+}
+
+// exactShapley runs the full 2^n enumeration. Callers enforce the
+// feasibility bound.
+func exactShapley(players []string, v ValueFunc) map[string]float64 {
+	n := len(players)
 	// Cache v over all subsets.
 	vals := make([]float64, 1<<uint(n))
 	for mask := uint(1); mask < 1<<uint(n); mask++ {
@@ -131,17 +153,33 @@ type ShapleyMonteCarlo struct {
 // Name implements Allocator.
 func (m ShapleyMonteCarlo) Name() string { return fmt.Sprintf("shapley_mc(%d)", m.Samples) }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator: the legacy fixed-seed path (every call
+// samples the same permutations).
 func (m ShapleyMonteCarlo) Allocate(players []string, v ValueFunc) map[string]float64 {
+	return m.AllocateCtx(players, v, AllocContext{})
+}
+
+// AllocateCtx implements CtxAllocator: when the context carries a settlement
+// seed it is mixed into the design's base seed, so each settlement draws its
+// own permutations while replay — which re-derives the same settlement seed —
+// stays byte-identical. A zero context preserves the legacy fixed-seed
+// behavior exactly.
+func (m ShapleyMonteCarlo) AllocateCtx(players []string, v ValueFunc, ctx AllocContext) map[string]float64 {
 	n := len(players)
 	if n == 0 {
 		return nil
 	}
+	allocSampledRuns.Add(1)
+	v = ctx.Memo.Wrap(v)
 	samples := m.Samples
 	if samples <= 0 {
 		samples = 200
 	}
-	rng := rand.New(rand.NewSource(m.Seed))
+	seed := m.Seed
+	if ctx.Seed != 0 {
+		seed = mixSeed(seed, ctx.Seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
 	phi := make([]float64, n)
 	perm := make([]int, n)
 	for i := range perm {
@@ -178,11 +216,18 @@ type LeaveOneOut struct{}
 func (LeaveOneOut) Name() string { return "leave_one_out" }
 
 // Allocate implements Allocator.
-func (LeaveOneOut) Allocate(players []string, v ValueFunc) map[string]float64 {
+func (l LeaveOneOut) Allocate(players []string, v ValueFunc) map[string]float64 {
+	return l.AllocateCtx(players, v, AllocContext{})
+}
+
+// AllocateCtx implements CtxAllocator: deterministic, so only the memo is
+// used.
+func (LeaveOneOut) AllocateCtx(players []string, v ValueFunc, ctx AllocContext) map[string]float64 {
 	n := len(players)
 	if n == 0 {
 		return nil
 	}
+	v = ctx.Memo.Wrap(v)
 	grand := map[string]bool{}
 	for _, p := range players {
 		grand[p] = true
@@ -220,13 +265,18 @@ func (Uniform) Allocate(players []string, v ValueFunc) map[string]float64 {
 	return out
 }
 
+// inCoreMax is the largest player count InCore will enumerate (2^20
+// coalitions).
+const inCoreMax = 20
+
 // InCore checks whether an allocation of `total` by `weights` lies in the
 // core of the game: no coalition S gets less than v(S) (paper §8.2 cites the
-// core as an alternative to Shapley). Exponential; use for n ≤ ~16.
-func InCore(players []string, v ValueFunc, weights map[string]float64, total float64) bool {
+// core as an alternative to Shapley). Exponential — use for n ≤ 20; beyond
+// that it returns an error rather than panicking from library code.
+func InCore(players []string, v ValueFunc, weights map[string]float64, total float64) (bool, error) {
 	n := len(players)
-	if n > 20 {
-		panic("market: core check infeasible beyond 20 players")
+	if n > inCoreMax {
+		return false, fmt.Errorf("market: core check with %d players is infeasible (max %d)", n, inCoreMax)
 	}
 	for mask := uint(1); mask < 1<<uint(n); mask++ {
 		s := coalitionOf(players, mask)
@@ -235,10 +285,10 @@ func InCore(players []string, v ValueFunc, weights map[string]float64, total flo
 			got += weights[p] * total
 		}
 		if got < v(s)-1e-9 {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // ShapleyError measures the L1 distance between two weight maps — used by

@@ -1,6 +1,7 @@
 package market
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -129,12 +130,32 @@ func TestInCore(t *testing.T) {
 	}
 	// a must get >= 80 of the 100 for core stability.
 	inCore := map[string]float64{"a": 0.9, "b": 0.1}
-	if !InCore(players, v, inCore, 100) {
+	ok, err := InCore(players, v, inCore, 100)
+	if err != nil {
+		t.Fatalf("InCore: %v", err)
+	}
+	if !ok {
 		t.Error("0.9/0.1 split should be in core")
 	}
-	notCore := map[string]float64{"a": 0.5, "b": 0.5}
-	if InCore(players, v, notCore, 100) {
+	ok, err = InCore(players, v, notCoreSplit, 100)
+	if err != nil {
+		t.Fatalf("InCore: %v", err)
+	}
+	if ok {
 		t.Error("0.5/0.5 split violates a's claim of 80")
+	}
+}
+
+var notCoreSplit = map[string]float64{"a": 0.5, "b": 0.5}
+
+func TestInCoreInfeasibleReturnsError(t *testing.T) {
+	players := make([]string, 21)
+	for i := range players {
+		players[i] = fmt.Sprintf("p%02d", i)
+	}
+	v := func(s map[string]bool) float64 { return float64(len(s)) }
+	if _, err := InCore(players, v, map[string]float64{}, 100); err == nil {
+		t.Fatal("expected an error beyond 20 players, got nil")
 	}
 }
 

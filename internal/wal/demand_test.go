@@ -14,7 +14,7 @@ import (
 // with each epoch-end record and re-seeded on replay, so a rebooted arbiter
 // sees exactly the demand the original run accumulated.
 func TestDemandSignalsSurviveRestore(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncEpoch)
+	basePlat, baseEng, dir := runUninterrupted(t, core.Options{Design: testDesign}, script(), SyncEpoch)
 	live := basePlat.Arbiter.DemandSignals()
 	if len(live) == 0 {
 		t.Fatal("script produced no unmet demand; the test needs a starved column")

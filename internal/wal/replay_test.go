@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ledger"
 	"repro/internal/license"
+	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wtp"
@@ -46,6 +47,13 @@ type op struct {
 	ref      int
 	reported float64
 	trueVal  float64
+	// share: valCol, when set, builds a keyed relation (k, valCol) instead of
+	// the default (a, b) — datasets then cover only half a request's columns,
+	// forcing joined multi-source mashups.
+	valCol string
+	// request: minSat overrides the 0.5 curve threshold, so half-coverage
+	// single-source candidates price to zero and only the join sells.
+	minSat float64
 }
 
 // script is the deterministic workload: epochs of ops covering
@@ -115,6 +123,37 @@ func expostScript() [][]op {
 	}
 }
 
+// joinScript is the sampled-pricing workload: every dataset carries the join
+// key k plus ONE of the wanted value columns, so no single source satisfies a
+// request and every settlement splits revenue across a 2-source joined mashup
+// — the path where permutation-sampled Shapley (and its settlement-derived
+// seeding) actually runs.
+func joinScript() [][]op {
+	return [][]op{
+		{ // epoch 1: funding registrations
+			{kind: "register", name: "b1", funds: 5000},
+			{kind: "register", name: "b2", funds: 8000},
+		},
+		{ // epoch 2: split supply (a and b live in different datasets) + demand
+			{kind: "share", name: "s1", ds: "s1/d0", rows: 20, valCol: "a"},
+			{kind: "share", name: "s2", ds: "s2/d0", rows: 30, valCol: "b"},
+			{kind: "request", name: "b1", offer: 150, cols: []string{"a", "b"}, minSat: 0.9},
+		},
+		{ // epoch 3: more joined demand; one request no supply will ever cover
+			{kind: "request", name: "b2", offer: 120, cols: []string{"a", "b"}, minSat: 0.9},
+			{kind: "request", name: "b2", offer: 60, cols: []string{"never", "supplied"}},
+		},
+		{ // epoch 4: a second a-provider (candidate multiplicity) + late buyer
+			{kind: "share", name: "s3", ds: "s3/d0", rows: 25, valCol: "a"},
+			{kind: "register", name: "b4", funds: 1500},
+		},
+		{ // epoch 5: a below-posted-price offer (stays open) and a match
+			{kind: "request", name: "b4", offer: 80, cols: []string{"a", "b"}, minSat: 0.9},
+			{kind: "request", name: "b1", offer: 200, cols: []string{"a", "b"}, minSat: 0.9},
+		},
+	}
+}
+
 // mustTicket unwraps a Submit* result for scripts with no admission control
 // configured (where intake can never reject).
 func mustTicket(id string, err error) string {
@@ -133,19 +172,39 @@ func scriptRelation(name string, rows int) *relation.Relation {
 	return r
 }
 
+// keyedRelation builds a relation with the shared join key k plus one named
+// value column. Every row gets a distinct k — the metadata index drops join
+// edges on columns below its MinDistinct cardinality floor.
+func keyedRelation(name, valCol string, rows int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col(valCol, relation.KindFloat)))
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*2.5))
+	}
+	return r
+}
+
 func submitOp(e *engine.Engine, o op) string {
 	switch o.kind {
 	case "register":
 		return mustTicket(e.SubmitRegister(o.name, o.funds))
 	case "share":
-		return mustTicket(e.SubmitShare(o.name, catalog.DatasetID(o.ds), scriptRelation(o.ds, o.rows),
+		rel := scriptRelation(o.ds, o.rows)
+		if o.valCol != "" {
+			rel = keyedRelation(o.ds, o.valCol, o.rows)
+		}
+		return mustTicket(e.SubmitShare(o.name, catalog.DatasetID(o.ds), rel,
 			wtp.DatasetMeta{Dataset: o.ds, HasProvenance: true}, license.Terms{Kind: license.Open}))
 	case "request":
 		want := dod.Want{Columns: o.cols}
+		minSat := o.minSat
+		if minSat == 0 {
+			minSat = 0.5
+		}
 		f := &wtp.Function{
 			Buyer: o.name,
 			Task:  wtp.CoverageTask{Columns: o.cols, WantRows: 1},
-			Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: o.offer}},
+			Curve: []wtp.CurvePoint{{MinSatisfaction: minSat, Price: o.offer}},
 		}
 		return mustTicket(e.SubmitRequest(want, f))
 	case "report":
@@ -296,14 +355,14 @@ func fingerprint(t *testing.T, p *core.Platform, e *engine.Engine, withEpochs bo
 
 // runUninterrupted drives the full script against a WAL-backed engine with
 // no fault and returns the platform, engine and the closed WAL's directory.
-func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy) (*core.Platform, *engine.Engine, string) {
+func runUninterrupted(t *testing.T, platOpts core.Options, sc [][]op, policy SyncPolicy) (*core.Platform, *engine.Engine, string) {
 	t.Helper()
 	dir := t.TempDir()
 	w, err := Open(Options{Dir: dir, Policy: policy})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.NewPlatform(core.Options{Design: design})
+	p, err := core.NewPlatform(platOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,9 +394,9 @@ func runUninterrupted(t *testing.T, design string, sc [][]op, policy SyncPolicy)
 // > 0 runs them with supervised builds (Config.BuildDeadline) enabled while
 // the baseline stays unbounded: a deadline generous enough that no build in
 // this workload ever trips it must leave every replayed byte untouched.
-func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, workers int, telemetry bool, deadline time.Duration) {
+func crashMatrix(t *testing.T, platOpts core.Options, sc [][]op, policy SyncPolicy, workers int, telemetry bool, deadline time.Duration) {
 	t.Helper()
-	basePlat, baseEng, _ := runUninterrupted(t, design, sc, policy)
+	basePlat, baseEng, _ := runUninterrupted(t, platOpts, sc, policy)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
 	baseWeak := fingerprint(t, basePlat, baseEng, false)
 	baseSupply := basePlat.Arbiter.Ledger.TotalSupply()
@@ -392,7 +451,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, err := core.NewPlatform(core.Options{Design: design})
+			p, err := core.NewPlatform(platOpts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -414,7 +473,7 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 			if telemetry {
 				reg2 = obs.NewRegistry()
 			}
-			p2, e2, w2, res, err := Boot(core.Options{Design: design},
+			p2, e2, w2, res, err := Boot(platOpts,
 				engine.Config{Shards: 4, DoDWorkers: workers, Metrics: reg2, BuildDeadline: deadline},
 				Options{Dir: dir, Policy: policy, Metrics: reg2})
 			if err != nil {
@@ -474,28 +533,41 @@ func crashMatrix(t *testing.T, design string, sc [][]op, policy SyncPolicy, work
 func TestCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch, SyncOff} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, testDesign, script(), policy, 0, false, 0)
+			crashMatrix(t, core.Options{Design: testDesign}, script(), policy, 0, false, 0)
 		})
 	}
 	// The pipelined-epoch variant: crashed and rebooted engines build
 	// mashups on the async DoD worker pool; state must still match the
 	// synchronous baseline byte for byte.
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false, 0)
+		crashMatrix(t, core.Options{Design: testDesign}, script(), SyncEpoch, 2, false, 0)
 	})
 	// The telemetry variant: crashed and rebooted engines run with a live
 	// metrics registry on engine and WAL while the baseline stays
 	// uninstrumented — byte-identical fingerprints prove metrics are derived
 	// state that never reaches the log.
 	t.Run("telemetry", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2, true, 0)
+		crashMatrix(t, core.Options{Design: testDesign}, script(), SyncEpoch, 2, true, 0)
 	})
 	// The supervised-builds variant: crashed and rebooted engines run with
 	// workers AND a per-group build deadline while the baseline stays
 	// unbounded — deadlines are derived-state plumbing that must never reach
 	// a replayed byte.
 	t.Run("build-deadline", func(t *testing.T) {
-		crashMatrix(t, testDesign, script(), SyncEpoch, 2, false, 2*time.Second)
+		crashMatrix(t, core.Options{Design: testDesign}, script(), SyncEpoch, 2, false, 2*time.Second)
+	})
+	// The sampled-pricing variant: every engine in the matrix (baseline,
+	// crashed, rebooted) prices through the permutation-sampled allocator
+	// (ExactMax 1 forces sampling even for 2-player games) over the
+	// joinScript workload, whose settlements all split revenue across
+	// 2-source joined mashups. Byte-identical fingerprints — the snapshot
+	// embeds every settlement's SellerCuts — prove the sampler's
+	// settlement-identity seeding replays exactly through crashes, reboots
+	// and re-driven epochs.
+	t.Run("sampled-pricing", func(t *testing.T) {
+		opts := core.Options{Design: testDesign,
+			Allocator: market.AdaptiveShapley{ExactMax: 1, TargetErr: 0.02}}
+		crashMatrix(t, opts, joinScript(), SyncEpoch, 2, false, 0)
 	})
 }
 
@@ -510,24 +582,24 @@ func TestCrashReplayDeterminism(t *testing.T) {
 func TestExPostCrashReplayDeterminism(t *testing.T) {
 	for _, policy := range []SyncPolicy{SyncAlways, SyncEpoch} {
 		t.Run(string(policy), func(t *testing.T) {
-			crashMatrix(t, "expost-audited", expostScript(), policy, 0, false, 0)
+			crashMatrix(t, core.Options{Design: "expost-audited"}, expostScript(), policy, 0, false, 0)
 		})
 	}
 	t.Run("epoch-dod-workers", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false, 0)
+		crashMatrix(t, core.Options{Design: "expost-audited"}, expostScript(), SyncEpoch, 2, false, 0)
 	})
 	t.Run("telemetry", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, true, 0)
+		crashMatrix(t, core.Options{Design: "expost-audited"}, expostScript(), SyncEpoch, 2, true, 0)
 	})
 	t.Run("build-deadline", func(t *testing.T) {
-		crashMatrix(t, "expost-audited", expostScript(), SyncEpoch, 2, false, 2*time.Second)
+		crashMatrix(t, core.Options{Design: "expost-audited"}, expostScript(), SyncEpoch, 2, false, 2*time.Second)
 	})
 }
 
 // TestCleanRestartIsByteIdentical: a full run, a clean shutdown, a reboot
 // from the WAL with nothing to re-drive — the strongest determinism claim.
 func TestCleanRestartIsByteIdentical(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncEpoch)
+	basePlat, baseEng, dir := runUninterrupted(t, core.Options{Design: testDesign}, script(), SyncEpoch)
 	baseStrong := fingerprint(t, basePlat, baseEng, true)
 
 	p2, e2, w2, res, err := Boot(core.Options{Design: testDesign},
@@ -612,7 +684,7 @@ func TestSnapshotRestartIsByteIdentical(t *testing.T) {
 // TestBootTruncatesCorruptTail: a bit-flipped final record must not be fatal
 // on boot — the reader truncates it and the lost suffix can be re-driven.
 func TestBootTruncatesCorruptTail(t *testing.T) {
-	basePlat, baseEng, dir := runUninterrupted(t, testDesign, script(), SyncAlways)
+	basePlat, baseEng, dir := runUninterrupted(t, core.Options{Design: testDesign}, script(), SyncAlways)
 	baseWeak := fingerprint(t, basePlat, baseEng, false)
 
 	segs, err := segmentFiles(dir)
