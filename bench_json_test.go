@@ -46,6 +46,10 @@ type benchResult struct {
 	P50PriceMS    float64 `json:"p50_price_round_ms"`
 	P99PriceMS    float64 `json:"p99_price_round_ms"`
 	Epochs        uint64  `json:"epochs"`
+	// BuildMSPerEpoch is the Mashup Builder's share of each epoch for the
+	// transform-heavy variants — the build-stage number the streaming
+	// relation engine PR tracks (0 for the coverage variant).
+	BuildMSPerEpoch float64 `json:"build_ms_per_epoch,omitempty"`
 }
 
 var benchCollector struct {
@@ -66,7 +70,7 @@ func benchRegistry() *obs.Registry {
 // recordBenchJSON pulls the submit→settle histogram back out of the registry
 // (idempotent registration returns the engine's instrument) and queues one
 // result row. No-op when reg is nil.
-func recordBenchJSON(b *testing.B, reg *obs.Registry, matchesPerSec float64, epochs uint64) {
+func recordBenchJSON(b *testing.B, reg *obs.Registry, matchesPerSec float64, epochs uint64, buildMSPerEpoch float64) {
 	if reg == nil {
 		return
 	}
@@ -75,14 +79,15 @@ func recordBenchJSON(b *testing.B, reg *obs.Registry, matchesPerSec float64, epo
 	pr := reg.NewHistogram("arbiter_round_seconds",
 		"Wall-clock duration of the pricing stage of each matching round.", obs.DefBuckets)
 	res := benchResult{
-		Name:          b.Name(),
-		N:             b.N,
-		MatchesPerSec: matchesPerSec,
-		P50SettleMS:   h.Quantile(0.5) * 1000,
-		P99SettleMS:   h.Quantile(0.99) * 1000,
-		P50PriceMS:    pr.Quantile(0.5) * 1000,
-		P99PriceMS:    pr.Quantile(0.99) * 1000,
-		Epochs:        epochs,
+		Name:            b.Name(),
+		N:               b.N,
+		MatchesPerSec:   matchesPerSec,
+		P50SettleMS:     h.Quantile(0.5) * 1000,
+		P99SettleMS:     h.Quantile(0.99) * 1000,
+		P50PriceMS:      pr.Quantile(0.5) * 1000,
+		P99PriceMS:      pr.Quantile(0.99) * 1000,
+		Epochs:          epochs,
+		BuildMSPerEpoch: buildMSPerEpoch,
 	}
 	benchCollector.mu.Lock()
 	defer benchCollector.mu.Unlock()

@@ -333,8 +333,10 @@ func exactShapleySplit(players []string, v market.ValueFunc) map[string]float64 
 // group instead of the sum).
 func BenchmarkEngineThroughput(b *testing.B) {
 	b.Run("coverage", benchCoverageThroughput)
-	b.Run("transform-heavy/sync", func(b *testing.B) { benchTransformHeavy(b, 0) })
-	b.Run("transform-heavy/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4) })
+	b.Run("transform-heavy/sync", func(b *testing.B) { benchTransformHeavy(b, 0, false) })
+	b.Run("transform-heavy/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4, false) })
+	b.Run("transform-join/sync", func(b *testing.B) { benchTransformHeavy(b, 0, true) })
+	b.Run("transform-join/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4, true) })
 }
 
 func benchCoverageThroughput(b *testing.B) {
@@ -392,14 +394,21 @@ func benchCoverageThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
 	b.ReportMetric(float64(st.Epochs), "epochs")
-	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs)
+	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs, 0)
 }
 
 // benchTransformHeavy drives the registered-transform-heavy workload: 6
 // distinct want groups, each satisfied only through columns that transform
 // registration materialized, while every 64th submission shares a fresh
 // dataset — bumping the catalog version and forcing all groups to rebuild.
-func benchTransformHeavy(b *testing.B, workers int) {
+//
+// With joinWants set, each base carries a distinct w<s> column, transforms
+// are partitioned across bases (t<g> lives only on base g%bases), and every
+// want spans a transform column and another base's w column — so no single
+// dataset covers it and every build materializes cross-dataset joins. This
+// variant is what makes the Mashup Builder's join pipeline (streaming
+// lineage-carrying joins, sub-join memo) the dominant build-stage cost.
+func benchTransformHeavy(b *testing.B, workers int, joinWants bool) {
 	const (
 		buyers = 16
 		groups = 6
@@ -425,9 +434,23 @@ func benchTransformHeavy(b *testing.B, workers int) {
 		}
 		return r
 	}
+	mkBase := func(id string, s, rows int) *relation.Relation {
+		r := relation.New(id, relation.NewSchema(
+			relation.Col("a", relation.KindInt), relation.Col("c", relation.KindFloat),
+			relation.Col(fmt.Sprintf("w%d", s), relation.KindFloat)))
+		for i := 0; i < rows; i++ {
+			r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*0.5),
+				relation.Float(float64(i)+float64(s)))
+		}
+		return r
+	}
+	baseRows := 60
+	if joinWants {
+		baseRows = 400
+	}
 	for s := 0; s < bases; s++ {
 		id := fmt.Sprintf("s%d/base", s)
-		if _, err := eng.SubmitShare(fmt.Sprintf("s%d", s), catalog.DatasetID(id), mkRel(id, 60),
+		if _, err := eng.SubmitShare(fmt.Sprintf("s%d", s), catalog.DatasetID(id), mkBase(id, s, baseRows),
 			wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open}); err != nil {
 			b.Fatal(err)
 		}
@@ -435,9 +458,14 @@ func benchTransformHeavy(b *testing.B, workers int) {
 	eng.TriggerEpoch()
 	// Negotiation learned one transform per (dataset, group): each
 	// registration materializes the derived column and re-indexes, so every
-	// group's builds search a transform-widened join graph.
+	// group's builds search a transform-widened join graph. The join variant
+	// partitions the transforms instead: t<g> exists only on base g%bases,
+	// forcing wants that pair t<g> with another base's w column to join.
 	for s := 0; s < bases; s++ {
 		for g := 0; g < groups; g++ {
+			if joinWants && g%bases != s {
+				continue
+			}
 			g := g
 			p.Arbiter.DoD().RegisterTransform(
 				catalog.DatasetID(fmt.Sprintf("s%d/base", s)), "c", fmt.Sprintf("t%d", g),
@@ -470,12 +498,18 @@ func benchTransformHeavy(b *testing.B, workers int) {
 				_, _ = eng.SubmitShare("s0", catalog.DatasetID(id), mkRel(id, 30),
 					wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open})
 			}
-			col := fmt.Sprintf("t%d", n%groups)
+			g := int(n) % groups
+			cols := []string{"a", fmt.Sprintf("t%d", g)}
+			if joinWants {
+				// Pair the transform column with a w column owned by a
+				// different base, so only a join can cover the want.
+				cols = append(cols, fmt.Sprintf("w%d", (g+1)%bases))
+			}
 			_, _ = eng.SubmitRequest(
-				dod.Want{Columns: []string{"a", col}},
+				dod.Want{Columns: cols},
 				&wtp.Function{
 					Buyer: buyer,
-					Task:  wtp.CoverageTask{Columns: []string{"a", col}, WantRows: 1},
+					Task:  wtp.CoverageTask{Columns: cols, WantRows: 1},
 					Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 150}},
 				})
 		}
@@ -494,11 +528,13 @@ func benchTransformHeavy(b *testing.B, workers int) {
 	}
 	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
 	b.ReportMetric(float64(st.Epochs), "epochs")
+	buildMS := 0.0
 	if st.Epochs > 0 {
-		b.ReportMetric(st.BuildMillis/float64(st.Epochs), "build-ms/epoch")
+		buildMS = st.BuildMillis / float64(st.Epochs)
+		b.ReportMetric(buildMS, "build-ms/epoch")
 	}
 	b.ReportMetric(float64(st.CacheHits), "cache-hits")
-	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs)
+	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs, buildMS)
 }
 
 func BenchmarkE11ExPostAudits(b *testing.B) {

@@ -116,6 +116,9 @@ type CacheStats struct {
 	// Cancelled counts build requests abandoned to an external cancellation
 	// (engine shutdown, cancel-on-settle of a speculative prebuild).
 	Cancelled uint64 `json:"cancelled"`
+	// SubJoinHits counts join prefixes reused from the per-build sub-join
+	// memo during candidate materialization instead of being recomputed.
+	SubJoinHits uint64 `json:"subjoin_hits"`
 }
 
 // CacheConfig bounds the candidate store.
@@ -247,6 +250,7 @@ func (e *Engine) CacheStats() CacheStats {
 		Panics:           e.panics.Load(),
 		DeadlineExceeded: e.deadlineHits.Load(),
 		Cancelled:        e.cancelled.Load(),
+		SubJoinHits:      e.subjoinHits.Load(),
 	}
 }
 

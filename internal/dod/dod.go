@@ -148,6 +148,10 @@ type Engine struct {
 	deadlineHits  atomic.Uint64
 	cancelled     atomic.Uint64
 
+	// subjoinHits counts join prefixes reused from a per-build sub-join memo
+	// instead of being recomputed (dod_subjoin_memo_hits_total).
+	subjoinHits atomic.Uint64
+
 	// buildHook, when set, observes each completed build's wall-clock
 	// seconds (telemetry only — see obs).
 	buildHook atomic.Pointer[func(float64)]
@@ -453,12 +457,16 @@ func (e *Engine) buildLocked(ctx context.Context, wantIn Want) ([]Candidate, err
 		beam = next
 	}
 
-	// Materialize final states.
+	// Materialize final states. Sibling candidates frequently share join
+	// prefixes (the beam grows states one dataset at a time), so a per-build
+	// memo lets later candidates reuse earlier candidates' join work — the
+	// first step toward the factorised candidate representation (FDB).
 	var states []*state
 	for _, st := range finals {
 		states = append(states, st)
 	}
 	sortStates(states, want)
+	memo := &subJoinMemo{entries: map[string]subJoinEntry{}}
 	var out []Candidate
 	for _, st := range states {
 		if len(out) >= want.MaxCandidates {
@@ -467,7 +475,7 @@ func (e *Engine) buildLocked(ctx context.Context, wantIn Want) ([]Candidate, err
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dod: build abandoned during materialize: %w", err)
 		}
-		cand, err := e.materialize(ctx, st, want)
+		cand, err := e.materialize(ctx, st, want, memo)
 		if err != nil {
 			continue // a failed plan just drops out of the ranking
 		}
@@ -507,23 +515,68 @@ func sortStates(states []*state, want Want) {
 	})
 }
 
-// materialize turns a beam state into a provenance-annotated relation.
-func (e *Engine) materialize(ctx context.Context, st *state, want Want) (*Candidate, error) {
-	plan := []string{fmt.Sprintf("load %s", st.datasets[0])}
-	base, err := e.cat.Get(catalog.DatasetID(st.datasets[0]))
-	if err != nil {
-		return nil, err
+// subJoinEntry is a memoized join prefix: the annotated relation after the
+// prefix's joins plus the colMap at that point. The colMap snapshot is cloned
+// on both store and reuse — later joins extend it in place.
+type subJoinEntry struct {
+	anno   *provenance.Annotated
+	colMap map[index.ColRef]string
+}
+
+// subJoinMemo caches join prefixes within one buildLocked call, keyed by the
+// ordered sequence of (base dataset, join edges) — join order matters for
+// both row order and collision-suffixed column names, so the key is the
+// prefix itself, not the dataset set. Entries are shared across candidates;
+// that is safe because no downstream operator mutates relation rows in place.
+type subJoinMemo struct {
+	entries map[string]subJoinEntry
+}
+
+func cloneColMap(m map[index.ColRef]string) map[index.ColRef]string {
+	out := make(map[index.ColRef]string, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
-	anno := provenance.FromSource(st.datasets[0], base)
-	// colMap tracks where each source column lives in the running relation.
-	colMap := map[index.ColRef]string{}
-	for _, c := range base.Schema {
-		colMap[index.ColRef{Dataset: st.datasets[0], Column: c.Name}] = c.Name
+	return out
+}
+
+// materialize turns a beam state into a provenance-annotated relation,
+// reusing memoized join prefixes from sibling candidates where possible.
+func (e *Engine) materialize(ctx context.Context, st *state, want Want, memo *subJoinMemo) (*Candidate, error) {
+	plan := []string{fmt.Sprintf("load %s", st.datasets[0])}
+	prefix := "base:" + st.datasets[0]
+	var anno *provenance.Annotated
+	var colMap map[index.ColRef]string
+	if ent, ok := memo.entries[prefix]; ok {
+		e.subjoinHits.Add(1)
+		anno = ent.anno
+		colMap = cloneColMap(ent.colMap)
+	} else {
+		base, err := e.cat.Get(catalog.DatasetID(st.datasets[0]))
+		if err != nil {
+			return nil, err
+		}
+		anno = provenance.FromSource(st.datasets[0], base)
+		// colMap tracks where each source column lives in the running relation.
+		colMap = map[index.ColRef]string{}
+		for _, c := range base.Schema {
+			colMap[index.ColRef{Dataset: st.datasets[0], Column: c.Name}] = c.Name
+		}
+		memo.entries[prefix] = subJoinEntry{anno: anno, colMap: cloneColMap(colMap)}
 	}
 
 	for _, js := range st.joins {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dod: build abandoned mid-join: %w", err)
+		}
+		plan = append(plan, fmt.Sprintf("join %s on %s.%s = %s.%s (score %.2f)",
+			js.right.Dataset, js.left.Dataset, js.left.Column, js.right.Dataset, js.right.Column, js.score))
+		prefix += "|" + js.right.Dataset + "⋈" + js.left.Dataset + "." + js.left.Column + "=" + js.right.Column
+		if ent, ok := memo.entries[prefix]; ok {
+			e.subjoinHits.Add(1)
+			anno = ent.anno
+			colMap = cloneColMap(ent.colMap)
+			continue
 		}
 		rrel, err := e.cat.Get(catalog.DatasetID(js.right.Dataset))
 		if err != nil {
@@ -554,12 +607,12 @@ func (e *Engine) materialize(ctx context.Context, st *state, want Want) (*Candid
 			existing[name] = true
 			colMap[index.ColRef{Dataset: js.right.Dataset, Column: c.Name}] = name
 		}
-		plan = append(plan, fmt.Sprintf("join %s on %s.%s = %s.%s (score %.2f)",
-			js.right.Dataset, js.left.Dataset, js.left.Column, js.right.Dataset, js.right.Column, js.score))
 		anno = joined
+		memo.entries[prefix] = subJoinEntry{anno: anno, colMap: cloneColMap(colMap)}
 	}
 
 	// Satisfy wanted columns: apply transforms and renames.
+	var err error
 	var present []string
 	var qualitySum float64
 	for _, w := range want.Columns {

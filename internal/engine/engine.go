@@ -197,6 +197,9 @@ type Stats struct {
 	// invalidations in the DoD engine's versioned candidate store.
 	CacheHits  uint64 `json:"cache_hits,omitempty"`
 	CacheStale uint64 `json:"cache_stale,omitempty"`
+	// SubJoinHits counts join prefixes reused from the DoD engine's
+	// per-build sub-join memo during candidate materialization.
+	SubJoinHits uint64 `json:"subjoin_hits,omitempty"`
 	// BuildDeadlineExceeded / BuildsCancelled count DoD build requests
 	// abandoned to Config.BuildDeadline or to cancellation (shutdown,
 	// cancel-on-settle of speculative prebuilds).
@@ -488,6 +491,7 @@ func (e *Engine) Stats() Stats {
 		BuildMillis:           cache.BuildMillis,
 		CacheHits:             cache.Hits,
 		CacheStale:            cache.Stale,
+		SubJoinHits:           cache.SubJoinHits,
 		BuildDeadlineExceeded: cache.DeadlineExceeded,
 		BuildsCancelled:       cache.Cancelled,
 		DoDWorkers:            e.cfg.DoDWorkers,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/market"
 	"repro/internal/obs"
+	"repro/internal/relation"
 )
 
 // engineMetrics is the engine's telemetry surface: instruments registered on
@@ -168,6 +169,26 @@ func (e *Engine) registerFuncMetrics(reg *obs.Registry) {
 				return 0
 			}
 			return float64(e.pool.queued.Load())
+		})
+
+	reg.NewCounterFunc("dod_subjoin_memo_hits_total",
+		"Join prefixes reused from the per-build sub-join memo during candidate materialization.",
+		func() float64 { return float64(e.platform.DoDCacheStats().SubJoinHits) })
+
+	// Relation streaming counters sample the relation package's process-wide
+	// atomics (same caveat as the market allocator counters below: several
+	// engines in one process all report the process totals).
+	reg.NewCounterFunc("relation_rows_streamed_total",
+		"Rows drained through relation iterator pipelines into materialized results.",
+		func() float64 {
+			rows, _ := relation.StreamCounters()
+			return float64(rows)
+		})
+	reg.NewCounterFunc("relation_materializations_total",
+		"Iterator pipelines materialized into relations.",
+		func() float64 {
+			_, mats := relation.StreamCounters()
+			return float64(mats)
 		})
 
 	reg.NewCounterFunc("engine_price_seconds_total",

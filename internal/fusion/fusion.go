@@ -113,8 +113,7 @@ func Resolve(fused *relation.Relation, res Resolver, outKinds map[string]relatio
 			schema[i].Kind = k
 		}
 	}
-	out := relation.New(fused.Name+"_"+res.Name(), schema)
-	for _, row := range fused.Rows {
+	it := relation.NewMapRows(relation.NewScan(fused), schema, func(row []relation.Value) []relation.Value {
 		nr := make([]relation.Value, len(row))
 		for i, v := range row {
 			if fused.Schema[i].Kind == relation.KindMulti {
@@ -123,8 +122,10 @@ func Resolve(fused *relation.Relation, res Resolver, outKinds map[string]relatio
 				nr[i] = v
 			}
 		}
-		out.Rows = append(out.Rows, nr)
-	}
+		return nr
+	})
+	out, _ := relation.Materialize(it)
+	out.Name = fused.Name + "_" + res.Name()
 	return out
 }
 

@@ -157,24 +157,18 @@ func SuppressRare(r *relation.Relation, quasi []string, k int) (*relation.Relati
 			return nil, fmt.Errorf("privacy: no column %q", q)
 		}
 	}
-	key := func(row []relation.Value) string {
-		var b []byte
-		for _, i := range idx {
-			b = append(b, row[i].Key()...)
-			b = append(b, 0x1f)
-		}
-		return string(b)
-	}
+	var buf []byte
 	counts := map[string]int{}
 	for _, row := range r.Rows {
-		counts[key(row)]++
+		buf = relation.AppendRowKey(buf[:0], row, idx)
+		counts[string(buf)]++
 	}
-	out := relation.New(r.Name+"_kanon", r.Schema)
-	for _, row := range r.Rows {
-		if counts[key(row)] >= k {
-			out.Rows = append(out.Rows, row)
-		}
-	}
+	it := relation.NewSelect(relation.NewScan(r), func(row []relation.Value, _ relation.Schema) bool {
+		buf = relation.AppendRowKey(buf[:0], row, idx)
+		return counts[string(buf)] >= k
+	})
+	out, _ := relation.Materialize(it)
+	out.Name = r.Name + "_kanon"
 	return out, nil
 }
 
@@ -187,14 +181,11 @@ func IsKAnonymous(r *relation.Relation, quasi []string, k int) (bool, error) {
 			return false, fmt.Errorf("privacy: no column %q", q)
 		}
 	}
+	var buf []byte
 	counts := map[string]int{}
 	for _, row := range r.Rows {
-		var b []byte
-		for _, i := range idx {
-			b = append(b, row[i].Key()...)
-			b = append(b, 0x1f)
-		}
-		counts[string(b)]++
+		buf = relation.AppendRowKey(buf[:0], row, idx)
+		counts[string(buf)]++
 	}
 	for _, n := range counts {
 		if n < k {

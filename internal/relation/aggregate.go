@@ -92,12 +92,9 @@ func GroupBy(r *Relation, keys []string, aggs []Agg) (*Relation, error) {
 	}
 	groups := map[string]*acc{}
 	var order []string
+	var kb []byte
 	for _, row := range r.Rows {
-		var kb []byte
-		for _, i := range ki {
-			kb = append(kb, row[i].Key()...)
-			kb = append(kb, 0x1f)
-		}
+		kb = AppendRowKey(kb[:0], row, ki)
 		k := string(kb)
 		g, ok := groups[k]
 		if !ok {

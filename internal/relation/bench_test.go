@@ -82,3 +82,84 @@ func BenchmarkValueKey(b *testing.B) {
 		}
 	}
 }
+
+// pipelineInputs builds the transform-chain workload shared by the eager and
+// streaming pipeline benches: select (2/3 pass) → map → project.
+func pipelineInputs(n int) *Relation { return mkBenchRel(n) }
+
+func pipelinePred(row []Value, s Schema) bool {
+	return !row[0].IsNull() && row[0].AsInt()%3 != 0
+}
+
+func pipelineFn(v Value) Value {
+	if v.IsNull() {
+		return v
+	}
+	return Float(v.AsFloat() * 2)
+}
+
+// BenchmarkPipelineEager chains the eager operators: every stage materializes
+// an intermediate relation. This is the pre-refactor execution shape.
+func BenchmarkPipelineEager(b *testing.B) {
+	r := pipelineInputs(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := Select(r, pipelinePred)
+		m, err := Map(s, "v", KindFloat, pipelineFn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Project(m, "k", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineStreaming fuses the same stages into one iterator pipeline
+// with a single materialization at the end.
+func BenchmarkPipelineStreaming(b *testing.B) {
+	r := pipelineInputs(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := NewSelect(NewScan(r), pipelinePred)
+		it, err := NewMap(it, "v", KindFloat, pipelineFn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it, err = NewProject(it, "k", "v")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Materialize(it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinProjectEager joins then projects eagerly: the join materializes
+// every column of both sides before the projection narrows them.
+func BenchmarkJoinProjectEager(b *testing.B) {
+	l, r := mkBenchRel(5000), mkBenchRel(5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j, err := HashJoin(l, r, JoinPair{"k", "k"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Project(j, "k", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinProjectPlanned runs the same query through the planner, which
+// prunes the join inputs to the needed columns before the hash table is built.
+func BenchmarkJoinProjectPlanned(b *testing.B) {
+	l, r := mkBenchRel(5000), mkBenchRel(5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScanPlan(l).Join(ScanPlan(r), JoinPair{"k", "k"}).Project("k", "v").Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,14 +9,15 @@ import (
 // retained.
 type Predicate func(row []Value, schema Schema) bool
 
+// The eager operators below are thin Materialize(op(...)) wrappers over the
+// streaming iterators in iter.go; they keep the historical names, result
+// naming, and error text so existing callers (and replayed WALs) see
+// byte-identical results.
+
 // Select returns the rows of r satisfying pred, preserving order.
 func Select(r *Relation, pred Predicate) *Relation {
-	out := New(r.Name+"_sel", r.Schema)
-	for _, row := range r.Rows {
-		if pred(row, r.Schema) {
-			out.Rows = append(out.Rows, row)
-		}
-	}
+	out, _ := Materialize(NewSelect(NewScan(r), pred))
+	out.Name = r.Name + "_sel"
 	return out
 }
 
@@ -30,33 +31,28 @@ func ColEquals(name string, v Value) Predicate {
 
 // Project returns r restricted to the named columns, in order.
 func Project(r *Relation, names ...string) (*Relation, error) {
-	sub, err := r.Schema.Project(names...)
+	it, err := NewProject(NewScan(r), names...)
 	if err != nil {
 		return nil, err
 	}
-	idx := make([]int, len(names))
-	for i, n := range names {
-		idx[i] = r.Schema.IndexOf(n)
+	out, err := Materialize(it)
+	if err != nil {
+		return nil, err
 	}
-	out := New(r.Name+"_proj", sub)
-	out.Rows = make([][]Value, len(r.Rows))
-	for j, row := range r.Rows {
-		nr := make([]Value, len(idx))
-		for i, k := range idx {
-			nr[i] = row[k]
-		}
-		out.Rows[j] = nr
-	}
+	out.Name = r.Name + "_proj"
 	return out, nil
 }
 
-// Rename returns r with column old renamed to new.
+// Rename returns r with column old renamed to new. The result owns its own
+// row slice (historically it aliased the source's, so appending through the
+// result could clobber the source relation).
 func Rename(r *Relation, old, new string) (*Relation, error) {
-	s, err := r.Schema.Rename(old, new)
+	it, err := NewRename(NewScan(r), old, new)
 	if err != nil {
 		return nil, fmt.Errorf("relation %q: %w", r.Name, err)
 	}
-	out := &Relation{Name: r.Name, Schema: s, Rows: r.Rows}
+	out, _ := Materialize(it)
+	out.Name = r.Name
 	return out, nil
 }
 
@@ -65,23 +61,15 @@ func Rename(r *Relation, old, new string) (*Relation, error) {
 func Distinct(r *Relation) *Relation {
 	out := New(r.Name+"_dist", r.Schema)
 	seen := make(map[string]bool, len(r.Rows))
+	var buf []byte
 	for _, row := range r.Rows {
-		k := rowKey(row)
-		if !seen[k] {
-			seen[k] = true
+		buf = AppendRowKey(buf[:0], row, nil)
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
 			out.Rows = append(out.Rows, row)
 		}
 	}
 	return out
-}
-
-func rowKey(row []Value) string {
-	var sb []byte
-	for _, v := range row {
-		sb = append(sb, v.Key()...)
-		sb = append(sb, 0x1f)
-	}
-	return string(sb)
 }
 
 // SortBy stably sorts r by the named columns ascending. desc flips the order.
@@ -110,25 +98,23 @@ func SortBy(r *Relation, desc bool, names ...string) (*Relation, error) {
 	return out, nil
 }
 
-// Limit returns the first n rows of r.
+// Limit returns the first n rows of r. The result owns its own row slice
+// (historically it sliced the source's backing array, so appending through
+// the result could clobber the source's later rows).
 func Limit(r *Relation, n int) *Relation {
-	if n > len(r.Rows) {
-		n = len(r.Rows)
-	}
-	out := New(r.Name+"_lim", r.Schema)
-	out.Rows = r.Rows[:n]
+	out, _ := Materialize(NewLimit(NewScan(r), n))
+	out.Name = r.Name + "_lim"
 	return out
 }
 
 // Union appends the rows of b to a. Schemas must be equal.
 func Union(a, b *Relation) (*Relation, error) {
-	if !a.Schema.Equal(b.Schema) {
-		return nil, fmt.Errorf("relation: union schema mismatch %s vs %s", a.Schema, b.Schema)
+	it, err := NewUnion(NewScan(a), NewScan(b))
+	if err != nil {
+		return nil, err
 	}
-	out := New(a.Name+"_union", a.Schema)
-	out.Rows = make([][]Value, 0, len(a.Rows)+len(b.Rows))
-	out.Rows = append(out.Rows, a.Rows...)
-	out.Rows = append(out.Rows, b.Rows...)
+	out, _ := Materialize(it)
+	out.Name = a.Name + "_union"
 	return out, nil
 }
 
@@ -142,13 +128,16 @@ type JoinPair struct {
 // from the output; remaining right columns that clash with left names are
 // suffixed with "_r".
 func HashJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
-	return join(l, r, true, on...)
-}
-
-// NestedLoopJoin is the O(n·m) baseline join, kept for the ablation bench
-// (DESIGN.md "hash join vs nested loop").
-func NestedLoopJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
-	return join(l, r, false, on...)
+	it, err := NewHashJoin(NewScan(l), NewScan(r), l.Name, r.Name, on...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Materialize(it)
+	if err != nil {
+		return nil, err
+	}
+	out.Name = l.Name + "⋈" + r.Name
+	return out, nil
 }
 
 // maxJoinRows guards against runaway join outputs (e.g. joining on a
@@ -156,116 +145,36 @@ func NestedLoopJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
 // the DoD engine drops the candidate plan.
 const maxJoinRows = 4_000_000
 
-func join(l, r *Relation, hash bool, on ...JoinPair) (*Relation, error) {
-	if len(on) == 0 {
-		return nil, fmt.Errorf("relation: join needs at least one column pair")
+// NestedLoopJoin is the O(n·m) baseline join, kept for the ablation bench
+// (DESIGN.md "hash join vs nested loop").
+func NestedLoopJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
+	layout, err := NewJoinLayout(l.Name, l.Schema, r.Name, r.Schema, on...)
+	if err != nil {
+		return nil, err
 	}
-	li := make([]int, len(on))
-	ri := make([]int, len(on))
-	for k, p := range on {
-		li[k] = l.Schema.IndexOf(p.Left)
-		ri[k] = r.Schema.IndexOf(p.Right)
-		if li[k] < 0 {
-			return nil, fmt.Errorf("relation: join: left %q has no column %q", l.Name, p.Left)
-		}
-		if ri[k] < 0 {
-			return nil, fmt.Errorf("relation: join: right %q has no column %q", r.Name, p.Right)
-		}
-	}
-	dropRight := make(map[int]bool, len(on))
-	for _, k := range ri {
-		dropRight[k] = true
-	}
-	schema := l.Schema.Clone()
-	var rightKeep []int
-	for j, c := range r.Schema {
-		if dropRight[j] {
-			continue
-		}
-		name := c.Name
-		for schema.Has(name) {
-			name += "_r"
-		}
-		schema = append(schema, Column{Name: name, Kind: c.Kind})
-		rightKeep = append(rightKeep, j)
-	}
-	out := New(l.Name+"⋈"+r.Name, schema)
-
-	var emitErr error
-	emit := func(lrow, rrow []Value) {
-		if len(out.Rows) >= maxJoinRows {
-			emitErr = fmt.Errorf("relation: join %s would exceed %d rows", out.Name, maxJoinRows)
-			return
-		}
-		nr := make([]Value, 0, len(schema))
-		nr = append(nr, lrow...)
-		for _, j := range rightKeep {
-			nr = append(nr, rrow[j])
-		}
-		out.Rows = append(out.Rows, nr)
-	}
-	keyOf := func(row []Value, idx []int) string {
-		var b []byte
-		for _, i := range idx {
-			b = append(b, row[i].Key()...)
-			b = append(b, 0x1f)
-		}
-		return string(b)
-	}
-
-	if hash {
-		ht := make(map[string][]int, len(r.Rows))
-		for j, row := range r.Rows {
-			skip := false
-			for _, i := range ri {
-				if row[i].IsNull() {
-					skip = true
-					break
-				}
-			}
-			if skip {
-				continue
-			}
-			k := keyOf(row, ri)
-			ht[k] = append(ht[k], j)
-		}
-		for _, lrow := range l.Rows {
-			skip := false
-			for _, i := range li {
-				if lrow[i].IsNull() {
-					skip = true
-					break
-				}
-			}
-			if skip {
-				continue
-			}
-			for _, j := range ht[keyOf(lrow, li)] {
-				emit(lrow, r.Rows[j])
-				if emitErr != nil {
-					return nil, emitErr
-				}
-			}
-		}
-		return out, nil
-	}
-
+	out := &Relation{Name: l.Name + "⋈" + r.Name, Schema: layout.Schema.Clone()}
 	for _, lrow := range l.Rows {
 		for _, rrow := range r.Rows {
 			match := true
-			for k := range on {
-				lv, rv := lrow[li[k]], rrow[ri[k]]
+			for k := range layout.Left {
+				lv, rv := lrow[layout.Left[k]], rrow[layout.Right[k]]
 				if lv.IsNull() || rv.IsNull() || !lv.Equal(rv) {
 					match = false
 					break
 				}
 			}
-			if match {
-				emit(lrow, rrow)
-				if emitErr != nil {
-					return nil, emitErr
-				}
+			if !match {
+				continue
 			}
+			if len(out.Rows) >= maxJoinRows {
+				return nil, fmt.Errorf("relation: join %s would exceed %d rows", out.Name, maxJoinRows)
+			}
+			nr := make([]Value, 0, len(layout.Schema))
+			nr = append(nr, lrow...)
+			for _, j := range layout.RightKeep {
+				nr = append(nr, rrow[j])
+			}
+			out.Rows = append(out.Rows, nr)
 		}
 	}
 	return out, nil
@@ -284,35 +193,23 @@ func LeftOuterJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
 		ri[k] = r.Schema.IndexOf(p.Right)
 	}
 	matched := make(map[string]bool, len(r.Rows))
+	var buf []byte
 	for _, row := range r.Rows {
-		var b []byte
-		ok := true
-		for _, i := range ri {
-			if row[i].IsNull() {
-				ok = false
-				break
-			}
-			b = append(b, row[i].Key()...)
-			b = append(b, 0x1f)
+		if nullAt(row, ri) {
+			continue
 		}
-		if ok {
-			matched[string(b)] = true
-		}
+		buf = AppendRowKey(buf[:0], row, ri)
+		matched[string(buf)] = true
 	}
 	nRight := len(inner.Schema) - len(l.Schema)
 	for _, lrow := range l.Rows {
-		var b []byte
-		ok := true
-		for _, i := range li {
-			if lrow[i].IsNull() {
-				ok = false
-				break
+		// Null-keyed left rows never matched, so they always fall through
+		// to the null-padded emit below.
+		if !nullAt(lrow, li) {
+			buf = AppendRowKey(buf[:0], lrow, li)
+			if matched[string(buf)] {
+				continue
 			}
-			b = append(b, lrow[i].Key()...)
-			b = append(b, 0x1f)
-		}
-		if ok && matched[string(b)] {
-			continue
 		}
 		nr := make([]Value, 0, len(inner.Schema))
 		nr = append(nr, lrow...)
@@ -329,27 +226,18 @@ func LeftOuterJoin(l, r *Relation, on ...JoinPair) (*Relation, error) {
 // Builder uses Map to apply inferred transformation functions such as the
 // inverse of f(d) (paper §1 Challenge-3).
 func Map(r *Relation, name string, newKind Kind, fn func(Value) Value) (*Relation, error) {
-	i := r.Schema.IndexOf(name)
-	if i < 0 {
+	it, err := NewMap(NewScan(r), name, newKind, fn)
+	if err != nil {
 		return nil, fmt.Errorf("relation %q: no column %q", r.Name, name)
 	}
-	out := r.Clone()
-	out.Schema[i].Kind = newKind
-	for _, row := range out.Rows {
-		row[i] = fn(row[i])
-	}
+	out, _ := Materialize(it)
+	out.Name = r.Name
 	return out, nil
 }
 
 // AddColumn appends a computed column.
 func AddColumn(r *Relation, col Column, fn func(row []Value, schema Schema) Value) *Relation {
-	out := New(r.Name, append(r.Schema.Clone(), col))
-	out.Rows = make([][]Value, len(r.Rows))
-	for j, row := range r.Rows {
-		nr := make([]Value, 0, len(row)+1)
-		nr = append(nr, row...)
-		nr = append(nr, fn(row, r.Schema))
-		out.Rows[j] = nr
-	}
+	out, _ := Materialize(NewAddColumn(NewScan(r), col, fn))
+	out.Name = r.Name
 	return out
 }

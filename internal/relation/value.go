@@ -1,12 +1,3 @@
-// Package relation implements the relational substrate for the data market
-// platform: typed schemas, relations, and the relational, non-relational and
-// fusion operators the Mashup Builder composes (paper §3, §5).
-//
-// The package deliberately supports relations that break the first normal
-// form: a cell may hold a multi-value, a set of values each tagged with the
-// source it came from. Fusion operators (internal/fusion) produce such cells
-// when contrasting signals from multiple sellers (paper §1, "data fusion
-// operators ... produce relations that break the first normal form").
 package relation
 
 import (
@@ -265,35 +256,44 @@ func sign(d int) int {
 
 // Key returns a canonical string encoding usable as a hash-join or group-by
 // key. Numeric values of equal magnitude share a key regardless of kind.
-func (v Value) Key() string {
+func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey appends the value's canonical Key encoding to dst and returns the
+// extended slice. It is the allocation-conscious form of Key: hot paths (hash
+// joins, Distinct, group-by) build composite row keys into a reused buffer
+// instead of concatenating strings per cell.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(dst, "\x00N"...)
 	case KindInt:
-		return "\x01" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		dst = append(dst, '\x01')
+		return strconv.AppendFloat(dst, float64(v.i), 'g', -1, 64)
 	case KindFloat:
-		return "\x01" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		dst = append(dst, '\x01')
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
 	case KindString:
-		return "\x02" + v.s
+		dst = append(dst, '\x02')
+		return append(dst, v.s...)
 	case KindBool:
 		if v.b {
-			return "\x03t"
+			return append(dst, "\x03t"...)
 		}
-		return "\x03f"
+		return append(dst, "\x03f"...)
 	case KindTime:
-		return "\x04" + strconv.FormatInt(v.t.UnixNano(), 10)
+		dst = append(dst, '\x04')
+		return strconv.AppendInt(dst, v.t.UnixNano(), 10)
 	case KindMulti:
-		var sb strings.Builder
-		sb.WriteString("\x05")
+		dst = append(dst, '\x05')
 		for _, sv := range v.multi {
-			sb.WriteString(sv.Source)
-			sb.WriteByte('=')
-			sb.WriteString(sv.Value.Key())
-			sb.WriteByte(';')
+			dst = append(dst, sv.Source...)
+			dst = append(dst, '=')
+			dst = sv.Value.AppendKey(dst)
+			dst = append(dst, ';')
 		}
-		return sb.String()
+		return dst
 	}
-	return ""
+	return dst
 }
 
 // String renders the value for display.

@@ -71,15 +71,10 @@ func NewPaperExample(n int, seed int64) *PaperExample {
 // ClassifierData joins the example into the buyer's ideal table
 // ⟨a, b, d, e, label⟩ — what a perfect mashup plus labels looks like.
 func (p *PaperExample) ClassifierData() (*relation.Relation, error) {
-	j, err := relation.HashJoin(p.S1, p.Truth, relation.JoinPair{Left: "a", Right: "a"})
-	if err != nil {
-		return nil, err
-	}
-	j, err = relation.HashJoin(j, p.S3, relation.JoinPair{Left: "a", Right: "a"})
-	if err != nil {
-		return nil, err
-	}
-	return j, nil
+	return relation.ScanPlan(p.S1).
+		Join(relation.ScanPlan(p.Truth), relation.JoinPair{Left: "a", Right: "a"}).
+		Join(relation.ScanPlan(p.S3), relation.JoinPair{Left: "a", Right: "a"}).
+		Run()
 }
 
 // Silo is one department's slice of an internal-market enterprise.

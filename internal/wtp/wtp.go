@@ -259,7 +259,16 @@ func (f *Function) Evaluate(m *relation.Relation, sources []DatasetMeta) Evaluat
 // extends the mashup with owned columns via a best-effort key join.
 func mergeOwned(m, owned *relation.Relation) (*relation.Relation, error) {
 	if m.Schema.Equal(owned.Schema) {
-		return relation.Union(m, owned)
+		it, err := relation.NewUnion(relation.NewScan(m), relation.NewScan(owned))
+		if err != nil {
+			return nil, err
+		}
+		out, err := relation.Materialize(it)
+		if err != nil {
+			return nil, err
+		}
+		out.Name = m.Name + "_union"
+		return out, nil
 	}
 	// Find a shared column name to join on, preferring key-ish names.
 	var shared []string
@@ -272,5 +281,7 @@ func mergeOwned(m, owned *relation.Relation) (*relation.Relation, error) {
 		return m, nil
 	}
 	sort.Strings(shared)
-	return relation.HashJoin(m, owned, relation.JoinPair{Left: shared[0], Right: shared[0]})
+	return relation.ScanPlan(m).
+		Join(relation.ScanPlan(owned), relation.JoinPair{Left: shared[0], Right: shared[0]}).
+		Run()
 }
