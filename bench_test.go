@@ -22,6 +22,7 @@ import (
 	"repro/internal/dod"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/index"
 	"repro/internal/license"
 	"repro/internal/market"
@@ -337,6 +338,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.Run("transform-heavy/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4, false) })
 	b.Run("transform-join/sync", func(b *testing.B) { benchTransformHeavy(b, 0, true) })
 	b.Run("transform-join/workers=4", func(b *testing.B) { benchTransformHeavy(b, 4, true) })
+	b.Run("federation/shards=1", func(b *testing.B) { benchFederationThroughput(b, 1) })
+	b.Run("federation/shards=2", func(b *testing.B) { benchFederationThroughput(b, 2) })
+	b.Run("federation/shards=4", func(b *testing.B) { benchFederationThroughput(b, 4) })
 }
 
 func benchCoverageThroughput(b *testing.B) {
@@ -534,6 +538,153 @@ func benchTransformHeavy(b *testing.B, workers int, joinWants bool) {
 		b.ReportMetric(buildMS, "build-ms/epoch")
 	}
 	b.ReportMetric(float64(st.CacheHits), "cache-hits")
+	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs, buildMS)
+}
+
+// fedBenchName brute-forces a participant name hashing to the given home
+// shard, so the scaling workload can pin each buyer/seller group to a shard.
+func fedBenchName(prefix string, shard, shards int) string {
+	for i := 0; ; i++ {
+		n := fmt.Sprintf("%s%d", prefix, i)
+		if federation.HomeOf(n, shards) == shard {
+			return n
+		}
+	}
+}
+
+// benchFederationThroughput is the shard-scaling variant of the transform-join
+// workload, driven through a federated market (internal/federation). The
+// market is FIXED — four districts, each two join-half bases plus partitioned
+// transforms and its own buyer group — and sharding partitions it: each
+// district's sellers and buyers hash-pin to district%shards. Every want
+// resolves on its home shard, so the variant isolates what federation buys:
+// per-shard epochs run concurrently AND each shard's matching rounds search a
+// catalog (join graph, transform set, open-request book) 1/N the size of the
+// single-arbiter market. Compare shards=1/2/4 at a pinned -benchtime Nx.
+func benchFederationThroughput(b *testing.B, shardsN int) {
+	const (
+		districts   = 4
+		bases       = 3 // per district
+		groups      = 6 // want groups per district
+		buyersPerD  = 4
+		rowsPerBase = 600
+	)
+	reg := benchRegistry()
+	m, err := federation.Open(federation.Config{
+		Shards:   shardsN,
+		Engine:   engine.Config{Shards: 8, BatchThreshold: 128},
+		Platform: core.Options{Design: "posted-baseline"},
+		Metrics:  reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+
+	// District columns are disjoint (w<d>_<bs>, t<d>_<g>), so a district's
+	// wants never span shards — but with fewer shards than districts, one
+	// arbiter carries several districts' worth of catalog and open requests.
+	mkBase := func(id string, d, bs int) *relation.Relation {
+		r := relation.New(id, relation.NewSchema(
+			relation.Col("a", relation.KindInt), relation.Col("c", relation.KindFloat),
+			relation.Col(fmt.Sprintf("w%d_%d", d, bs), relation.KindFloat)))
+		for i := 0; i < rowsPerBase; i++ {
+			r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*0.5),
+				relation.Float(float64(i)+float64(bs)))
+		}
+		return r
+	}
+	buyers := make([][]string, districts)
+	for d := 0; d < districts; d++ {
+		home := d % shardsN
+		for i := 0; i < buyersPerD; i++ {
+			name := fedBenchName(fmt.Sprintf("fb%d-%d-", d, i), home, shardsN)
+			if _, err := m.SubmitRegister(name, 1e9); err != nil {
+				b.Fatal(err)
+			}
+			buyers[d] = append(buyers[d], name)
+		}
+		for bs := 0; bs < bases; bs++ {
+			seller := fedBenchName(fmt.Sprintf("fs%d-%d-", d, bs), home, shardsN)
+			id := seller + "/base"
+			if _, err := m.SubmitShare(seller, catalog.DatasetID(id), mkBase(id, d, bs),
+				wtp.DatasetMeta{Dataset: id, HasProvenance: true}, license.Terms{Kind: license.Open}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	m.TriggerEpoch()
+	// Transforms are partitioned exactly like transform-join: t<d>_<g> lives
+	// only on district d's base g%bases, so a want pairing it with the other
+	// base's w column must join across datasets.
+	for d := 0; d < districts; d++ {
+		sh := m.Shards()[d%shardsN]
+		for bs := 0; bs < bases; bs++ {
+			seller := fedBenchName(fmt.Sprintf("fs%d-%d-", d, bs), d%shardsN, shardsN)
+			for g := 0; g < groups; g++ {
+				if g%bases != bs {
+					continue
+				}
+				g := g
+				sh.Platform.Arbiter.DoD().RegisterTransform(
+					catalog.DatasetID(seller+"/base"), "c", fmt.Sprintf("t%d_%d", d, g),
+					&dod.Transform{
+						Name: fmt.Sprintf("aff%d_%d", d, g),
+						Kind: relation.KindFloat,
+						Fn: func(v relation.Value) relation.Value {
+							if v.IsNull() || !v.IsNumeric() {
+								return relation.Null()
+							}
+							return relation.Float(v.AsFloat()*float64(g+2) + 1)
+						},
+					})
+			}
+		}
+	}
+	m.Start()
+
+	var worker atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1)) - 1
+		d := w % districts
+		buyer := buyers[d][(w/districts)%buyersPerD]
+		var n int64
+		for pb.Next() {
+			n++
+			g := int(n) % groups
+			cols := []string{"a", fmt.Sprintf("t%d_%d", d, g), fmt.Sprintf("w%d_%d", d, (g+1)%bases)}
+			_, _ = m.SubmitRequest(
+				dod.Want{Columns: cols},
+				&wtp.Function{
+					Buyer: buyer,
+					Task:  wtp.CoverageTask{Columns: cols, WantRows: 1},
+					Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: 150}},
+				})
+		}
+	})
+	for m.Stats().Matched < uint64(b.N) {
+		m.TriggerEpoch()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	st := m.Stats()
+	if st.Matched != uint64(b.N) {
+		b.Fatalf("matched %d of %d requests", st.Matched, b.N)
+	}
+	for _, sh := range m.Shards() {
+		if !sh.Engine.Settlements().Conserved() {
+			b.Fatalf("shard %d settlement conservation violated", sh.Index)
+		}
+	}
+	b.ReportMetric(float64(st.Matched)/elapsed.Seconds(), "matches/sec")
+	b.ReportMetric(float64(st.Epochs), "epochs")
+	buildMS := 0.0
+	if st.Epochs > 0 {
+		buildMS = st.BuildMillis / float64(st.Epochs)
+		b.ReportMetric(buildMS, "build-ms/epoch")
+	}
 	recordBenchJSON(b, reg, float64(st.Matched)/elapsed.Seconds(), st.Epochs, buildMS)
 }
 

@@ -12,10 +12,18 @@
 // (resuming from the newest snapshot when one exists), POST /snapshot writes
 // a checkpoint on demand, and -snapshot-on-drain writes one during shutdown.
 //
+// With -shards N (N > 1) the market itself federates (internal/federation):
+// N arbiter shards — each a full platform + engine + WAL lineage under
+// <wal-dir>/shard-<i> — run their epochs concurrently behind a router, and
+// mashups spanning shards settle through the cross-shard coordinator's
+// two-phase commit. -shards 1 (the default) is the classic single-arbiter
+// gateway, byte-identical to previous releases' replay fingerprints.
+//
 // Usage:
 //
 //	dmgateway -addr :8080 -design posted-baseline -epoch 250ms -batch 64 \
-//	          -shards 8 -dod-workers 4 -quota-rps 50 -quota-override etl=500:1000 \
+//	          -shards 4 -intake-shards 8 -dod-workers 4 -quota-rps 50 \
+//	          -quota-override etl=500:1000 \
 //	          -wal-dir /var/lib/dmms/wal -fsync epoch -snapshot-on-drain
 package main
 
@@ -37,6 +45,7 @@ import (
 	"repro/internal/dmms"
 	"repro/internal/dod"
 	"repro/internal/engine"
+	"repro/internal/federation"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -112,7 +121,8 @@ func (q quotaOverrideFlag) toConfig(epoch time.Duration) map[string]engine.Quota
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	design := flag.String("design", "posted-baseline", "market design label")
-	shards := flag.Int("shards", 8, "intake shards")
+	shards := flag.Int("shards", 1, "arbiter shards: >1 federates the market — N catalogs, ledgers and WAL lineages with parallel epochs and cross-shard 2PC settlement; 1 = classic single-arbiter gateway")
+	intakeShards := flag.Int("intake-shards", 8, "intake queue shards per engine")
 	epoch := flag.Duration("epoch", 250*time.Millisecond, "epoch ticker period (0 = threshold/manual only)")
 	batch := flag.Int("batch", 64, "pending submissions that trigger an early epoch (0 = off)")
 	verbose := flag.Bool("verbose", false, "log epoch summaries from the event log")
@@ -154,7 +164,7 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	cfg := engine.Config{
-		Shards:         *shards,
+		Shards:         *intakeShards,
 		EpochEvery:     *epoch,
 		BatchThreshold: *batch,
 		Policy:         policy,
@@ -174,6 +184,15 @@ func main() {
 	platOpts := core.Options{Design: *design}
 	if *allocExactMax > 0 {
 		platOpts.Allocator = market.AdaptiveShapley{ExactMax: *allocExactMax, TargetErr: *allocErr}
+	}
+
+	// A multi-shard market takes the federated path: N arbiter shards behind
+	// the routing surface, each with its own WAL lineage. -shards 1 stays on
+	// the classic single-engine path below, byte-identical to prior releases.
+	if *shards > 1 {
+		runFederated(*addr, *shards, cfg, platOpts, reg,
+			*walDir, *fsync, *segBytes, *snapOnDrain, *cacheEntries, *verbose)
+		return
 	}
 
 	var (
@@ -313,8 +332,114 @@ func main() {
 		}
 	}()
 
-	log.Printf("dmgateway: design=%q shards=%d epoch=%v batch=%d policy=%s epoch-cap=%d quota-rps=%g dod-workers=%d on %s",
-		p.Design.Label, *shards, *epoch, *batch, policy.Name(), *epochCap, *quotaRPS, *dodWorkers, *addr)
+	log.Printf("dmgateway: design=%q intake-shards=%d epoch=%v batch=%d policy=%s epoch-cap=%d quota-rps=%g dod-workers=%d on %s",
+		p.Design.Label, *intakeShards, *epoch, *batch, policy.Name(), *epochCap, *quotaRPS, *dodWorkers, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// runFederated boots the sharded market (internal/federation) behind the
+// federation HTTP surface and blocks until shutdown. Mirrors the single-
+// engine path: SIGTERM stops HTTP first, then drains; with -snapshot-on-drain
+// every shard is checkpointed atomically w.r.t. the coordinator log before
+// the engines stop, so no snapshot ever captures a shard mid-2PC.
+func runFederated(addr string, shards int, cfg engine.Config, platOpts core.Options, reg *obs.Registry,
+	walDir, fsync string, segBytes int64, snapOnDrain bool, cacheEntries int, verbose bool) {
+	fcfg := federation.Config{
+		Shards: shards, Dir: walDir, SegmentBytes: segBytes,
+		Engine: cfg, Platform: platOpts, Metrics: reg,
+	}
+	if walDir != "" {
+		syncPolicy, err := wal.ParseSyncPolicy(fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fcfg.Sync = syncPolicy
+	}
+	m, err := federation.Open(fcfg)
+	if err != nil {
+		log.Fatalf("dmgateway: federation boot: %v", err)
+	}
+	if cacheEntries > 0 {
+		for _, sh := range m.Shards() {
+			sh.Platform.SetDoDCacheConfig(dod.CacheConfig{MaxEntries: cacheEntries})
+		}
+	}
+	m.Start()
+
+	if verbose {
+		for _, sh := range m.Shards() {
+			sh := sh
+			bootHead := sh.Engine.Log().LastSeq()
+			go func() {
+				cursor := bootHead
+				for {
+					evs, open := sh.Engine.Log().WaitAfter(cursor)
+					for _, ev := range evs {
+						cursor = ev.Seq
+						switch ev.Kind {
+						case engine.EventEpochEnd:
+							log.Printf("shard %d epoch %d: %s", sh.Index, ev.Epoch, ev.Note)
+						case engine.EventTxSettled:
+							log.Printf("shard %d epoch %d: %s settled for %.2f (%s)",
+								sh.Index, ev.Epoch, ev.TxID, ev.Price, ev.Participant)
+						}
+					}
+					if !open {
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	server := dmms.NewFederationServer(m)
+	if reg != nil {
+		server.SetMetrics(reg)
+	}
+	srv := &http.Server{Addr: addr, Handler: server}
+	done := make(chan struct{})
+	exitCode := 0
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("dmgateway: shutting down HTTP")
+		_ = srv.Shutdown(context.Background())
+		if walDir != "" && snapOnDrain {
+			// Flush whatever intake still holds into a final epoch, then
+			// checkpoint all shards (SnapshotAll prunes each shard's covered
+			// segments itself).
+			m.TriggerEpoch()
+			writeDrain := func() error {
+				paths, err := m.SnapshotAll()
+				if err != nil {
+					return err
+				}
+				log.Printf("dmgateway: drain snapshots: %s", strings.Join(paths, ", "))
+				return nil
+			}
+			if err := writeDrain(); err != nil {
+				log.Printf("dmgateway: drain snapshot refused: %v; retrying after a flush epoch", err)
+				m.TriggerEpoch()
+				if err := writeDrain(); err != nil {
+					log.Printf("dmgateway: drain snapshot failed after retry: %v", err)
+					exitCode = 1
+				}
+			}
+		}
+		log.Print("dmgateway: draining shards")
+		m.Stop()
+	}()
+
+	log.Printf("dmgateway: federated design=%q shards=%d intake-shards=%d epoch=%v policy=%s dod-workers=%d on %s",
+		platOpts.Design, m.NumShards(), cfg.Shards, cfg.EpochEvery, cfg.Policy.Name(), cfg.DoDWorkers, addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

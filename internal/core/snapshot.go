@@ -248,6 +248,31 @@ type PlatformSnapshot struct {
 	NextID int            `json:"next_id"`
 }
 
+// DatasetStates returns the currently shared datasets in share order, each
+// with the relation version, metadata and license terms matching rounds
+// consult. Snapshots embed this; the federation router also reads it to
+// mirror a shard's catalog into a scratch platform for cross-shard matching.
+func (p *Platform) DatasetStates() []DatasetState {
+	a := p.Arbiter
+	var out []DatasetState
+	for _, id := range a.SharedIDs() {
+		rel, err := a.Catalog.Get(catalog.DatasetID(id))
+		if err != nil {
+			continue
+		}
+		terms := a.Licenses.TermsFor(id)
+		out = append(out, DatasetState{
+			ID:       id,
+			Owner:    a.Catalog.Owner(catalog.DatasetID(id)),
+			Relation: rel,
+			Meta:     a.MetaFor(id),
+			License:  string(terms.Kind),
+			TaxRate:  terms.ExclusivityTaxRate,
+		})
+	}
+	return out
+}
+
 // Snapshot captures the platform checkpoint. Call it from a quiesced point
 // (the engine holds its epoch lock while snapshotting) so the state is a
 // consistent cut.
@@ -264,21 +289,7 @@ func (p *Platform) Snapshot() *PlatformSnapshot {
 	for _, name := range a.Ledger.Accounts() {
 		snap.Accounts = append(snap.Accounts, AccountState{Name: name, Balance: a.Ledger.Balance(name)})
 	}
-	for _, id := range a.SharedIDs() {
-		rel, err := a.Catalog.Get(catalog.DatasetID(id))
-		if err != nil {
-			continue
-		}
-		terms := a.Licenses.TermsFor(id)
-		snap.Datasets = append(snap.Datasets, DatasetState{
-			ID:       id,
-			Owner:    a.Catalog.Owner(catalog.DatasetID(id)),
-			Relation: rel,
-			Meta:     a.MetaFor(id),
-			License:  string(terms.Kind),
-			TaxRate:  terms.ExclusivityTaxRate,
-		})
-	}
+	snap.Datasets = p.DatasetStates()
 	for _, r := range a.OpenRequestStates() {
 		spec, ok := EncodeRequest(r.Want, r.WTP)
 		if !ok {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/arbiter"
+	"repro/internal/ledger"
+)
+
+// This file holds the platform-level legs of a federated (cross-shard)
+// settlement. A mashup whose datasets span arbiter shards cannot settle
+// inside one ledger; instead the federation coordinator (internal/federation)
+// drives an escrow-style two-phase commit and each shard applies its leg
+// through these hooks. Every leg is recorded as an ordinary engine event, so
+// crash/replay determinism extends across the shard set.
+//
+// Money conservation across ledgers: the home shard's commit withdraws the
+// micro-unit sum of the remote seller cuts from its supply, and each remote
+// shard's commit deposits exactly those micro-units to its sellers. Both
+// sides convert each cut with ledger.FromFloat individually — never the
+// float sum — so the burned and minted amounts agree bit-for-bit and the
+// federation-wide TotalSupply is invariant.
+
+// sortedCutKeys returns the map's keys in sorted order, so ledger effects
+// (audit-log order included) are deterministic under replay.
+func sortedCutKeys(cuts map[string]float64) []string {
+	keys := make([]string, 0, len(cuts))
+	for k := range cuts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RemoteCutsCurrency converts a remote-cuts map to the exact micro-unit total
+// the home shard burns and the remote shards mint, cut by cut.
+func RemoteCutsCurrency(cuts map[string]float64) ledger.Currency {
+	var total ledger.Currency
+	for _, c := range cuts {
+		total += ledger.FromFloat(c)
+	}
+	return total
+}
+
+// XTxPrepare is the prepare leg on the buyer's home shard: the full price
+// moves from the buyer's balance into a ledger escrow named after the
+// transaction. Fails (and the coordinator aborts) when the buyer cannot
+// cover the price.
+func (p *Platform) XTxPrepare(xid, buyerName string, price float64) error {
+	return p.Arbiter.Ledger.Hold(xid, buyerName, ledger.FromFloat(price), "xtx prepare "+xid)
+}
+
+// XTxCommitHome is the commit leg on the buyer's home shard: the escrow pays
+// the arbiter in full, home-shard sellers receive their cuts by transfer,
+// and the remote cuts' micro-unit sum is withdrawn from this ledger — it
+// reappears on the sellers' shards via XTxCommitRemote. The arbiter keeps
+// price minus all cuts as its fee.
+func (p *Platform) XTxCommitHome(xid string, price float64, localCuts, remoteCuts map[string]float64) error {
+	l := p.Arbiter.Ledger
+	if err := l.Release(xid, arbiter.ArbiterAccount, ledger.FromFloat(price), "xtx commit "+xid); err != nil {
+		return err
+	}
+	for _, s := range sortedCutKeys(localCuts) {
+		if err := l.Transfer(arbiter.ArbiterAccount, s, ledger.FromFloat(localCuts[s]), "xtx cut "+xid); err != nil {
+			return err
+		}
+	}
+	if burn := RemoteCutsCurrency(remoteCuts); burn > 0 {
+		if err := l.Withdraw(arbiter.ArbiterAccount, burn, "xtx remote cuts "+xid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XTxCommitRemote is the commit leg on a seller shard: each local seller is
+// deposited their cut — the micro-units the home shard withdrew.
+func (p *Platform) XTxCommitRemote(xid string, cuts map[string]float64) error {
+	l := p.Arbiter.Ledger
+	for _, s := range sortedCutKeys(cuts) {
+		if !l.Exists(s) {
+			if err := l.Open(s, 0); err != nil {
+				return err
+			}
+		}
+		if err := l.Deposit(s, ledger.FromFloat(cuts[s])); err != nil {
+			return err
+		}
+	}
+	l.Note("xtx remote commit " + xid)
+	return nil
+}
+
+// XTxAbort is the abort leg on the buyer's home shard: the escrow refunds
+// the buyer in full. A no-op abort (escrow never held) is the coordinator's
+// problem; here an unknown escrow is an error so replay catches divergence.
+func (p *Platform) XTxAbort(xid string) error {
+	return p.Arbiter.Ledger.Release(xid, arbiter.ArbiterAccount, 0, "xtx abort "+xid)
+}

@@ -1,0 +1,321 @@
+package dmms
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/federation"
+)
+
+// FederationServer exposes a sharded market (internal/federation) over the
+// async HTTP surface. It mirrors the engine-backed routes of Server —
+// submissions return tickets, epochs clear the market, clients poll tickets —
+// but every submission is routed to its home shard (or the cross-shard
+// coordinator), /engine/stats aggregates all shards into one coherent view,
+// and /snapshot checkpoints every shard atomically w.r.t. the coordinator
+// log. The synchronous mutation endpoints do not exist here: a federation is
+// always engine-backed, and direct platform calls would bypass routing.
+type FederationServer struct {
+	routeSet
+	market *federation.Market
+}
+
+// NewFederationServer builds the HTTP front end over a federated market. The
+// caller owns the market's lifecycle (Start/Stop).
+func NewFederationServer(m *federation.Market) *FederationServer {
+	s := &FederationServer{routeSet: routeSet{mux: http.NewServeMux()}, market: m}
+	s.handle("POST /async/participants", s.handleParticipants)
+	s.handle("POST /async/datasets", s.handleDatasets)
+	s.handle("POST /async/requests", s.handleRequests)
+	s.handle("POST /async/report", s.handleReport)
+	s.handle("GET /async/tickets/{id}", s.handleTicket)
+	s.handle("GET /events", s.handleEvents)
+	s.handle("POST /epoch", s.handleEpoch)
+	s.handle("GET /engine/stats", s.handleStats)
+	s.handle("GET /settlements", s.handleSettlements)
+	s.handle("GET /balance", s.handleBalance)
+	s.handle("GET /designs", s.handleDesigns)
+	s.handle("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *FederationServer) handleParticipants(w http.ResponseWriter, r *http.Request) {
+	var req ParticipantReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: name is required"))
+		return
+	}
+	ticket, err := s.market.SubmitRegister(req.Name, req.Funds)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+func (s *FederationServer) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var req DatasetReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	terms, meta, err := datasetTerms(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ticket, err := s.market.SubmitShare(req.Seller, catalog.DatasetID(req.ID), req.Relation, meta, terms)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+func (s *FederationServer) handleRequests(w http.ResponseWriter, r *http.Request) {
+	var req RequestReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	want, f, err := buildRequest(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	label := req.Priority
+	if h := r.Header.Get(PriorityHeader); h != "" {
+		label = h
+	}
+	priority, err := engine.ParsePriority(label)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ticket, err := s.market.SubmitRequestPriority(want, f, priority)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+func (s *FederationServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TxID == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: tx_id is required"))
+		return
+	}
+	ticket, err := s.market.SubmitReport(req.TxID, req.Reported, req.TrueValue)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, TicketResp{Ticket: ticket})
+}
+
+func (s *FederationServer) handleTicket(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.market.Ticket(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dmms: unknown ticket %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, TicketView{Ticket: t})
+}
+
+// shardParam resolves the ?shard=i query parameter against the market. With
+// no parameter it returns (0, false, nil) on a multi-shard market — the
+// caller decides whether that means "all shards" or an error — and shard 0
+// on a single-shard market, where the distinction is vacuous.
+func (s *FederationServer) shardParam(r *http.Request) (shard int, explicit bool, err error) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return 0, s.market.NumShards() == 1, nil
+	}
+	n, aerr := strconv.Atoi(v)
+	if aerr != nil || n < 0 || n >= s.market.NumShards() {
+		return 0, false, fmt.Errorf("dmms: shard must be an integer in [0,%d)", s.market.NumShards())
+	}
+	return n, true, nil
+}
+
+// handleEvents serves one shard's event log. Event logs are strictly
+// per-shard orderings (seq numbers restart per shard), so a multi-shard
+// market requires an explicit ?shard=i rather than inventing a merged order.
+func (s *FederationServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	shard, explicit, err := s.shardParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !explicit {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(
+			"dmms: event logs are per shard on a federated market; pass ?shard=i (0..%d)", s.market.NumShards()-1))
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: bad after cursor %q", v))
+			return
+		}
+		after = n
+	}
+	evs := s.market.Shards()[shard].Engine.Events(after)
+	if evs == nil {
+		evs = []engine.Event{}
+	}
+	// Same redaction as the single-engine server: submission payloads carry
+	// the full shared relations — data the market sells.
+	for i := range evs {
+		evs[i].Payload = nil
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+func (s *FederationServer) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	epoch, ran := s.market.TriggerEpoch()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "ran": ran})
+}
+
+// FederationDetail is the federation block of the aggregated stats view.
+type FederationDetail struct {
+	Shards             int            `json:"shards"`
+	CoordinatorPending int            `json:"coordinator_pending"`
+	XTxCommitted       uint64         `json:"xtx_committed"`
+	XTxAborted         uint64         `json:"xtx_aborted"`
+	PerShard           []engine.Stats `json:"per_shard,omitempty"`
+}
+
+// FederationStatsView is GET /engine/stats on a federated market: the
+// aggregate engine.Stats shape single-engine clients already parse, plus a
+// federation block (shard count, coordinator counters, and — with
+// ?per-shard=1 — each shard's own stats).
+type FederationStatsView struct {
+	engine.Stats
+	Federation FederationDetail `json:"federation"`
+}
+
+func (s *FederationServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("shard"); v != "" {
+		shard, _, err := s.shardParam(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.market.ShardStats()[shard])
+		return
+	}
+	pending, settled, aborted := s.market.CoordStats()
+	view := FederationStatsView{
+		Stats: s.market.Stats(),
+		Federation: FederationDetail{
+			Shards:             s.market.NumShards(),
+			CoordinatorPending: pending,
+			XTxCommitted:       settled,
+			XTxAborted:         aborted,
+		},
+	}
+	if q := r.URL.Query().Get("per-shard"); q == "1" || q == "true" {
+		view.Federation.PerShard = s.market.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSettlements aggregates every shard's settlement book, with TxIDs in
+// federation form ("s<i>:tx-..."). Conserved is the AND across shards —
+// cross-shard transactions move value between shard ledgers, so only the
+// federation-wide view is meaningful. ?shard=i narrows to one shard.
+func (s *FederationServer) handleSettlements(w http.ResponseWriter, r *http.Request) {
+	shard, explicit, err := s.shardParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	only := -1
+	if explicit && r.URL.Query().Get("shard") != "" {
+		only = shard
+	}
+	out := []SettlementView{}
+	conserved := true
+	for i, sh := range s.market.Shards() {
+		if only >= 0 && i != only {
+			continue
+		}
+		book := sh.Engine.Settlements()
+		if !book.Conserved() {
+			conserved = false
+		}
+		for _, st := range book.All() {
+			v := SettlementView{
+				TxID: federation.ShardID(i, st.TxID), Epoch: st.Epoch, Buyer: st.Buyer,
+				Price: st.Price.Float(), ArbiterCut: st.ArbiterCut.Float(), ExPost: st.ExPost,
+			}
+			if len(st.SellerCuts) > 0 {
+				v.SellerCuts = map[string]float64{}
+				for name, c := range st.SellerCuts {
+					v.SellerCuts[name] = c.Float()
+				}
+			}
+			out = append(out, v)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"settlements": out,
+		"conserved":   conserved,
+	})
+}
+
+func (s *FederationServer) handleBalance(w http.ResponseWriter, r *http.Request) {
+	account := r.URL.Query().Get("account")
+	if account == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("dmms: account query parameter required"))
+		return
+	}
+	bal, ok := s.market.Balance(account)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dmms: unknown account %q", account))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"balance": bal.Float()})
+}
+
+func (s *FederationServer) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"design": s.market.Shards()[0].Platform.Design.Label,
+		"shards": s.market.NumShards(),
+	})
+}
+
+// FederationSnapshotResp reports the per-shard checkpoints SnapshotAll wrote.
+type FederationSnapshotResp struct {
+	Paths []string `json:"paths"`
+}
+
+func (s *FederationServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	paths, err := s.market.SnapshotAll()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no snapshot lineage") {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FederationSnapshotResp{Paths: paths})
+}

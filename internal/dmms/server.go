@@ -33,14 +33,10 @@ import (
 // submissions return tickets immediately, epochs clear the market in the
 // background, and clients follow progress via tickets and the event log.
 type Server struct {
+	routeSet
 	platform *core.Platform
 	engine   *engine.Engine
-	mux      *http.ServeMux
 	snapshot SnapshotFunc
-	// hm is the HTTP telemetry sink (nil until SetMetrics). An atomic
-	// pointer so metrics can be wired after construction — the gateway
-	// builds the server first — without racing in-flight requests.
-	hm atomic.Pointer[httpMetrics]
 }
 
 // httpMetrics bundles the per-route instruments with the registry that
@@ -51,15 +47,25 @@ type httpMetrics struct {
 	dur  *obs.HistogramVec // dmms_http_request_seconds{route}
 }
 
+// routeSet is the HTTP plumbing shared by the market servers (single-engine
+// Server and FederationServer): a mux whose routes gain per-route count and
+// latency series once a telemetry registry is wired. hm is an atomic pointer
+// so metrics can be wired after construction — the gateway builds the server
+// first — without racing in-flight requests.
+type routeSet struct {
+	mux *http.ServeMux
+	hm  atomic.Pointer[httpMetrics]
+}
+
 // SetMetrics wires a telemetry registry: every route gains request-count and
 // latency series, and GET /metrics serves the registry's Prometheus text.
 // Pass nil to disable (the endpoint answers 503 again).
-func (s *Server) SetMetrics(reg *obs.Registry) {
+func (rs *routeSet) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
-		s.hm.Store(nil)
+		rs.hm.Store(nil)
 		return
 	}
-	s.hm.Store(&httpMetrics{
+	rs.hm.Store(&httpMetrics{
 		reg: reg,
 		reqs: reg.NewCounterVec("dmms_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "route", "code"),
@@ -83,7 +89,7 @@ func NewServer(p *core.Platform) *Server { return NewEngineServer(p, nil) }
 // NewEngineServer builds the HTTP front end over a concurrent market engine.
 // The caller owns the engine's lifecycle (Start/Stop).
 func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
-	s := &Server{platform: p, engine: eng, mux: http.NewServeMux()}
+	s := &Server{routeSet: routeSet{mux: http.NewServeMux()}, platform: p, engine: eng}
 	s.handle("POST /participants", s.syncMutation(s.handleParticipants))
 	s.handle("POST /datasets", s.syncMutation(s.handleDatasets))
 	s.handle("POST /requests", s.syncMutation(s.handleRequests))
@@ -114,12 +120,12 @@ func NewEngineServer(p *core.Platform, eng *engine.Engine) *Server {
 // handle registers an instrumented route. The metric label is the pattern's
 // path part ("/async/tickets/{id}"), so path parameters never explode the
 // series cardinality.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+func (rs *routeSet) handle(pattern string, h http.HandlerFunc) {
 	route := pattern
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
 		route = pattern[i+1:]
 	}
-	s.mux.HandleFunc(pattern, s.instrument(route, h))
+	rs.mux.HandleFunc(pattern, rs.instrument(route, h))
 }
 
 // statusRecorder captures the response status for the request counter.
@@ -135,9 +141,9 @@ func (sr *statusRecorder) WriteHeader(code int) {
 
 // instrument wraps a handler with per-route latency and count series. With
 // no metrics wired it is a plain passthrough.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+func (rs *routeSet) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		hm := s.hm.Load()
+		hm := rs.hm.Load()
 		if hm == nil {
 			h(w, r)
 			return
@@ -151,8 +157,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hm := s.hm.Load()
+func (rs *routeSet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hm := rs.hm.Load()
 	if hm == nil {
 		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("dmms: metrics disabled (run the gateway with -metrics)"))
 		return
@@ -192,7 +198,7 @@ func (s *Server) withEngine(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (rs *routeSet) ServeHTTP(w http.ResponseWriter, r *http.Request) { rs.mux.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -155,6 +155,28 @@
 // requests whose WTP task is an in-process code package (wtp.FuncTask) —
 // they cannot be serialized and are failed on replay.
 //
+// # Federation
+//
+// One engine is one arbiter: a single catalog, epoch runner and WAL lineage.
+// internal/federation composes N of them into a sharded market — the engine
+// itself needs no changes beyond the cross-shard escrow events
+// (xtx-prepared/committed/aborted) and the XTxInFlight snapshot guard:
+//
+//	                   federation.Market
+//	SubmitX ──> router (participant hash + column index)
+//	            │ local want          │ spanning want
+//	            v                     v
+//	     shard i (engine +     coordinator (2PC over the
+//	     platform + WAL,       shard event logs; its own
+//	     own epochs)           coord.log for decisions)
+//
+// Each shard runs the full pipeline above concurrently with the others;
+// wants whose columns live on one shard never pay any coordination cost,
+// and cross-shard mashups settle through an escrow-style two-phase commit
+// whose legs are ordinary WAL events, so recovery resolves in-doubt
+// transactions from the logs alone. With one shard the federation is a
+// pass-through and replay stays byte-identical to a bare engine.
+//
 // # Telemetry
 //
 // With Config.Metrics set to an obs.Registry, the engine instruments itself:

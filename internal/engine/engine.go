@@ -68,6 +68,15 @@ type Config struct {
 	// snapshotted or replayed, so enabling telemetry never changes the
 	// event stream (see doc.go, "Durability").
 	Metrics *obs.Registry
+	// ShardLabel, when non-empty, marks this engine as one arbiter shard of
+	// a federated market (internal/federation) sharing a registry with its
+	// siblings: per-shard instruments carry it as a `shard` label (distinct
+	// families, so the unlabeled aggregates keep their names), and the
+	// engine skips the process-wide sampled families — several engines
+	// registering the same closure would leave only the last one visible —
+	// leaving them to the federation layer to register once, aggregated.
+	// Purely observational: the label never reaches the event stream.
+	ShardLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -247,6 +256,14 @@ type Engine struct {
 	reqMeta  map[string]*reqMeta // request ID -> policy metadata
 	epoch    atomic.Uint64
 
+	// Cross-shard (federated) transaction state, guarded by epochMu and
+	// rebuilt from the log on replay: xtxHeld tracks escrows a prepare is
+	// holding (home shard, pre-decision), xtxDone marks transactions whose
+	// terminal record (commit or abort) this shard has logged — the
+	// idempotency backstop for coordinator re-drives. See xtx.go.
+	xtxHeld map[string]*xtxHold
+	xtxDone map[string]bool
+
 	policy   MatchPolicy
 	matchCap int
 	adm      *admission     // nil when quota/cap admission is disabled
@@ -339,6 +356,8 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		tickets:  map[string]*Ticket{},
 		openReqs: map[string]string{},
 		reqMeta:  map[string]*reqMeta{},
+		xtxHeld:  map[string]*xtxHold{},
+		xtxDone:  map[string]bool{},
 		policy:   policy,
 		matchCap: cfg.EpochMatchCap,
 		adm:      newAdmission(cfg.Admission, cfg.EpochEvery),
@@ -346,7 +365,7 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		stop:     make(chan struct{}),
 		started:  time.Now(),
 	}
-	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards)
+	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards, cfg.ShardLabel)
 	if cfg.BuildDeadline > 0 {
 		p.SetBuildDeadline(cfg.BuildDeadline)
 	}
@@ -354,7 +373,9 @@ func newEngine(p *core.Platform, cfg Config, log *EventLog, book *ledger.Settlem
 		e.pool = newBuildPool(p, cfg.DoDWorkers, e.m)
 	}
 	if cfg.Metrics != nil {
-		e.registerFuncMetrics(cfg.Metrics)
+		if cfg.ShardLabel == "" {
+			e.registerFuncMetrics(cfg.Metrics)
+		}
 		buildDur := cfg.Metrics.NewHistogram("dod_build_seconds",
 			"Wall-clock duration of each candidate build (beam search + materialize).", obs.FastBuckets)
 		p.SetBuildObserver(func(s float64) { buildDur.Observe(s) })
@@ -511,6 +532,28 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// StatsLite returns the atomic-counter slice of Stats without taking the
+// epoch lock, so it is safe to sample at scrape time even while an epoch is
+// mid-flight. OpenRequests comes from the arbiter's own registry rather than
+// the engine's epoch-locked map; the derived fields (cache/allocator
+// counters, rates) are left zero — the federation layer's aggregated
+// /metrics funcs use this, the full Stats serves /engine/stats.
+func (e *Engine) StatsLite() Stats {
+	return Stats{
+		Epochs:       e.epoch.Load(),
+		Submitted:    e.stSubmitted.Load(),
+		Applied:      e.stApplied.Load(),
+		Matched:      e.stMatched.Load(),
+		Failed:       e.stFailed.Load(),
+		OpenRequests: e.platform.OpenRequestCount(),
+		Pending:      e.pending.Load(),
+		Events:       e.log.Len(),
+		Rejected:     e.stRejected.Load(),
+		Shed:         e.stShed.Load(),
+		Aged:         e.stAged.Load(),
+	}
+}
+
 // SubmitRegister queues a participant registration and returns its ticket.
 // Under queue-depth backpressure it returns an *OverloadError instead.
 func (e *Engine) SubmitRegister(name string, funds float64) (string, error) {
@@ -600,7 +643,7 @@ func (e *Engine) admitDepth(participant string) error {
 		return nil
 	}
 	e.stShed.Add(1)
-	e.m.rejections.With(OverloadQueueDepth).Inc()
+	e.m.observeRejection(OverloadQueueDepth, 1)
 	retry := e.cfg.EpochEvery
 	if retry <= 0 {
 		retry = defaultRetryAfter
@@ -764,7 +807,7 @@ func (e *Engine) endEpoch(ep uint64, applied, matched, unmet int, unmetCols map[
 			e.log.Append(Event{Epoch: ep, Kind: EventRequestRejected,
 				Participant: r.participant, Note: r.reason, Count: r.count})
 			e.stRejected.Add(r.count)
-			e.m.rejections.With(r.reason).Add(float64(r.count))
+			e.m.observeRejection(r.reason, float64(r.count))
 		}
 		refill = e.adm.refillFraction()
 	}
@@ -840,7 +883,7 @@ func (e *Engine) emitAged(ep uint64, deferred []RequestCandidate) {
 		}
 		m.aged = true
 		e.stAged.Add(1)
-		e.m.aged.Inc()
+		e.m.observeAged()
 		e.log.Append(Event{Epoch: ep, Kind: EventRequestAged, Ticket: c.Ticket,
 			RequestID: c.RequestID, Participant: c.Participant, Age: c.Age,
 			Note: fmt.Sprintf("deferred by %s policy", e.policy.Name())})
@@ -961,7 +1004,7 @@ func (e *Engine) runRound(ep uint64) (deferred []RequestCandidate, res *arbiter.
 	priceDur := time.Since(priceStart)
 	e.stPriceNanos.Add(priceDur.Nanoseconds())
 	if e.m.on() {
-		e.m.roundDur.Observe(priceDur.Seconds())
+		e.m.observeRound(priceDur.Seconds())
 		e.stampOpen(ids, obs.StagePrice)
 	}
 	return deferred, res, err

@@ -44,6 +44,29 @@ const (
 	// keep the uninterrupted run's schedule.
 	EventValueReported EventKind = "value-reported"
 	EventEpochEnd      EventKind = "epoch-end"
+
+	// Cross-shard (federated) settlement records. A mashup whose candidate
+	// datasets span arbiter shards settles via an escrow-style two-phase
+	// commit: the federation coordinator drives prepare/commit/abort and each
+	// participant shard records its own leg as an ordinary WAL event, so
+	// recovery resolves in-doubt transactions from the logs alone. These are
+	// deliberately NOT EventTxSettled — the settlement book (subscribers of
+	// tx-settled) tracks only intra-shard settlements; federated ones are
+	// surfaced by the coordinator.
+	//
+	// EventXTxPrepared (home shard): the buyer's funds for TxID are held in a
+	// ledger escrow named after the transaction.
+	// EventXTxCommitted with XTxRole "home": the escrow pays the arbiter, the
+	// home-shard seller cuts transfer locally, and the remote cuts are
+	// withdrawn from this shard's supply (they re-enter on the sellers'
+	// shards, conserving the federation-wide total).
+	// EventXTxCommitted with XTxRole "remote": this shard's sellers are paid
+	// the recorded cuts out of thin air — the exact micro-units the home
+	// shard withdrew.
+	// EventXTxAborted (home shard): the escrow refunds the buyer in full.
+	EventXTxPrepared  EventKind = "xtx-prepared"
+	EventXTxCommitted EventKind = "xtx-committed"
+	EventXTxAborted   EventKind = "xtx-aborted"
 )
 
 // Payload carries the full submission body of an event, so a write-ahead log
@@ -113,9 +136,17 @@ type Event struct {
 	// cannot be inferred from the event kind; replay rebuilds the failed
 	// ticket from it.
 	SubKind SubmissionKind `json:"sub_kind,omitempty"`
-	Err     string         `json:"error,omitempty"`
-	Note    string         `json:"note,omitempty"`
-	Payload *Payload       `json:"payload,omitempty"`
+	// XTxRole distinguishes the two legs of a federated commit record
+	// (xtx-committed): "home" on the buyer's shard, "remote" on a seller
+	// shard that only receives cuts.
+	XTxRole string `json:"xtx_role,omitempty"`
+	// RemoteCuts, on a home-leg xtx-committed record, are the seller cuts
+	// settled on *other* shards. Replay withdraws their micro-unit sum from
+	// the home ledger, mirroring the deposits the remote shards replay.
+	RemoteCuts map[string]float64 `json:"remote_cuts,omitempty"`
+	Err        string             `json:"error,omitempty"`
+	Note       string             `json:"note,omitempty"`
+	Payload    *Payload           `json:"payload,omitempty"`
 }
 
 // Persister receives every event synchronously at append time, before the

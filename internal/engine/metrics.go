@@ -22,15 +22,30 @@ import (
 // keeps the crash/replay matrix byte-identical with telemetry enabled.
 type engineMetrics struct {
 	enabled bool
+	// label is the federation shard label (Config.ShardLabel). When set, the
+	// unlabeled families below are shared with sibling shard engines on the
+	// same registry (idempotent registration returns one instrument, so they
+	// aggregate across the federation), and the sh* vec children add the
+	// per-shard view under `shard`-labeled families. The tracer histograms
+	// stay unlabeled on purpose: submit→settle latency is a market-wide
+	// figure, and consumers (the bench artifact) pull them back by name as
+	// plain histograms.
+	label string
 
 	epochDur   *obs.Histogram  // engine_epoch_seconds
 	epochLag   *obs.Histogram  // engine_epoch_lag_seconds
 	roundDur   *obs.Histogram  // arbiter_round_seconds
-	shardDepth []*obs.Gauge    // engine_intake_queue_depth{shard}
+	shardDepth []*obs.Gauge    // engine_intake_queue_depth{shard} (or {shard,queue} when labeled)
 	rejections *obs.CounterVec // engine_admission_rejections_total{reason}
 	aged       *obs.Counter    // engine_aged_requests_total
 	workerBusy *obs.CounterVec // dod_worker_busy_seconds_total{worker}
 	tracer     *obs.Tracer     // submit→settle spans
+
+	// Per-shard views, nil unless label != "".
+	shEpochDur   *obs.Histogram  // engine_shard_epoch_seconds{shard}
+	shRoundDur   *obs.Histogram  // engine_shard_round_seconds{shard}
+	shRejections *obs.CounterVec // engine_shard_admission_rejections_total{shard,reason}
+	shAged       *obs.Counter    // engine_shard_aged_requests_total{shard}
 
 	mu        sync.Mutex
 	lastEpoch time.Time // previous counted epoch's completion, for lag
@@ -41,13 +56,16 @@ type engineMetrics struct {
 func (m *engineMetrics) on() bool { return m != nil && m.enabled }
 
 // newEngineMetrics registers the engine's instruments on reg. A nil reg
-// yields a disabled (but non-nil) sink.
-func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
+// yields a disabled (but non-nil) sink. A non-empty label (a federation
+// shard index) adds the per-shard labeled families next to the shared
+// unlabeled aggregates.
+func newEngineMetrics(reg *obs.Registry, shards int, label string) *engineMetrics {
 	if reg == nil {
 		return &engineMetrics{}
 	}
 	m := &engineMetrics{
 		enabled: true,
+		label:   label,
 		epochDur: reg.NewHistogram("engine_epoch_seconds",
 			"Wall-clock duration of counted epochs (drain, apply, build, price, publish).", obs.DefBuckets),
 		epochLag: reg.NewHistogram("engine_epoch_lag_seconds",
@@ -68,6 +86,27 @@ func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
 				obs.DefBuckets, "stage"),
 			0),
 	}
+	if label != "" {
+		m.shEpochDur = reg.NewHistogramVec("engine_shard_epoch_seconds",
+			"Wall-clock duration of counted epochs, per federation shard.",
+			obs.DefBuckets, "shard").With(label)
+		m.shRoundDur = reg.NewHistogramVec("engine_shard_round_seconds",
+			"Wall-clock duration of the pricing stage, per federation shard.",
+			obs.DefBuckets, "shard").With(label)
+		m.shRejections = reg.NewCounterVec("engine_shard_admission_rejections_total",
+			"Admission rejections per federation shard, by reason.", "shard", "reason")
+		m.shAged = reg.NewCounterVec("engine_shard_aged_requests_total",
+			"Policy-deferred requests per federation shard.", "shard").With(label)
+		// Intake depth needs both the market shard and the intake queue
+		// index; the single-label family below would alias across engines.
+		queueDepth := reg.NewGaugeVec("engine_shard_intake_queue_depth",
+			"Queued submissions per federation shard and intake queue.", "shard", "queue")
+		m.shardDepth = make([]*obs.Gauge, shards)
+		for i := range m.shardDepth {
+			m.shardDepth[i] = queueDepth.With(label, strconv.Itoa(i))
+		}
+		return m
+	}
 	queueDepth := reg.NewGaugeVec("engine_intake_queue_depth",
 		"Queued submissions per intake shard.", "shard")
 	m.shardDepth = make([]*obs.Gauge, shards)
@@ -77,11 +116,39 @@ func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
 	return m
 }
 
+// observeRejection counts one admission rejection by reason, on the shared
+// family and (when labeled) the per-shard one.
+func (m *engineMetrics) observeRejection(reason string, n float64) {
+	if !m.on() {
+		return
+	}
+	m.rejections.With(reason).Add(n)
+	if m.shRejections != nil {
+		m.shRejections.With(m.label, reason).Add(n)
+	}
+}
+
+// observeAged counts one first-time policy deferral.
+func (m *engineMetrics) observeAged() {
+	if !m.on() {
+		return
+	}
+	m.aged.Inc()
+	m.shAged.Inc() // nil-safe no-op when unlabeled
+}
+
+// observeRound records one pricing stage's wall clock.
+func (m *engineMetrics) observeRound(seconds float64) {
+	m.roundDur.Observe(seconds)
+	m.shRoundDur.Observe(seconds) // nil-safe no-op when unlabeled
+}
+
 // observeEpoch records a counted epoch's duration and its lag behind the
 // previous counted epoch.
 func (m *engineMetrics) observeEpoch(start time.Time) {
 	end := time.Now()
 	m.epochDur.Observe(end.Sub(start).Seconds())
+	m.shEpochDur.Observe(end.Sub(start).Seconds()) // nil-safe no-op when unlabeled
 	m.mu.Lock()
 	last := m.lastEpoch
 	m.lastEpoch = end

@@ -103,6 +103,14 @@ func (e *Engine) Snapshot() (*SnapshotState, error) {
 			return nil, fmt.Errorf("engine: snapshot refused, WAL at seq %d behind log head %d", persisted, seq)
 		}
 	}
+	if n := len(e.xtxHeld); n > 0 {
+		// A prepare's generic ledger escrow is not part of the platform
+		// checkpoint (unlike ex-post escrows, which PendingExPost carries);
+		// snapshotting mid-2PC would destroy the held funds on restore. The
+		// federation layer only snapshots under its coordinator lock, where
+		// no transaction is between prepare and its terminal record.
+		return nil, fmt.Errorf("engine: snapshot refused, %d cross-shard escrow(s) in flight", n)
+	}
 	// Appends only happen under epochMu, so the log cannot advance while we
 	// wait for the book to absorb everything up to seq. Once the subscriber
 	// has exited (bookDone — it drains everything present at log close
@@ -449,6 +457,35 @@ func (e *Engine) replayEvent(ev Event, c *Counters) error {
 		if e.adm != nil {
 			e.adm.refill(ev.QuotaRefill)
 		}
+
+	case EventXTxPrepared:
+		// Home-shard prepare: re-hold the buyer's escrow and resume tracking
+		// it. Recovery (the federation coordinator, after every shard has
+		// replayed) resolves any still-held transaction from its own log.
+		if err := e.platform.XTxPrepare(ev.TxID, ev.Participant, ev.Price); err != nil {
+			return err
+		}
+		e.xtxHeld[ev.TxID] = &xtxHold{buyer: ev.Participant, price: ev.Price}
+
+	case EventXTxCommitted:
+		if ev.XTxRole == XTxRoleRemote {
+			if err := e.platform.XTxCommitRemote(ev.TxID, ev.SellerCuts); err != nil {
+				return err
+			}
+		} else {
+			if err := e.platform.XTxCommitHome(ev.TxID, ev.Price, ev.SellerCuts, ev.RemoteCuts); err != nil {
+				return err
+			}
+			delete(e.xtxHeld, ev.TxID)
+		}
+		e.xtxDone[ev.TxID] = true
+
+	case EventXTxAborted:
+		if err := e.platform.XTxAbort(ev.TxID); err != nil {
+			return err
+		}
+		delete(e.xtxHeld, ev.TxID)
+		e.xtxDone[ev.TxID] = true
 
 	case EventEpochStart, EventRequestUnmet:
 		// Structural markers; no platform mutation to replay.

@@ -1,0 +1,150 @@
+package engine
+
+import "fmt"
+
+// This file is one shard's participant role in a federated two-phase commit
+// (internal/federation drives the coordinator side). Each leg mutates the
+// platform ledger and appends its record under the epoch lock, so xtx
+// records interleave cleanly with epochs in the WAL and replay rebuilds the
+// same ledger state and xtx bookkeeping from the log alone.
+//
+// Idempotency contract (what recovery re-drives lean on):
+//   - XTxPrepare on an already-held xid is a no-op success; on a done xid it
+//     fails (the decision is final, a new attempt must pick a new xid).
+//   - XTxCommitHome / XTxCommitRemote / XTxAbort on a done xid are no-op
+//     successes.
+//   - XTxAbort on an unknown xid is a no-op success (presumed abort: a crash
+//     before prepare left nothing to undo).
+
+// xtxHold is the engine-side record of a prepared (escrow-held) cross-shard
+// transaction on the buyer's home shard.
+type xtxHold struct {
+	buyer string
+	price float64
+}
+
+// XTxRole values carried by xtx-committed records.
+const (
+	XTxRoleHome   = "home"
+	XTxRoleRemote = "remote"
+)
+
+// XTx states reported by XTxState.
+const (
+	XTxUnknown  = ""
+	XTxPrepared = "prepared"
+	XTxDone     = "done"
+)
+
+// XTxPrepare holds the buyer's funds for a cross-shard transaction in a
+// ledger escrow on this (home) shard and logs the prepared record.
+func (e *Engine) XTxPrepare(xid, buyer string, price float64) error {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if e.xtxDone[xid] {
+		return fmt.Errorf("engine: xtx %s already decided", xid)
+	}
+	if _, held := e.xtxHeld[xid]; held {
+		return nil // recovery re-drive; the escrow is already held
+	}
+	if err := e.platform.XTxPrepare(xid, buyer, price); err != nil {
+		return err
+	}
+	e.xtxHeld[xid] = &xtxHold{buyer: buyer, price: price}
+	e.log.Append(Event{Epoch: e.epoch.Load(), Kind: EventXTxPrepared, TxID: xid,
+		Participant: buyer, Price: price, XTxRole: XTxRoleHome})
+	return nil
+}
+
+// XTxCommitHome applies the commit decision on the buyer's home shard: the
+// escrow pays the arbiter, local sellers get their cuts, and the remote
+// cuts' micro-unit sum leaves this ledger (it re-enters on the sellers'
+// shards via XTxCommitRemote). No-op when the xid is already done.
+func (e *Engine) XTxCommitHome(xid string, arbiterCut float64, localCuts, remoteCuts map[string]float64) error {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if e.xtxDone[xid] {
+		return nil
+	}
+	h, held := e.xtxHeld[xid]
+	if !held {
+		return fmt.Errorf("engine: xtx %s not prepared", xid)
+	}
+	if err := e.platform.XTxCommitHome(xid, h.price, localCuts, remoteCuts); err != nil {
+		return err
+	}
+	delete(e.xtxHeld, xid)
+	e.xtxDone[xid] = true
+	e.log.Append(Event{Epoch: e.epoch.Load(), Kind: EventXTxCommitted, TxID: xid,
+		Participant: h.buyer, Price: h.price, ArbiterCut: arbiterCut,
+		SellerCuts: localCuts, RemoteCuts: remoteCuts, XTxRole: XTxRoleHome})
+	return nil
+}
+
+// XTxCommitRemote applies the commit decision on a seller shard: local
+// sellers are deposited their cuts. No-op when the xid is already done.
+func (e *Engine) XTxCommitRemote(xid string, cuts map[string]float64) error {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if e.xtxDone[xid] {
+		return nil
+	}
+	if err := e.platform.XTxCommitRemote(xid, cuts); err != nil {
+		return err
+	}
+	e.xtxDone[xid] = true
+	e.log.Append(Event{Epoch: e.epoch.Load(), Kind: EventXTxCommitted, TxID: xid,
+		SellerCuts: cuts, XTxRole: XTxRoleRemote})
+	return nil
+}
+
+// XTxAbort applies the abort decision on the home shard: the escrow refunds
+// the buyer in full. No-op when the xid is done or was never prepared here
+// (presumed abort).
+func (e *Engine) XTxAbort(xid string) error {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if e.xtxDone[xid] {
+		return nil
+	}
+	h, held := e.xtxHeld[xid]
+	if !held {
+		return nil
+	}
+	if err := e.platform.XTxAbort(xid); err != nil {
+		return err
+	}
+	delete(e.xtxHeld, xid)
+	e.xtxDone[xid] = true
+	e.log.Append(Event{Epoch: e.epoch.Load(), Kind: EventXTxAborted, TxID: xid,
+		Participant: h.buyer, Price: h.price, XTxRole: XTxRoleHome})
+	return nil
+}
+
+// XTxState reports this shard's view of a cross-shard transaction:
+// XTxUnknown (never seen, or its records were compacted below a snapshot —
+// possible only after its coordinator-side done record made re-drives
+// impossible), XTxPrepared (escrow held, decision pending), or XTxDone
+// (commit/abort logged).
+func (e *Engine) XTxState(xid string) string {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	if e.xtxDone[xid] {
+		return XTxDone
+	}
+	if _, held := e.xtxHeld[xid]; held {
+		return XTxPrepared
+	}
+	return XTxUnknown
+}
+
+// XTxInFlight reports how many cross-shard escrows this shard currently
+// holds. Snapshot refuses while it is non-zero — a generic ledger escrow is
+// not part of the platform checkpoint, so snapshotting mid-2PC would destroy
+// the held funds on restore. The federation layer snapshots under its
+// coordinator lock, where the count is always zero.
+func (e *Engine) XTxInFlight() int {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	return len(e.xtxHeld)
+}

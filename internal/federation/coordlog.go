@@ -1,0 +1,139 @@
+package federation
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// The coordinator log is the federation's own durable record: pending
+// cross-shard wants and the begin/decide/done lifecycle of every two-phase
+// commit. It is deliberately NOT a shard WAL — shard WALs carry each shard's
+// participant legs (xtx-prepared / xtx-committed / xtx-aborted events); this
+// log carries only what no single shard can know: which transactions exist,
+// what was decided, and which are finished. Recovery resolves in-doubt
+// transactions from the two together, with no coordinator state outside the
+// logs (see coordinator.go).
+//
+// Format: JSON lines, one record per line, fsynced per append (the
+// coordinator settles rarely relative to shard epochs, so the sync cost is
+// off the hot path). A torn final line — a crash mid-append — is ignored on
+// recovery, exactly like the shard WAL's torn-tail rule: an unreadable
+// record was by definition never acknowledged.
+
+// Coordinator record types.
+const (
+	recWant     = "want"      // a cross-shard want entered the queue
+	recWantDone = "want-done" // the want reached a terminal state
+	recBegin    = "begin"     // a 2PC attempt started (full payload)
+	recDecide   = "decide"    // the commit/abort decision is durable
+	recDone     = "done"      // every leg has been applied
+)
+
+// coordRecord is one coordinator-log line. Fields are a union across types.
+type coordRecord struct {
+	Type   string `json:"type"`
+	Ticket string `json:"ticket,omitempty"` // want / want-done / begin
+	Xid    string `json:"xid,omitempty"`    // begin / decide / done
+	// want
+	Spec     *core.RequestSpec `json:"spec,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	// want-done
+	Status string  `json:"status,omitempty"` // "done" | "failed"
+	TxID   string  `json:"tx_id,omitempty"`
+	Price  float64 `json:"price,omitempty"`
+	Err    string  `json:"error,omitempty"`
+	// begin: everything a re-drive needs without re-matching
+	Buyer      string                        `json:"buyer,omitempty"`
+	Home       int                           `json:"home,omitempty"`
+	ArbiterCut float64                       `json:"arbiter_cut,omitempty"`
+	CutsByShrd map[string]map[string]float64 `json:"cuts_by_shard,omitempty"` // shard index (decimal) -> seller -> cut
+	Datasets   []string                      `json:"datasets,omitempty"`
+	// decide
+	Commit bool `json:"commit,omitempty"`
+}
+
+// coordLog is the append-only coordinator log. A nil *coordLog (in-memory
+// federations) is valid: appends are no-ops and recovery sees nothing.
+type coordLog struct {
+	f    *os.File
+	path string
+}
+
+func openCoordLog(dir string) (*coordLog, []coordRecord, error) {
+	path := filepath.Join(dir, "coord.log")
+	recs, err := scanCoordLog(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &coordLog{f: f, path: path}, recs, nil
+}
+
+// scanCoordLog reads every intact record; a torn (unparseable) final line is
+// dropped, a torn line in the middle is an error (the log is append-only, so
+// corruption before intact records means tampering or disk fault).
+func scanCoordLog(path string) ([]coordRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []coordRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	torn := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r coordRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			torn = true
+			continue
+		}
+		if torn {
+			return nil, fmt.Errorf("federation: coord log %s: intact record after torn line", path)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// append durably writes one record (fsync before return). Nil-safe: an
+// in-memory federation has no coordinator log and loses pending wants on
+// exit, exactly like engine intake without a WAL.
+func (l *coordLog) append(r coordRecord) error {
+	if l == nil {
+		return nil
+	}
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(append(buf, '\n')); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *coordLog) close() error {
+	if l == nil {
+		return nil
+	}
+	return l.f.Close()
+}

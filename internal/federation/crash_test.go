@@ -1,0 +1,424 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/wal"
+)
+
+// This file is the federation's crash harness: the 2PC kill matrix (a
+// simulated process death at every commit boundary, including boundaries
+// inside recovery itself) and the multi-shard restart fingerprints. All
+// durable runs use SyncAlways so the shard WALs hold exactly what the live
+// process saw — the interesting torn-prefix story is the single-engine WAL
+// suite's job; here the variable is where the COORDINATOR died.
+
+// fedConfig is the durable 2-shard config every crash test uses.
+func fedConfig(dir string, shards int) Config {
+	return Config{
+		Shards:   shards,
+		Dir:      dir,
+		Sync:     wal.SyncAlways,
+		Platform: core.Options{Design: testDesign},
+	}
+}
+
+// accountBalances snapshots the balances the 2PC moves money between.
+func accountBalances(m *Market, fx crossShardFixture) map[string]ledger.Currency {
+	out := map[string]ledger.Currency{}
+	for _, name := range []string{fx.buyer, fx.sellerA, fx.sellerB} {
+		bal, _ := m.Balance(name)
+		out[name] = bal
+	}
+	// The arbiter's cut lands on the buyer's home shard (shard 0).
+	out["arbiter@0"] = m.Shards()[0].Platform.Arbiter.Ledger.Balance(arbiter.ArbiterAccount)
+	return out
+}
+
+// runBaseline drives the canonical cross-shard settle to completion with no
+// crash and returns its final balances, per-shard fingerprints and supply.
+func runBaseline(t *testing.T) (map[string]ledger.Currency, [][]byte, ledger.Currency) {
+	t.Helper()
+	m, err := Open(fedConfig(t.TempDir(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+	tk := fx.submitSpanning(t, m)
+	if n := m.CoordRound(); n != 1 {
+		t.Fatalf("baseline round settled %d wants, want 1", n)
+	}
+	if got, _ := m.Ticket(tk); got.Status != engine.TicketDone || got.TxID != "xtx-000001" {
+		t.Fatalf("baseline ticket: %+v", got)
+	}
+	bals := accountBalances(m, fx)
+	supply := m.TotalSupply()
+	m.Stop()
+	prints := make([][]byte, 2)
+	for i, sh := range m.Shards() {
+		prints[i] = shardFingerprint(t, sh)
+	}
+	return bals, prints, supply
+}
+
+// killPoints are every 2PC boundary the live settle path crosses, in order.
+// Points at or after the durable commit decision must re-drive to the same
+// bytes; points before it resolve by presumed abort and retry.
+var killPoints = []struct {
+	point       string
+	afterDecide bool // decision durable as commit when the crash hit
+}{
+	{"begin", false},
+	{"prepared", false},
+	{"decided", true},
+	{"crash:home-committed", true},
+	{"crash:remote-committed-1", true},
+	{"want-done", true},
+	{"done", true},
+}
+
+// TestXTxKillMatrix kills the coordinator at every 2PC boundary, reboots
+// the federation from the logs, and asserts: total funds across all shard
+// ledgers are conserved; the transaction settles exactly once; and for
+// every kill at or after the durable commit decision the recovered shards
+// are byte-identical to the uncrashed baseline.
+func TestXTxKillMatrix(t *testing.T) {
+	baseBals, basePrints, baseSupply := runBaseline(t)
+
+	for _, kp := range killPoints {
+		t.Run(kp.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := fedConfig(dir, 2)
+			cfg.testCrash = func(point string) error {
+				if point == kp.point {
+					return fmt.Errorf("injected death at %s", point)
+				}
+				return nil
+			}
+			m, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fx := newCrossShardFixture(t)
+			fx.drive(t, m)
+			fx.submitSpanning(t, m)
+			settledLive := m.CoordRound()
+			if settledLive != 0 {
+				t.Fatalf("crashed settle still counted (%d)", settledLive)
+			}
+			// Money must never be CREATED mid-flight: between home-commit's
+			// withdraw and the remote deposits the supply may dip, never rise.
+			if got := m.TotalSupply(); got > baseSupply {
+				t.Fatalf("mid-crash supply %v exceeds baseline %v", got, baseSupply)
+			}
+			m.Stop()
+
+			// Reboot: every shard replays its WAL, then the coordinator
+			// resolves the in-doubt transaction from the two logs.
+			m2, err := Open(fedConfig(dir, 2))
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			if got := m2.TotalSupply(); got != baseSupply {
+				t.Fatalf("post-recovery supply %v, want %v", got, baseSupply)
+			}
+			for _, sh := range m2.Shards() {
+				if i := sh.Platform.Arbiter.Ledger.VerifyChain(); i >= 0 {
+					t.Fatalf("shard %d audit chain corrupt at %d", sh.Index, i)
+				}
+				if sh.Engine.XTxInFlight() != 0 {
+					t.Fatalf("shard %d left escrow in flight after recovery", sh.Index)
+				}
+			}
+
+			if kp.afterDecide {
+				// Decided commit: recovery re-drove the SAME xid to the same
+				// bytes, and the want is terminally done exactly once.
+				if pending, settled, _ := m2.CoordStats(); pending != 0 || settled != 1 {
+					t.Fatalf("coordinator counters after re-drive: pending=%d settled=%d", pending, settled)
+				}
+				if tk, ok := m2.Ticket("x:000001"); !ok || tk.Status != engine.TicketDone || tk.TxID != "xtx-000001" {
+					t.Fatalf("recovered ticket: %+v", tk)
+				}
+				m2.Stop()
+				for i, sh := range m2.Shards() {
+					if got := shardFingerprint(t, sh); string(got) != string(basePrints[i]) {
+						t.Fatalf("shard %d diverged from uncrashed baseline after %s kill:\n--- baseline\n%s\n--- recovered\n%s",
+							i, kp.point, basePrints[i], got)
+					}
+				}
+			} else {
+				// Undecided: presumed abort refunded the escrow and the want
+				// retries under a fresh xid; the retry reaches the same
+				// economic outcome as the baseline.
+				if _, _, aborted := m2.CoordStats(); aborted != 1 {
+					t.Fatalf("presumed abort not counted (aborted=%d)", aborted)
+				}
+				if pending, _, _ := m2.CoordStats(); pending != 1 {
+					t.Fatalf("want not pending for retry (pending=%d)", pending)
+				}
+				if n := m2.CoordRound(); n != 1 {
+					t.Fatalf("retry round settled %d", n)
+				}
+				if tk, ok := m2.Ticket("x:000001"); !ok || tk.Status != engine.TicketDone || tk.TxID != "xtx-000002" {
+					t.Fatalf("retried ticket: %+v", tk)
+				}
+				fxBals := accountBalances(m2, fx)
+				for name, want := range baseBals {
+					if fxBals[name] != want {
+						t.Fatalf("balance %s = %v after retry, baseline %v", name, fxBals[name], want)
+					}
+				}
+				if got := m2.TotalSupply(); got != baseSupply {
+					t.Fatalf("post-retry supply %v, want %v", got, baseSupply)
+				}
+				m2.Stop()
+			}
+
+			// A further clean reboot must be a no-op: recovery is idempotent
+			// and replays to the exact same per-shard bytes.
+			m3, err := Open(fedConfig(dir, 2))
+			if err != nil {
+				t.Fatalf("second recovery open: %v", err)
+			}
+			ref := make([][]byte, len(m2.Shards()))
+			for i, sh := range m2.Shards() {
+				ref[i] = shardFingerprint(t, sh)
+			}
+			m3.Stop()
+			for i, sh := range m3.Shards() {
+				if got := shardFingerprint(t, sh); string(got) != string(ref[i]) {
+					t.Fatalf("shard %d changed on an idle reboot after %s kill", i, kp.point)
+				}
+			}
+		})
+	}
+}
+
+// TestXTxDoubleCrashDuringRecovery kills the coordinator right after the
+// durable commit decision, then kills the RECOVERY at the home-commit
+// boundary, then recovers again — the re-drive must be idempotent through
+// both deaths and still land on the baseline bytes.
+func TestXTxDoubleCrashDuringRecovery(t *testing.T) {
+	_, basePrints, baseSupply := runBaseline(t)
+
+	dir := t.TempDir()
+	cfg := fedConfig(dir, 2)
+	cfg.testCrash = func(point string) error {
+		if point == "decided" {
+			return fmt.Errorf("injected death at %s", point)
+		}
+		return nil
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+	fx.submitSpanning(t, m)
+	m.CoordRound()
+	m.Stop()
+
+	// First recovery dies after re-driving the home commit: its xtx-committed
+	// event is durable in shard 0's WAL, but the remote leg and the
+	// coordinator's done record never happen.
+	cfg2 := fedConfig(dir, 2)
+	cfg2.testCrash = func(point string) error {
+		if point == "recover-crash:home-committed" {
+			return fmt.Errorf("injected recovery death at %s", point)
+		}
+		return nil
+	}
+	if _, err := Open(cfg2); err == nil {
+		t.Fatal("recovery should have died at the injected boundary")
+	} else if !strings.Contains(err.Error(), "recover-crash:home-committed") {
+		t.Fatalf("unexpected recovery error: %v", err)
+	}
+
+	// Second recovery: the home leg replays as already-done, the remote leg
+	// re-drives, and everything finishes to the baseline bytes.
+	m3, err := Open(fedConfig(dir, 2))
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if got := m3.TotalSupply(); got != baseSupply {
+		t.Fatalf("supply %v after double crash, want %v", got, baseSupply)
+	}
+	if pending, settled, _ := m3.CoordStats(); pending != 0 || settled != 1 {
+		t.Fatalf("coordinator counters: pending=%d settled=%d", pending, settled)
+	}
+	m3.Stop()
+	for i, sh := range m3.Shards() {
+		if got := shardFingerprint(t, sh); string(got) != string(basePrints[i]) {
+			t.Fatalf("shard %d diverged after double crash:\n--- baseline\n%s\n--- recovered\n%s", i, basePrints[i], got)
+		}
+	}
+}
+
+// driveMixedWorkload runs local settles on several shards plus one
+// cross-shard settle — the restart-fingerprint workload.
+func driveMixedWorkload(t *testing.T, m *Market, shards int) {
+	t.Helper()
+	for shard := 0; shard < shards; shard++ {
+		b := nameOn(t, fmt.Sprintf("lb%d-", shard), shard, shards)
+		s := nameOn(t, fmt.Sprintf("ls%d-", shard), shard, shards)
+		mustTk(m.SubmitRegister(b, 4000))
+		openShare(t, m, s, s+"/d0", flatRel(s+"/d0", 20))
+		m.TriggerEpoch()
+		w, f := coverWant(b, 150, "a", "b")
+		mustTk(m.SubmitRequest(w, f))
+	}
+	m.TriggerEpoch()
+	// The spanning pair: distinct column names the local (a, b) datasets do
+	// not carry, split between shard 0 and the last shard.
+	xb := nameOn(t, "xb", 0, shards)
+	xa := nameOn(t, "xa", 0, shards)
+	xs := nameOn(t, "xs", shards-1, shards)
+	mustTk(m.SubmitRegister(xb, 6000))
+	openShare(t, m, xa, xa+"/d0", keyedRel(xa+"/d0", "xleft", 20))
+	openShare(t, m, xs, xs+"/d0", keyedRel(xs+"/d0", "xright", 30))
+	m.TriggerEpoch()
+	w, f := joinWant(xb, 900, "xleft", "xright")
+	tk := mustTk(m.SubmitRequest(w, f))
+	if shards > 1 && !strings.HasPrefix(tk, "x:") {
+		t.Fatalf("spanning want ticket %s missed the coordinator", tk)
+	}
+	m.TriggerEpoch()
+	if shards > 1 {
+		if _, settled, _ := m.CoordStats(); settled != 1 {
+			t.Fatalf("cross-shard settle missing (settled=%d)", settled)
+		}
+	}
+}
+
+// TestFederationRestartByteIdentical: shards=2 and shards=4 federations,
+// clean shutdown, reboot from the per-shard WALs + coordinator log — every
+// shard must come back byte-identical, including the cross-shard escrow
+// events in its WAL.
+func TestFederationRestartByteIdentical(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := Open(fedConfig(dir, shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveMixedWorkload(t, m, shards)
+			supply := m.TotalSupply()
+			m.Stop()
+			prints := make([][]byte, shards)
+			for i, sh := range m.Shards() {
+				prints[i] = shardFingerprint(t, sh)
+			}
+
+			m2, err := Open(fedConfig(dir, shards))
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if got := m2.TotalSupply(); got != supply {
+				t.Fatalf("supply %v after restart, want %v", got, supply)
+			}
+			m2.Stop()
+			for i, sh := range m2.Shards() {
+				if got := shardFingerprint(t, sh); string(got) != string(prints[i]) {
+					t.Fatalf("shard %d/%d diverged on clean restart:\n--- before\n%s\n--- after\n%s",
+						i, shards, prints[i], got)
+				}
+			}
+		})
+	}
+}
+
+// TestFederationSnapshotRestartByteIdentical: SnapshotAll mid-run, more
+// work, clean shutdown, reboot — every shard boots from its snapshot plus
+// WAL tail and must match the pre-restart bytes; covered segments were
+// pruned underneath.
+func TestFederationSnapshotRestartByteIdentical(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := fedConfig(dir, shards)
+			cfg.SegmentBytes = 4 << 10 // small segments so pruning has work
+			m, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveMixedWorkload(t, m, shards)
+			paths, err := m.SnapshotAll()
+			if err != nil {
+				t.Fatalf("SnapshotAll: %v", err)
+			}
+			if len(paths) != shards {
+				t.Fatalf("SnapshotAll wrote %d snapshots, want %d", len(paths), shards)
+			}
+			// Post-snapshot work lands in the WAL tails.
+			late := nameOn(t, "late", 0, shards)
+			mustTk(m.SubmitRegister(late, 777))
+			m.TriggerEpoch()
+			supply := m.TotalSupply()
+			m.Stop()
+			prints := make([][]byte, shards)
+			for i, sh := range m.Shards() {
+				prints[i] = shardFingerprint(t, sh)
+			}
+
+			m2, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("reopen from snapshots: %v", err)
+			}
+			if got := m2.TotalSupply(); got != supply {
+				t.Fatalf("supply %v after snapshot restart, want %v", got, supply)
+			}
+			if bal, ok := m2.Balance(late); !ok || bal != ledger.FromFloat(777) {
+				t.Fatalf("post-snapshot registration lost: %v (ok=%v)", bal, ok)
+			}
+			m2.Stop()
+			for i, sh := range m2.Shards() {
+				if got := shardFingerprint(t, sh); string(got) != string(prints[i]) {
+					t.Fatalf("shard %d/%d diverged on snapshot restart:\n--- before\n%s\n--- after\n%s",
+						i, shards, prints[i], got)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRefusedMidXTx: the engine-level guard — a shard holding a 2PC
+// escrow refuses to snapshot, so no lineage can ever capture in-transit
+// funds (SnapshotAll additionally serializes against settles).
+func TestSnapshotRefusedMidXTx(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fedConfig(dir, 2)
+	cfg.testCrash = func(point string) error {
+		if point == "prepared" {
+			return fmt.Errorf("hold it there")
+		}
+		return nil
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+	fx.submitSpanning(t, m)
+	m.CoordRound() // dies with the escrow held on shard 0
+	if m.Shards()[0].Engine.XTxInFlight() != 1 {
+		t.Fatal("escrow should be in flight")
+	}
+	if _, err := m.Shards()[0].Engine.Snapshot(); err == nil {
+		t.Fatal("snapshot must be refused while an escrow is in flight")
+	}
+	if _, err := m.Shards()[1].Engine.Snapshot(); err != nil {
+		t.Fatalf("uninvolved shard refused to snapshot: %v", err)
+	}
+}

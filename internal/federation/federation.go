@@ -1,0 +1,569 @@
+// Package federation shards the market itself: N independent arbiter shards
+// — each a full platform + engine + WAL lineage — run their epochs in
+// parallel behind a router, and a coordinator clears the mashups no single
+// shard can. See doc.go for the architecture.
+package federation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wal"
+	"repro/internal/wtp"
+)
+
+// Config configures a federated market.
+type Config struct {
+	// Shards is the number of arbiter shards (<= 1 means a single shard —
+	// still a federation, but every participant homes to shard 0 and the
+	// coordinator never sees a want).
+	Shards int
+	// Dir, when non-empty, makes the federation durable: each shard gets an
+	// independent WAL + snapshot lineage under <Dir>/shard-<i>, and the
+	// coordinator log lives at <Dir>/coord.log. Empty = fully in-memory.
+	Dir string
+	// Sync is the per-shard WAL fsync policy (default wal.SyncEpoch).
+	Sync wal.SyncPolicy
+	// SegmentBytes is the per-shard WAL segment size (0 = wal default).
+	SegmentBytes int64
+	// Engine is the per-shard engine template. Metrics and ShardLabel are
+	// managed by the federation; everything else applies to each shard
+	// verbatim (so EpochEvery > 0 gives every shard — and the coordinator —
+	// a periodic epoch).
+	Engine engine.Config
+	// Platform is the per-shard market design. Every shard must share one
+	// design: the coordinator prices cross-shard mashups on a scratch
+	// platform built from these same options.
+	Platform core.Options
+	// Metrics, when non-nil, receives federation telemetry: each shard's
+	// instruments carry a `shard` label (engine.Config.ShardLabel), and the
+	// federation registers the process-wide aggregates once.
+	Metrics *obs.Registry
+
+	// testCrash, when non-nil, is the crash-injection hook for the 2PC kill
+	// matrix (in-package tests only): it fires at every named commit
+	// boundary, including the ones inside recovery, and a non-nil return
+	// abandons the attempt exactly where a process death would.
+	testCrash func(point string) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// Shard is one arbiter shard: a full platform + engine, plus its WAL when
+// the federation is durable.
+type Shard struct {
+	Index    int
+	Platform *core.Platform
+	Engine   *engine.Engine
+	WAL      *wal.Log // nil when in-memory
+	Dir      string   // "" when in-memory
+}
+
+// Market is the federation: the routing surface in front of the shards and
+// the cross-shard coordinator behind them. Its submit/ticket/stats surface
+// mirrors *engine.Engine so callers (the gateway, benchmarks) can swap one
+// for the other.
+type Market struct {
+	cfg    Config
+	shards []*Shard
+	router *router
+	coord  *coordinator
+
+	// coordMu is the coordinator mutex: settle rounds, recovery and
+	// SnapshotAll serialize on it, so a snapshot can never observe a shard
+	// mid-2PC.
+	coordMu sync.Mutex
+
+	stop    chan struct{}
+	loopWG  sync.WaitGroup
+	started atomic.Bool
+}
+
+// Open boots a federated market: every shard recovers from its own WAL
+// (durable mode), the coordinator resolves in-doubt cross-shard
+// transactions from the logs, and the router is seeded from the recovered
+// catalogs. Engines are not started; call Start.
+func Open(cfg Config) (*Market, error) {
+	cfg = cfg.withDefaults()
+	m := &Market{cfg: cfg, router: newRouter(cfg.Shards), stop: make(chan struct{})}
+
+	var coordRecs []coordRecord
+	var clog *coordLog
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		clog, coordRecs, err = openCoordLog(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		ecfg := cfg.Engine
+		ecfg.Metrics = cfg.Metrics
+		ecfg.ShardLabel = strconv.Itoa(i)
+		ecfg.Persister = nil
+		sh := &Shard{Index: i}
+		if cfg.Dir != "" {
+			sh.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("shard-%d", i))
+			// Shard WALs skip wal-level metrics: N logs setting the same
+			// unlabeled wal_segments gauge would flap it meaninglessly.
+			p, e, w, _, err := wal.Boot(cfg.Platform, ecfg, wal.Options{
+				Dir: sh.Dir, Policy: cfg.Sync, SegmentBytes: cfg.SegmentBytes})
+			if err != nil {
+				m.closeShards()
+				return nil, fmt.Errorf("federation: boot shard %d: %w", i, err)
+			}
+			sh.Platform, sh.Engine, sh.WAL = p, e, w
+		} else {
+			p, err := core.NewPlatform(cfg.Platform)
+			if err != nil {
+				return nil, err
+			}
+			sh.Platform, sh.Engine = p, engine.New(p, ecfg)
+		}
+		m.shards = append(m.shards, sh)
+	}
+
+	// Coordinator recovery runs after every shard has replayed its WAL (so
+	// shard-side escrow state is current) and before engines start.
+	m.coord = newCoordinator(m, clog)
+	m.coord.crash = cfg.testCrash
+	m.coordMu.Lock()
+	err := m.coord.recover(coordRecs)
+	m.coordMu.Unlock()
+	if err != nil {
+		m.closeShards()
+		return nil, err
+	}
+
+	for _, sh := range m.shards {
+		m.router.seedFromShard(sh.Index, sh.Platform.DatasetStates())
+	}
+	registerFederationMetrics(cfg.Metrics, m)
+	return m, nil
+}
+
+func (m *Market) closeShards() {
+	for _, sh := range m.shards {
+		if sh.WAL != nil {
+			_ = sh.WAL.Close()
+		}
+	}
+	_ = m.coordLogClose()
+}
+
+func (m *Market) coordLogClose() error {
+	if m.coord == nil {
+		return nil
+	}
+	return m.coord.log.close()
+}
+
+// Start launches every shard's epoch machinery, plus the coordinator's own
+// periodic round when the engine template has one.
+func (m *Market) Start() {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range m.shards {
+		sh.Engine.Start()
+	}
+	if every := m.cfg.Engine.EpochEvery; every > 0 {
+		m.loopWG.Add(1)
+		go func() {
+			defer m.loopWG.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-t.C:
+					m.CoordRound()
+				}
+			}
+		}()
+	}
+}
+
+// Stop shuts the federation down: coordinator loop first, then every shard
+// engine in parallel (each runs its final flush epoch), then the logs.
+func (m *Market) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.loopWG.Wait()
+	var wg sync.WaitGroup
+	for _, sh := range m.shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			sh.Engine.Stop()
+		}(sh)
+	}
+	wg.Wait()
+	m.closeShards()
+}
+
+// Shards returns the shard handles (read-only use: tests, the gateway's
+// per-shard event/settlement views).
+func (m *Market) Shards() []*Shard { return m.shards }
+
+// NumShards returns the shard count.
+func (m *Market) NumShards() int { return len(m.shards) }
+
+// --- routing surface ------------------------------------------------------
+
+// SubmitRegister files a participant registration with its home shard.
+func (m *Market) SubmitRegister(name string, funds float64) (string, error) {
+	s := HomeOf(name, len(m.shards))
+	tk, err := m.shards[s].Engine.SubmitRegister(name, funds)
+	if err != nil {
+		return "", err
+	}
+	return shardTicket(s, tk), nil
+}
+
+// SubmitShare files a dataset share with the seller's home shard and
+// optimistically indexes its columns for routing (the share applies at the
+// shard's next epoch; until then wants for those columns simply wait).
+func (m *Market) SubmitShare(seller string, id catalog.DatasetID, rel *relation.Relation,
+	meta wtp.DatasetMeta, terms license.Terms) (string, error) {
+	s := HomeOf(seller, len(m.shards))
+	tk, err := m.shards[s].Engine.SubmitShare(seller, id, rel, meta, terms)
+	if err != nil {
+		return "", err
+	}
+	m.router.addRelation(s, rel)
+	return shardTicket(s, tk), nil
+}
+
+// SubmitRequest routes a buyer's want: to the home shard when its columns
+// resolve there, to the cross-shard coordinator when they span shards.
+func (m *Market) SubmitRequest(want dod.Want, f *wtp.Function) (string, error) {
+	return m.SubmitRequestPriority(want, f, engine.PriorityNormal)
+}
+
+// SubmitRequestPriority is SubmitRequest with an explicit priority class.
+func (m *Market) SubmitRequestPriority(want dod.Want, f *wtp.Function, priority int) (string, error) {
+	home := HomeOf(f.Buyer, len(m.shards))
+	if m.router.spans(want, home) {
+		return m.coord.enqueue(want, f, priority)
+	}
+	tk, err := m.shards[home].Engine.SubmitRequestPriority(want, f, priority)
+	if err != nil {
+		return "", err
+	}
+	return shardTicket(home, tk), nil
+}
+
+// SubmitReport files an ex-post value report for a shard-local transaction.
+// Cross-shard transactions settle up-front at the delivered price (the
+// escrowed 2PC pays out immediately), so "xtx-" IDs take no reports.
+func (m *Market) SubmitReport(txID string, reported, trueValue float64) (string, error) {
+	if strings.HasPrefix(txID, "xtx-") {
+		return "", fmt.Errorf("federation: cross-shard transaction %s settled up-front; no ex-post report", txID)
+	}
+	s, local, ok := splitShardID(txID)
+	if !ok || s >= len(m.shards) {
+		return "", fmt.Errorf("federation: unknown transaction %q", txID)
+	}
+	tk, err := m.shards[s].Engine.SubmitReport(local, reported, trueValue)
+	if err != nil {
+		return "", err
+	}
+	return shardTicket(s, tk), nil
+}
+
+// Ticket resolves a federation ticket: coordinator tickets ("x:...") from
+// the coordinator, shard tickets ("s<i>:...") from their shard with IDs
+// rewritten back to federation form.
+func (m *Market) Ticket(id string) (engine.Ticket, bool) {
+	if strings.HasPrefix(id, "x:") {
+		return m.coord.ticket(id)
+	}
+	s, local, ok := splitShardID(id)
+	if !ok || s >= len(m.shards) {
+		return engine.Ticket{}, false
+	}
+	t, ok := m.shards[s].Engine.Ticket(local)
+	if !ok {
+		return engine.Ticket{}, false
+	}
+	t.ID = shardTicket(s, t.ID)
+	if t.TxID != "" {
+		t.TxID = shardTicket(s, t.TxID)
+	}
+	return t, true
+}
+
+// Balance returns a participant's ledger balance on its home shard.
+func (m *Market) Balance(name string) (ledger.Currency, bool) {
+	l := m.shards[HomeOf(name, len(m.shards))].Platform.Arbiter.Ledger
+	if !l.Exists(name) {
+		return 0, false
+	}
+	return l.Balance(name), true
+}
+
+// TotalSupply sums every shard ledger's total supply — the federation-wide
+// conservation quantity: escrow-style 2PC moves value between shards but
+// never changes this sum outside registrations.
+func (m *Market) TotalSupply() ledger.Currency {
+	var total ledger.Currency
+	for _, sh := range m.shards {
+		total += sh.Platform.Arbiter.Ledger.TotalSupply()
+	}
+	return total
+}
+
+// --- epochs ---------------------------------------------------------------
+
+// TriggerEpoch runs one epoch on every shard concurrently, then one
+// coordinator round. Returns the max shard epoch and whether any shard
+// counted an epoch or the coordinator settled a want.
+func (m *Market) TriggerEpoch() (uint64, bool) {
+	var wg sync.WaitGroup
+	var counted atomic.Bool
+	var maxEpoch atomic.Uint64
+	for _, sh := range m.shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			ep, ok := sh.Engine.TriggerEpoch()
+			if ok {
+				counted.Store(true)
+			}
+			for {
+				cur := maxEpoch.Load()
+				if ep <= cur || maxEpoch.CompareAndSwap(cur, ep) {
+					return
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+	if m.CoordRound() > 0 {
+		counted.Store(true)
+	}
+	return maxEpoch.Load(), counted.Load()
+}
+
+// CoordRound runs one coordinator round (all pending cross-shard wants get
+// one settle attempt) under the coordinator mutex. Returns settles.
+func (m *Market) CoordRound() int {
+	m.coordMu.Lock()
+	defer m.coordMu.Unlock()
+	return m.coord.round()
+}
+
+// --- aggregate views ------------------------------------------------------
+
+// Stats merges every shard's engine stats into one market-wide view:
+// throughput counters sum; process-wide gauges (allocator counters, policy,
+// worker config) come from shard 0; cross-shard settles count as matches.
+func (m *Market) Stats() engine.Stats {
+	var agg engine.Stats
+	for i, sh := range m.shards {
+		s := sh.Engine.Stats()
+		agg.Epochs += s.Epochs
+		agg.Submitted += s.Submitted
+		agg.Applied += s.Applied
+		agg.Matched += s.Matched
+		agg.Failed += s.Failed
+		agg.OpenRequests += s.OpenRequests
+		agg.Pending += s.Pending
+		agg.Events += s.Events
+		agg.Rejected += s.Rejected
+		agg.Shed += s.Shed
+		agg.Aged += s.Aged
+		agg.BuildMillis += s.BuildMillis
+		agg.CacheHits += s.CacheHits
+		agg.CacheStale += s.CacheStale
+		agg.SubJoinHits += s.SubJoinHits
+		agg.BuildDeadlineExceeded += s.BuildDeadlineExceeded
+		agg.BuildsCancelled += s.BuildsCancelled
+		agg.PriceMillis += s.PriceMillis
+		agg.MatchesPerSec += s.MatchesPerSec
+		agg.LastPersisted += s.LastPersisted
+		if s.Uptime > agg.Uptime {
+			agg.Uptime = s.Uptime
+		}
+		if s.PersistErr != "" && agg.PersistErr == "" {
+			agg.PersistErr = fmt.Sprintf("shard %d: %s", i, s.PersistErr)
+		}
+		if i == 0 {
+			agg.Policy = s.Policy
+			agg.DoDWorkers = s.DoDWorkers
+			agg.AllocEvals = s.AllocEvals
+			agg.AllocMemoHits = s.AllocMemoHits
+			agg.AllocExact = s.AllocExact
+			agg.AllocSampled = s.AllocSampled
+			agg.AllocEscalations = s.AllocEscalations
+		}
+	}
+	settled, _ := m.coord.counters()
+	agg.Matched += settled
+	agg.OpenRequests += m.coord.pendingCount()
+	if agg.Uptime > 0 {
+		// Recompute the blended rate from the merged counters so the
+		// cross-shard settles participate.
+		agg.MatchesPerSec = 0
+		for _, sh := range m.shards {
+			agg.MatchesPerSec += sh.Engine.Stats().MatchesPerSec
+		}
+		agg.MatchesPerSec += float64(settled) / agg.Uptime.Seconds()
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own engine stats, index-aligned — the
+// per-shard detail behind the aggregate /engine/stats view.
+func (m *Market) ShardStats() []engine.Stats {
+	out := make([]engine.Stats, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh.Engine.Stats()
+	}
+	return out
+}
+
+// CoordStats reports the coordinator's own counters.
+func (m *Market) CoordStats() (pending int, settled, aborted uint64) {
+	settled, aborted = m.coord.counters()
+	return m.coord.pendingCount(), settled, aborted
+}
+
+// --- snapshots ------------------------------------------------------------
+
+// SnapshotAll snapshots every shard and prunes its covered WAL segments,
+// all under the coordinator mutex — no shard can be mid-2PC in the
+// resulting snapshot set, so the per-shard snapshots are mutually
+// consistent with the coordinator log. Returns the snapshot paths.
+func (m *Market) SnapshotAll() ([]string, error) {
+	if m.cfg.Dir == "" {
+		return nil, fmt.Errorf("federation: in-memory market has no snapshot lineage")
+	}
+	m.coordMu.Lock()
+	defer m.coordMu.Unlock()
+	paths := make([]string, 0, len(m.shards))
+	for _, sh := range m.shards {
+		snap, err := sh.Engine.Snapshot()
+		if err != nil {
+			return paths, fmt.Errorf("federation: snapshot shard %d: %w", sh.Index, err)
+		}
+		p, err := wal.WriteSnapshot(sh.Dir, snap)
+		if err != nil {
+			return paths, err
+		}
+		if _, _, err := wal.PruneAfterSnapshot(sh.Dir, sh.WAL); err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// registerFederationMetrics registers the process-wide sampled families the
+// per-shard engines skip (ShardLabel gates them off: several shards
+// registering one closure under the same name would shadow each other),
+// aggregated across shards, under the exact names a single engine uses —
+// dashboards keep working unchanged. Uses StatsLite — the scrape-safe
+// counter view — so a scrape never waits on a shard's in-flight epoch.
+func registerFederationMetrics(reg *obs.Registry, m *Market) {
+	if reg == nil {
+		return
+	}
+	sum := func(f func(engine.Stats) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, sh := range m.shards {
+				t += f(sh.Engine.StatsLite())
+			}
+			return t
+		}
+	}
+	sumCache := func(f func(dod.CacheStats) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, sh := range m.shards {
+				t += f(sh.Platform.DoDCacheStats())
+			}
+			return t
+		}
+	}
+	reg.NewCounterFunc("engine_epochs_total", "Counted epochs since boot (all shards).",
+		sum(func(s engine.Stats) float64 { return float64(s.Epochs) }))
+	reg.NewCounterFunc("engine_submitted_total", "Submissions accepted into intake (all shards).",
+		sum(func(s engine.Stats) float64 { return float64(s.Submitted) }))
+	reg.NewCounterFunc("engine_applied_total", "Submissions applied successfully (all shards).",
+		sum(func(s engine.Stats) float64 { return float64(s.Applied) }))
+	reg.NewCounterFunc("engine_matched_total", "Requests settled by matching rounds (all shards + cross-shard).",
+		func() float64 {
+			var t float64
+			for _, sh := range m.shards {
+				t += float64(sh.Engine.StatsLite().Matched)
+			}
+			settled, _ := m.coord.counters()
+			return t + float64(settled)
+		})
+	reg.NewCounterFunc("engine_failed_total", "Submissions rejected at apply time (all shards).",
+		sum(func(s engine.Stats) float64 { return float64(s.Failed) }))
+	reg.NewGaugeFunc("engine_pending_submissions", "Submissions queued across all intake shards (all shards).",
+		sum(func(s engine.Stats) float64 { return float64(s.Pending) }))
+	reg.NewGaugeFunc("arbiter_open_requests", "Requests filed but not yet matched (all shards + coordinator queue).",
+		func() float64 {
+			var t float64
+			for _, sh := range m.shards {
+				t += float64(sh.Platform.OpenRequestCount())
+			}
+			return t + float64(m.coord.pendingCount())
+		})
+	reg.NewGaugeFunc("arbiter_unmet_wants", "Distinct wanted columns carrying unmet-demand signals (all shards).",
+		func() float64 {
+			var t float64
+			for _, sh := range m.shards {
+				t += float64(sh.Platform.UnmetWantCount())
+			}
+			return t
+		})
+	reg.NewCounterFunc("dod_builds_total", "Beam searches run by the DoD engines (all shards).",
+		sumCache(func(c dod.CacheStats) float64 { return float64(c.Builds) }))
+	reg.NewCounterFunc("dod_cache_hits_total", "Version-valid candidate-cache reuses (all shards).",
+		sumCache(func(c dod.CacheStats) float64 { return float64(c.Hits) }))
+	reg.NewCounterFunc("dod_cache_stale_total", "Cache lookups invalidated by a catalog version bump (all shards).",
+		sumCache(func(c dod.CacheStats) float64 { return float64(c.Stale) }))
+	reg.NewCounterFunc("dod_subjoin_memo_hits_total", "Sub-join memo reuses during candidate materialization (all shards).",
+		sumCache(func(c dod.CacheStats) float64 { return float64(c.SubJoinHits) }))
+	reg.NewGaugeFunc("federation_shards", "Arbiter shards in this market.",
+		func() float64 { return float64(len(m.shards)) })
+	reg.NewGaugeFunc("federation_coordinator_pending_wants", "Cross-shard wants awaiting settlement.",
+		func() float64 { return float64(m.coord.pendingCount()) })
+	reg.NewCounterFunc("federation_xtx_committed_total", "Cross-shard transactions committed.",
+		func() float64 { s, _ := m.coord.counters(); return float64(s) })
+	reg.NewCounterFunc("federation_xtx_aborted_total", "Cross-shard attempts aborted.",
+		func() float64 { _, a := m.coord.counters(); return float64(a) })
+}

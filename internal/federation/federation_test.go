@@ -1,0 +1,463 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dod"
+	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/license"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/wtp"
+)
+
+const testDesign = "posted-baseline"
+
+// nameOn brute-forces a participant name hashing to the given home shard —
+// deterministic, so scripted workloads can pin sellers and buyers to shards.
+func nameOn(t *testing.T, prefix string, shard, shards int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		n := fmt.Sprintf("%s%d", prefix, i)
+		if HomeOf(n, shards) == shard {
+			return n
+		}
+	}
+	t.Fatalf("no name with prefix %q on shard %d/%d", prefix, shard, shards)
+	return ""
+}
+
+// keyedRel builds a relation with the shared join key k plus one value
+// column — datasets then cover only half a join want, exactly the wal
+// replay-test idiom forcing multi-source mashups.
+func keyedRel(name, valCol string, rows int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Col("k", relation.KindInt), relation.Col(valCol, relation.KindFloat)))
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*2.5))
+	}
+	return r
+}
+
+// flatRel builds a single-source (a, b) relation.
+func flatRel(name string, rows int) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Col("a", relation.KindInt), relation.Col("b", relation.KindFloat)))
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relation.Int(int64(i)), relation.Float(float64(i)*2.5))
+	}
+	return r
+}
+
+func joinWant(buyer string, price float64, cols ...string) (dod.Want, *wtp.Function) {
+	return dod.Want{Columns: cols}, &wtp.Function{
+		Buyer: buyer,
+		Task:  wtp.CoverageTask{Columns: cols, WantRows: 1},
+		Curve: []wtp.CurvePoint{{MinSatisfaction: 0.9, Price: price}},
+	}
+}
+
+func coverWant(buyer string, price float64, cols ...string) (dod.Want, *wtp.Function) {
+	return dod.Want{Columns: cols}, &wtp.Function{
+		Buyer: buyer,
+		Task:  wtp.CoverageTask{Columns: cols, WantRows: 1},
+		Curve: []wtp.CurvePoint{{MinSatisfaction: 0.5, Price: price}},
+	}
+}
+
+func mustTk(id string, err error) string {
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func openShare(t *testing.T, m *Market, seller, ds string, rel *relation.Relation) string {
+	t.Helper()
+	return mustTk(m.SubmitShare(seller, catalog.DatasetID(ds), rel,
+		wtp.DatasetMeta{Dataset: ds, HasProvenance: true}, license.Terms{Kind: license.Open}))
+}
+
+// shardFingerprint canonicalizes one shard's externally observable state —
+// the wal replay-test fingerprint, per shard.
+func shardFingerprint(t *testing.T, sh *Shard) []byte {
+	t.Helper()
+	snap, err := sh.Engine.Snapshot()
+	if err != nil {
+		t.Fatalf("shard %d snapshot: %v", sh.Index, err)
+	}
+	snap.TakenAt = time.Time{}
+	var history []string
+	for _, tx := range sh.Platform.Arbiter.History() {
+		history = append(history, fmt.Sprintf("%s/%s/%s/%.2f", tx.ID, tx.RequestID, tx.Buyer, tx.Price))
+	}
+	out, err := json.MarshalIndent(struct {
+		Snap      *engine.SnapshotState
+		History   []string
+		Supply    ledger.Currency
+		Conserved bool
+	}{snap, history, sh.Platform.Arbiter.Ledger.TotalSupply(), sh.Engine.Settlements().Conserved()}, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHomeOfSingleShardIsZero(t *testing.T) {
+	for _, n := range []string{"", "a", "buyer-42", strings.Repeat("x", 100)} {
+		if got := HomeOf(n, 1); got != 0 {
+			t.Fatalf("HomeOf(%q, 1) = %d", n, got)
+		}
+		if got := HomeOf(n, 0); got != 0 {
+			t.Fatalf("HomeOf(%q, 0) = %d", n, got)
+		}
+	}
+}
+
+func TestShardTicketRoundTrip(t *testing.T) {
+	s, local, ok := splitShardID(shardTicket(3, "sub-000017"))
+	if !ok || s != 3 || local != "sub-000017" {
+		t.Fatalf("round trip gave (%d, %q, %v)", s, local, ok)
+	}
+	for _, bad := range []string{"x:000001", "sub-000001", "s:abc", "sx:1", ""} {
+		if _, _, ok := splitShardID(bad); ok {
+			t.Fatalf("splitShardID(%q) should fail", bad)
+		}
+	}
+}
+
+// TestLocalRouting: participants land on their hash-homed shards, local
+// wants clear without the coordinator, and federation tickets resolve with
+// rewritten IDs.
+func TestLocalRouting(t *testing.T) {
+	m, err := Open(Config{Shards: 4, Platform: core.Options{Design: testDesign}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	const shard = 2
+	buyer := nameOn(t, "b", shard, 4)
+	seller := nameOn(t, "s", shard, 4)
+	btk := mustTk(m.SubmitRegister(buyer, 5000))
+	if !strings.HasPrefix(btk, fmt.Sprintf("s%d:", shard)) {
+		t.Fatalf("buyer ticket %s not on home shard %d", btk, shard)
+	}
+	openShare(t, m, seller, seller+"/d0", flatRel(seller+"/d0", 20))
+	m.TriggerEpoch()
+
+	w, f := coverWant(buyer, 150, "a", "b")
+	rtk := mustTk(m.SubmitRequest(w, f))
+	if !strings.HasPrefix(rtk, fmt.Sprintf("s%d:", shard)) {
+		t.Fatalf("local want ticket %s routed off the home shard", rtk)
+	}
+	m.TriggerEpoch()
+	tk, ok := m.Ticket(rtk)
+	if !ok || tk.Status != engine.TicketDone {
+		t.Fatalf("local want did not settle: %+v", tk)
+	}
+	if !strings.HasPrefix(tk.TxID, fmt.Sprintf("s%d:", shard)) {
+		t.Fatalf("settled TxID %q not rewritten to federation form", tk.TxID)
+	}
+	if bal, ok := m.Balance(seller); !ok || bal <= 0 {
+		t.Fatalf("seller balance after local settle: %v (ok=%v)", bal, ok)
+	}
+	if pending, settled, _ := m.CoordStats(); pending != 0 || settled != 0 {
+		t.Fatalf("coordinator touched a local want: pending=%d settled=%d", pending, settled)
+	}
+	// Only the two engaged shards saw work; the others idled in parallel.
+	st := m.Stats()
+	if st.Matched != 1 || st.Applied < 2 {
+		t.Fatalf("aggregate stats wrong: %+v", st)
+	}
+}
+
+// crossShardFixture stands up the canonical spanning workload: the buyer
+// and seller A live on shard 0, seller B on shard 1, and the only mashup
+// satisfying the want joins A's (k, a) with B's (k, b) across the shards.
+type crossShardFixture struct {
+	buyer, sellerA, sellerB string
+	funds                   float64
+}
+
+func newCrossShardFixture(t *testing.T) crossShardFixture {
+	return crossShardFixture{
+		buyer:   nameOn(t, "buyer", 0, 2),
+		sellerA: nameOn(t, "sellA", 0, 2),
+		sellerB: nameOn(t, "sellB", 1, 2),
+		funds:   5000,
+	}
+}
+
+// drive registers and shares everything and runs one epoch; the spanning
+// want is NOT submitted (callers control when).
+func (fx crossShardFixture) drive(t *testing.T, m *Market) {
+	t.Helper()
+	mustTk(m.SubmitRegister(fx.buyer, fx.funds))
+	openShare(t, m, fx.sellerA, fx.sellerA+"/d0", keyedRel(fx.sellerA+"/d0", "a", 20))
+	openShare(t, m, fx.sellerB, fx.sellerB+"/d0", keyedRel(fx.sellerB+"/d0", "b", 30))
+	m.TriggerEpoch()
+}
+
+func (fx crossShardFixture) submitSpanning(t *testing.T, m *Market) string {
+	t.Helper()
+	w, f := joinWant(fx.buyer, 900, "a", "b")
+	tk := mustTk(m.SubmitRequest(w, f))
+	if !strings.HasPrefix(tk, "x:") {
+		t.Fatalf("spanning want got ticket %s, want coordinator ticket", tk)
+	}
+	return tk
+}
+
+// TestCrossShardSettlement: a want spanning two shard catalogs goes to the
+// coordinator, settles via escrowed 2PC, pays the remote seller on its own
+// shard's ledger, and conserves total supply across the federation.
+func TestCrossShardSettlement(t *testing.T) {
+	m, err := Open(Config{Shards: 2, Platform: core.Options{Design: testDesign}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+	supply := m.TotalSupply()
+
+	tk := fx.submitSpanning(t, m)
+	if _, counted := m.TriggerEpoch(); !counted {
+		t.Fatal("epoch with a coordinator settle should count")
+	}
+	got, ok := m.Ticket(tk)
+	if !ok || got.Status != engine.TicketDone {
+		t.Fatalf("cross-shard want did not settle: %+v", got)
+	}
+	if got.TxID != "xtx-000001" {
+		t.Fatalf("TxID %q, want xtx-000001", got.TxID)
+	}
+	if got.Price <= 0 {
+		t.Fatalf("settled at price %v", got.Price)
+	}
+
+	buyerBal, _ := m.Balance(fx.buyer)
+	if buyerBal >= ledger.FromFloat(fx.funds) {
+		t.Fatalf("buyer balance %v did not decrease", buyerBal)
+	}
+	balA, _ := m.Balance(fx.sellerA)
+	balB, _ := m.Balance(fx.sellerB)
+	if balA <= 0 || balB <= 0 {
+		t.Fatalf("seller cuts missing: A=%v B=%v", balA, balB)
+	}
+	if got := m.TotalSupply(); got != supply {
+		t.Fatalf("supply %v after settle, want %v conserved", got, supply)
+	}
+	for _, sh := range m.Shards() {
+		if i := sh.Platform.Arbiter.Ledger.VerifyChain(); i >= 0 {
+			t.Fatalf("shard %d audit chain corrupt at %d", sh.Index, i)
+		}
+	}
+	if sh0 := m.Shards()[0]; sh0.Engine.XTxInFlight() != 0 {
+		t.Fatal("escrow left in flight after commit")
+	}
+	pending, settled, aborted := m.CoordStats()
+	if pending != 0 || settled != 1 || aborted != 0 {
+		t.Fatalf("coordinator counters: pending=%d settled=%d aborted=%d", pending, settled, aborted)
+	}
+	if st := m.Stats(); st.Matched != 1 {
+		t.Fatalf("aggregate Matched = %d, want 1 (the cross-shard settle)", st.Matched)
+	}
+	// Reports against up-front-settled cross-shard transactions are refused.
+	if _, err := m.SubmitReport("xtx-000001", 100, 100); err == nil {
+		t.Fatal("report against an xtx should be refused")
+	}
+}
+
+// TestUnmatchableSpanningWantStaysPending: a spanning want no mashup can
+// satisfy yet survives rounds in the coordinator queue instead of failing.
+func TestUnmatchableSpanningWantStaysPending(t *testing.T) {
+	m, err := Open(Config{Shards: 2, Platform: core.Options{Design: testDesign}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+
+	// Offer far below any posted price: matches nothing, stays pending.
+	w, f := joinWant(fx.buyer, 0.01, "a", "b")
+	tk := mustTk(m.SubmitRequest(w, f))
+	m.TriggerEpoch()
+	m.TriggerEpoch()
+	got, ok := m.Ticket(tk)
+	if !ok || got.Status != engine.TicketQueued {
+		t.Fatalf("unmatchable want should stay queued: %+v", got)
+	}
+	if pending, _, _ := m.CoordStats(); pending != 1 {
+		t.Fatalf("pending wants = %d, want 1", pending)
+	}
+}
+
+// TestSingleShardFederationMatchesBareEngine: with -shards 1 the federation
+// is a pass-through — the underlying shard's state is byte-identical to a
+// bare engine driven with the same submissions.
+func TestSingleShardFederationMatchesBareEngine(t *testing.T) {
+	ecfg := engine.Config{Shards: 4}
+	drive := func(sub func(kind string, args ...interface{}) (string, error)) {
+		// register / share / request in a fixed script, via either surface.
+		mustPanic := func(id string, err error) {
+			if err != nil {
+				panic(err)
+			}
+			_ = id
+		}
+		mustPanic(sub("register", "b1", 5000.0))
+		mustPanic(sub("register", "b2", 3000.0))
+		mustPanic(sub("share", "s1", "s1/d0", 20))
+		mustPanic(sub("epoch"))
+		mustPanic(sub("request", "b1", 150.0))
+		mustPanic(sub("epoch"))
+		mustPanic(sub("request", "b2", 120.0))
+		mustPanic(sub("epoch"))
+	}
+
+	m, err := Open(Config{Shards: 1, Engine: ecfg, Platform: core.Options{Design: testDesign}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(func(kind string, args ...interface{}) (string, error) {
+		switch kind {
+		case "register":
+			return m.SubmitRegister(args[0].(string), args[1].(float64))
+		case "share":
+			return m.SubmitShare(args[0].(string), catalog.DatasetID(args[1].(string)),
+				flatRel(args[1].(string), args[2].(int)),
+				wtp.DatasetMeta{Dataset: args[1].(string), HasProvenance: true}, license.Terms{Kind: license.Open})
+		case "request":
+			w, f := coverWant(args[0].(string), args[1].(float64), "a", "b")
+			return m.SubmitRequest(w, f)
+		case "epoch":
+			m.TriggerEpoch()
+			return "", nil
+		}
+		panic(kind)
+	})
+	m.Stop()
+	fedPrint := shardFingerprint(t, m.Shards()[0])
+
+	p, err := core.NewPlatform(core.Options{Design: testDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ShardLabel mirrors what the federation sets on its only shard — it is
+	// observational only and must not (and does not) reach any logged byte.
+	e := engine.New(p, engine.Config{Shards: 4, ShardLabel: "0"})
+	drive(func(kind string, args ...interface{}) (string, error) {
+		switch kind {
+		case "register":
+			return e.SubmitRegister(args[0].(string), args[1].(float64))
+		case "share":
+			return e.SubmitShare(args[0].(string), catalog.DatasetID(args[1].(string)),
+				flatRel(args[1].(string), args[2].(int)),
+				wtp.DatasetMeta{Dataset: args[1].(string), HasProvenance: true}, license.Terms{Kind: license.Open})
+		case "request":
+			w, f := coverWant(args[0].(string), args[1].(float64), "a", "b")
+			return e.SubmitRequest(w, f)
+		case "epoch":
+			e.TriggerEpoch()
+			return "", nil
+		}
+		panic(kind)
+	})
+	e.Stop()
+	barePrint := shardFingerprint(t, &Shard{Index: 0, Platform: p, Engine: e})
+
+	if string(fedPrint) != string(barePrint) {
+		t.Fatalf("shards=1 federation diverged from bare engine:\n--- federation\n%s\n--- bare\n%s", fedPrint, barePrint)
+	}
+}
+
+// TestShardLabeledMetrics: every shard's per-shard families carry the shard
+// label, the unlabeled aggregates exist exactly once, and the federation's
+// own families report the coordinator's activity.
+func TestShardLabeledMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := Open(Config{Shards: 2, Platform: core.Options{Design: testDesign}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	fx := newCrossShardFixture(t)
+	fx.drive(t, m)
+	fx.submitSpanning(t, m)
+	m.TriggerEpoch()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`engine_shard_epoch_seconds`,
+		`shard="0"`,
+		`shard="1"`,
+		"engine_epochs_total",
+		"engine_matched_total",
+		"federation_xtx_committed_total 1",
+		"federation_shards 2",
+		"arbiter_round_seconds", // unlabeled histogram shared by both shard engines
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Count(text, "# TYPE engine_matched_total") != 1 {
+		t.Error("aggregate family engine_matched_total registered more than once")
+	}
+	if st := m.Stats(); st.Matched != 1 {
+		t.Fatalf("aggregate stats Matched = %d", st.Matched)
+	}
+}
+
+// TestAggregateStatsSumShards: counters sum across shards and the
+// coordinator's settles and queue fold into Matched/OpenRequests.
+func TestAggregateStatsSumShards(t *testing.T) {
+	m, err := Open(Config{Shards: 4, Platform: core.Options{Design: testDesign}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	// One local settle on each of two different shards.
+	for _, shard := range []int{1, 3} {
+		b := nameOn(t, fmt.Sprintf("b%d-", shard), shard, 4)
+		s := nameOn(t, fmt.Sprintf("s%d-", shard), shard, 4)
+		mustTk(m.SubmitRegister(b, 4000))
+		openShare(t, m, s, s+"/d0", flatRel(s+"/d0", 20))
+		m.TriggerEpoch()
+		w, f := coverWant(b, 150, "a", "b")
+		mustTk(m.SubmitRequest(w, f))
+	}
+	m.TriggerEpoch()
+	st := m.Stats()
+	if st.Matched != 2 {
+		t.Fatalf("Matched = %d, want 2 (one per shard)", st.Matched)
+	}
+	if st.Applied < 4 {
+		t.Fatalf("Applied = %d, want >= 4 across shards", st.Applied)
+	}
+	sums := m.ShardStats()
+	if len(sums) != 4 {
+		t.Fatalf("ShardStats returned %d entries", len(sums))
+	}
+	var matched uint64
+	for _, s := range sums {
+		matched += s.Matched
+	}
+	if matched != st.Matched {
+		t.Fatalf("per-shard matched sum %d != aggregate %d", matched, st.Matched)
+	}
+}

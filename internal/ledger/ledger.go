@@ -42,6 +42,7 @@ type EntryKind string
 const (
 	KindOpen     EntryKind = "open"
 	KindDeposit  EntryKind = "deposit"
+	KindWithdraw EntryKind = "withdraw"
 	KindTransfer EntryKind = "transfer"
 	KindEscrow   EntryKind = "escrow"
 	KindRelease  EntryKind = "release"
@@ -136,6 +137,29 @@ func (l *Ledger) Deposit(account string, amount Currency) error {
 	}
 	l.balances[account] += amount
 	l.append(KindDeposit, "", account, amount, "deposit")
+	return nil
+}
+
+// Withdraw removes funds from an account, taking them out of this ledger's
+// supply. It is the outbound half of a cross-ledger movement: in a federated
+// market the coordinator withdraws a settlement's remote seller cuts from the
+// home shard and deposits the same micro-unit amounts on the sellers' shards,
+// so the sum of every shard's TotalSupply is conserved even though each
+// single ledger's supply changes.
+func (l *Ledger) Withdraw(account string, amount Currency, memo string) error {
+	if amount < 0 {
+		return fmt.Errorf("ledger: negative withdrawal %s", amount)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[account]; !ok {
+		return fmt.Errorf("ledger: account %q not open", account)
+	}
+	if l.balances[account] < amount {
+		return fmt.Errorf("ledger: %q has %s, cannot withdraw %s", account, l.balances[account], amount)
+	}
+	l.balances[account] -= amount
+	l.append(KindWithdraw, account, "", amount, memo)
 	return nil
 }
 
